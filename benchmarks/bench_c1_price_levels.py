@@ -1,0 +1,69 @@
+"""Experiment C1 — per-level prices (paper §3.2).
+
+Paper claims: immediate queries are billed at AWS Athena's rate of
+$5/TB-scan; relaxed at 20 % ($1/TB); best-of-effort at 10 % ($0.5/TB).
+
+The bench runs a mixed-level workload end-to-end through the query server
+and measures the *effective* $/TB actually billed per level (total bill
+divided by total TB scanned), checking it lands exactly on the paper's
+price table.
+"""
+
+import pytest
+
+from common import HEAVY_SQL, MEDIUM_SQL, format_row, report, tpch_environment
+from repro.baselines import run_workload
+from repro.baselines.runner import Submission
+from repro.core import ServiceLevel
+from repro.turbo import TurboConfig
+
+PAPER_PRICES = {
+    ServiceLevel.IMMEDIATE: 5.0,
+    ServiceLevel.RELAXED: 1.0,
+    ServiceLevel.BEST_EFFORT: 0.5,
+}
+
+
+def run_experiment():
+    store, catalog = tpch_environment()
+    submissions = []
+    for index in range(30):
+        level = list(ServiceLevel)[index % 3]
+        sql = HEAVY_SQL if index % 2 == 0 else MEDIUM_SQL
+        submissions.append(Submission(float(index * 10), sql, level))
+    return run_workload(
+        submissions, store, catalog, "tpch", TurboConfig.experiment(100.0)
+    )
+
+
+def test_c1_price_levels(benchmark):
+    result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    lines = [
+        format_row("service level", "paper $/TB", "measured $/TB", "ratio vs immediate"),
+    ]
+    measured = {}
+    for level in ServiceLevel:
+        measured[level] = result.billed_per_tb(level)
+        lines.append(
+            format_row(
+                level.value,
+                f"{PAPER_PRICES[level]:.2f}",
+                f"{measured[level]:.4f}",
+                f"{measured[level] / measured.get(ServiceLevel.IMMEDIATE, measured[level]):.2f}",
+            )
+        )
+    lines.append("")
+    lines.append(
+        f"total billed ${result.billed():.4f} across "
+        f"{len(result.finished())} finished queries"
+    )
+    report("C1  Service-level prices ($/TB-scan), paper §3.2", lines)
+
+    for level in ServiceLevel:
+        assert measured[level] == pytest.approx(PAPER_PRICES[level], rel=1e-6)
+    assert measured[ServiceLevel.RELAXED] == pytest.approx(
+        0.2 * measured[ServiceLevel.IMMEDIATE]
+    )
+    assert measured[ServiceLevel.BEST_EFFORT] == pytest.approx(
+        0.1 * measured[ServiceLevel.IMMEDIATE]
+    )

@@ -1,0 +1,70 @@
+"""Experiment C2 — the CF/VM cost asymmetry (paper §2, §3.2).
+
+Paper claims:
+* CF resource unit prices are **9–24×** those of VMs (§2);
+* the monetary cost of relaxed queries is **1–2 orders of magnitude**
+  lower than immediate queries executed in CFs (§3.2(2)).
+
+The bench (a) checks the configured unit-price ratio and (b) forces a
+spike where immediate queries run on CF while relaxed copies of the same
+queries wait for VM capacity, then compares the attributed provider cost
+per query between the two populations.
+"""
+
+import pytest
+
+from common import HEAVY_SQL, format_row, report, tpch_environment
+from repro.baselines import run_workload
+from repro.baselines.runner import Submission
+from repro.core import ServiceLevel
+from repro.turbo import TurboConfig
+from repro.turbo.coordinator import ExecutionVenue
+
+
+def run_experiment():
+    store, catalog = tpch_environment()
+    config = TurboConfig.experiment()
+    submissions = []
+    # A tight spike: 12 immediate + 12 relaxed copies of the same query.
+    for index in range(12):
+        submissions.append(
+            Submission(100.0 + index * 0.1, HEAVY_SQL, ServiceLevel.IMMEDIATE)
+        )
+        submissions.append(
+            Submission(100.0 + index * 0.1, HEAVY_SQL, ServiceLevel.RELAXED)
+        )
+    return config, run_workload(submissions, store, catalog, "tpch", config)
+
+
+def test_c2_cost_ratio(benchmark):
+    config, result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    unit_ratio = (
+        config.cf.price_per_worker_s(config.vm) / config.vm.price_per_worker_s
+    )
+    immediate = result.finished(ServiceLevel.IMMEDIATE)
+    relaxed = result.finished(ServiceLevel.RELAXED)
+    on_cf = [q for q in immediate if q.execution.venue is ExecutionVenue.CF]
+    cf_cost = sum(q.execution.provider_cost for q in on_cf) / max(len(on_cf), 1)
+    vm_cost = sum(q.execution.provider_cost for q in relaxed) / len(relaxed)
+    per_query_ratio = cf_cost / vm_cost
+
+    lines = [
+        format_row("quantity", "paper", "measured"),
+        format_row("CF/VM unit price ratio", "9 - 24x", f"{unit_ratio:.1f}x"),
+        format_row(
+            "per-query cost, CF vs VM",
+            "1-2 orders of magnitude",
+            f"{per_query_ratio:.1f}x",
+        ),
+        "",
+        f"immediate-on-CF queries: {len(on_cf)}/{len(immediate)} "
+        f"(avg ${cf_cost:.6f}/query)",
+        f"relaxed-on-VM queries : {len(relaxed)} (avg ${vm_cost:.6f}/query)",
+    ]
+    report("C2  CF vs VM cost asymmetry, paper §2 and §3.2(2)", lines)
+
+    assert 9 <= unit_ratio <= 24
+    assert on_cf, "spike failed to push immediate queries onto CF"
+    # "1-2 orders of magnitude": at least 10x, not absurdly more than 100x.
+    assert 10 <= per_query_ratio <= 1000

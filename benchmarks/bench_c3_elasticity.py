@@ -1,0 +1,82 @@
+"""Experiment C3 — provisioning elasticity: CF vs VM (paper §2).
+
+Paper claims: the CF service can "create hundreds of workers in 1 second",
+while the VM cluster "requires 1-2 minutes to scale" after a workload
+change.
+
+The bench applies a step demand to both resource types and records the
+workers-available-vs-time curve: CF reaches the full fleet within its
+startup second; the VM cluster only starts adding workers after the
+scale-out lag has elapsed.
+"""
+
+import pytest
+
+from common import format_row, report
+from repro.sim import Simulator
+from repro.turbo.cf_service import CfService
+from repro.turbo.config import CfConfig, VmConfig
+from repro.turbo.vm_cluster import VmCluster, VmTask
+
+DEMAND = 200  # workers (CF) / queued queries (VM)
+
+
+def run_experiment():
+    # CF side: the provisioning curve is startup-bound.
+    cf_curve = CfService(Simulator(), CfConfig(), VmConfig()).provisioning_curve(
+        demand=DEMAND, horizon_s=300.0
+    )
+    # VM side: flood the cluster with queued work at t=0 and watch the
+    # worker count respond under the paper's watermark autoscaler.
+    sim = Simulator()
+    cluster = VmCluster(sim, VmConfig(max_workers=64))
+    for index in range(DEMAND):
+        cluster.submit(VmTask(task_id=f"t{index}", on_start=lambda w: None))
+    sim.run_until(600.0)
+    vm_curve = [
+        (point.time, int(point.value))
+        for point in cluster.trace.series("vm.workers")
+    ]
+    return cf_curve, vm_curve
+
+
+def first_growth_time(curve):
+    initial = curve[0][1]
+    for time, value in curve:
+        if value > initial:
+            return time
+    return float("inf")
+
+
+def test_c3_elasticity(benchmark):
+    cf_curve, vm_curve = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    cf_full = next(t for t, n in cf_curve if n >= DEMAND)
+    vm_first = first_growth_time(vm_curve)
+    vm_peak = max(n for _, n in vm_curve)
+    vm_peak_time = next(t for t, n in vm_curve if n == vm_peak)
+
+    lines = [
+        format_row("resource", "paper", "measured"),
+        format_row(
+            "CF: time to 200 workers", "~1 s", f"{cf_full:.1f} s"
+        ),
+        format_row(
+            "VM: time to first new worker", "1-2 min", f"{vm_first:.0f} s"
+        ),
+        format_row(
+            "VM: peak workers (by t)", "-", f"{vm_peak} at t={vm_peak_time:.0f}s"
+        ),
+        "",
+        "VM worker curve (changes only):",
+    ]
+    last = None
+    for time, value in vm_curve:
+        if value != last:
+            lines.append(f"  t={time:6.0f}s  workers={value}")
+            last = value
+    report("C3  Provisioning elasticity: CF seconds vs VM minutes, paper §2", lines)
+
+    assert cf_full <= 1.0
+    assert 60.0 <= vm_first <= 150.0  # scale-out lag + one evaluation tick
+    assert vm_peak > 1

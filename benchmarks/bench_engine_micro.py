@@ -1,0 +1,95 @@
+"""Engine micro-benchmarks (supporting measurements, not a paper figure).
+
+Wall-clock timings of the substrate components, so regressions in the
+engine/format/NL2SQL layers are visible: SQL parsing, planning+optimizing,
+vectorized execution of TPC-H-style queries, columnar write/read through
+the object store, and single-turn NL translation.
+"""
+
+import pytest
+
+from common import tpch_environment
+from repro.engine.executor import QueryExecutor
+from repro.engine.optimizer import Optimizer
+from repro.engine.planner import Planner
+from repro.engine.source import ObjectStoreSource
+from repro.engine.sql.parser import parse_sql
+from repro.nl2sql import RuleBasedTranslator
+from repro.storage.table import TableReader, TableWriter
+from repro.workloads import TPCH_QUERIES, TpchGenerator
+
+Q1 = TPCH_QUERIES["q1_pricing_summary"]
+Q3 = TPCH_QUERIES["q3_shipping_priority"]
+
+
+@pytest.fixture(scope="module")
+def runtime():
+    store, catalog = tpch_environment()
+    planner = Planner(catalog, "tpch")
+    optimizer = Optimizer()
+    executor = QueryExecutor(ObjectStoreSource(store))
+    return store, catalog, planner, optimizer, executor
+
+
+def test_parse_q1(benchmark):
+    statement = benchmark(parse_sql, Q1)
+    assert statement.group_by
+
+
+def test_plan_and_optimize_q3(benchmark, runtime):
+    _, _, planner, optimizer, _ = runtime
+
+    def plan():
+        return optimizer.optimize(planner.plan_sql(Q3))
+
+    plan_tree = benchmark(plan)
+    assert plan_tree.output_schema()
+
+
+def test_execute_q1(benchmark, runtime):
+    _, _, planner, optimizer, executor = runtime
+    plan = optimizer.optimize(planner.plan_sql(Q1))
+    result = benchmark(executor.execute, plan)
+    assert result.num_rows == 6
+
+
+def test_execute_q3_join(benchmark, runtime):
+    _, _, planner, optimizer, executor = runtime
+    plan = optimizer.optimize(planner.plan_sql(Q3))
+    result = benchmark(executor.execute, plan)
+    assert result.num_rows == 10
+
+
+def test_columnar_write(benchmark):
+    table = TpchGenerator(scale=0.05).tables()[-1].data  # lineitem
+
+    def write():
+        from repro.storage.object_store import ObjectStore
+
+        store = ObjectStore()
+        store.create_bucket("b")
+        TableWriter(store, "b", "t").write(table)
+        return store
+
+    store = benchmark(write)
+    assert store.total_bytes("b", "t/") > 0
+
+
+def test_columnar_scan(benchmark, runtime):
+    store, catalog, _, _, _ = runtime
+    table = catalog.table("tpch", "lineitem")
+    reader = TableReader(store, table.bucket, table.prefix)
+    result = benchmark(
+        reader.scan, ["l_extendedprice", "l_discount"],
+    )
+    assert result.data.num_rows == table.row_count
+
+
+def test_nl_translation(benchmark, runtime):
+    _, catalog, _, _, _ = runtime
+    translator = RuleBasedTranslator()
+    schema = catalog.schema("tpch")
+    translation = benchmark(
+        translator.translate, schema, "what is the total price per order status"
+    )
+    assert "GROUP BY" in translation.sql

@@ -1,0 +1,87 @@
+"""Experiment F2 — Figure 2: the main UI state after the demo session.
+
+Figure 2 is a screenshot of Pixels-Rover mid-session: the schema browser
+on the left, the translator with question/SQL blocks in the middle, and
+the query-result area with coloured status blocks on the right.  The
+bench replays the §4 demonstration script and re-renders the backend
+state the screenshot displays, asserting the §4.3 invariants: blocks
+ascend by submission time, each level has its own colour, every block is
+in one of the four statuses, and double-click linkage resolves both ways.
+"""
+
+import pytest
+
+from common import report
+from repro import PixelsDB, TurboConfig, UserStore
+from repro.core import QueryStatus, ServiceLevel
+
+
+def run_experiment():
+    db = PixelsDB(config=TurboConfig.experiment(100.0), seed=2)
+    db.load_tpch("tpch", scale=0.05)
+    users = UserStore()
+    users.register("demo", "demo", {"tpch"})
+    rover = db.rover(users, "tpch")
+    token = rover.login("demo", "demo")
+    rover.select_database(token, "tpch")
+
+    script = [
+        ("How many orders are there?", "immediate"),
+        ("What is the total price per order status?", "relaxed"),
+        ("Top 3 customers by account balance", "best-of-effort"),
+        ("How many different customers have placed orders?", "relaxed"),
+    ]
+    blocks = []
+    for question, level in script:
+        block = rover.ask(token, question)
+        blocks.append(block)
+        db.run(5.0)  # the user thinks between actions
+        rover.submit_query(token, block.block_id, level)
+        db.run(5.0)
+    db.run_to_completion()
+    return db, rover, token, blocks
+
+
+def test_f2_demo_session(benchmark):
+    db, rover, token, blocks = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    tree = rover.schema_tree(token, "tpch")
+    results = rover.result_blocks(token)
+
+    lines = ["schema browser (left sidebar):"]
+    for table in tree["tables"]:
+        lines.append(
+            f"  {table['name']:<10} ({len(table['columns'])} columns)"
+        )
+    lines.append("")
+    lines.append("translator (centre): question -> SQL code block")
+    for block in blocks:
+        lines.append(f"  Q: {block.question}")
+        lines.append(f"     {block.sql}")
+    lines.append("")
+    lines.append("query result area (right): ascending submission time")
+    for result in results:
+        expanded = rover.expand_result(token, result.result_id)
+        lines.append(
+            f"  t={result.submitted_at:5.1f}s [{result.color}] "
+            f"{result.level.value:<12} {result.status.value}"
+        )
+    report("F2  Figure 2: main UI state after the §4 demo session", lines)
+
+    # §4.3 invariants.
+    times = [result.submitted_at for result in results]
+    assert times == sorted(times)
+    level_colors = {result.level: result.color for result in results}
+    assert len(set(level_colors.values())) == 3
+    assert all(
+        result.status in (QueryStatus.FINISHED, QueryStatus.FAILED)
+        for result in results
+    )
+    assert all(result.status is QueryStatus.FINISHED for result in results)
+    for result in results:  # double-click linkage, both directions
+        origin = rover.origin_of(token, result.result_id)
+        assert result.result_id in origin.result_ids
+    # Finished blocks expose the §4.3 statistics.
+    expanded = rover.expand_result(token, results[0].result_id)
+    assert {"pending_time_s", "execution_time_s", "monetary_cost"} <= set(expanded)

@@ -1,0 +1,78 @@
+"""Experiment F3 — Figure 3: the query submission form.
+
+Figure 3 shows the translucent submission form: the query text, a service
+level selector (with the per-level price), and a result-size limit.  The
+bench renders the form for a translated query and sweeps the full grid of
+(service level × result-size limit) submissions, checking that the form's
+price quotes match §3.2, that the chosen limit truncates the result, and
+that the level chosen on the form controls CF eligibility and billing.
+"""
+
+import pytest
+
+from common import format_row, report
+from repro import PixelsDB, TurboConfig, UserStore
+from repro.core import QueryStatus, ServiceLevel
+
+LIMITS = [1, 5, 1000]
+
+
+def run_experiment():
+    db = PixelsDB(config=TurboConfig.experiment(100.0), seed=9)
+    db.load_tpch("tpch", scale=0.05)
+    users = UserStore()
+    users.register("demo", "demo", {"tpch"})
+    rover = db.rover(users, "tpch")
+    token = rover.login("demo", "demo")
+    rover.select_database(token, "tpch")
+    block = rover.ask(token, "Top 10 orders by total price")
+    form = rover.submission_form(token, block.block_id)
+    outcomes = {}
+    for level in ServiceLevel:
+        for limit in LIMITS:
+            result = rover.submit_query(token, block.block_id, level, limit)
+            outcomes[(level, limit)] = result
+    db.run_to_completion()
+    return form, outcomes
+
+
+def test_f3_submission_form(benchmark):
+    form, outcomes = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    lines = [f"form for query: {form['sql']}", "", "service level selector:"]
+    for entry in form["service_levels"]:
+        lines.append(
+            f"  ( ) {entry['level']:<12} ${entry['price_per_tb']}/TB-scan"
+            f"   CF acceleration: {entry['cf_acceleration']}"
+        )
+    lines.append(f"result-size limit: [{form['default_result_limit']}]")
+    lines.append("")
+    lines.append(format_row("level", "limit", "rows returned", "price $"))
+    for (level, limit), result in outcomes.items():
+        query = result.server_query
+        lines.append(
+            format_row(
+                level.value, limit, len(query.result_rows()),
+                f"{query.price:.8f}",
+            )
+        )
+    report("F3  Figure 3: submission form (level x result-size limit)", lines)
+
+    quotes = {e["level"]: e["price_per_tb"] for e in form["service_levels"]}
+    assert quotes == {"immediate": 5.0, "relaxed": 1.0, "best_effort": 0.5}
+    cf_flags = {e["level"]: e["cf_acceleration"] for e in form["service_levels"]}
+    assert cf_flags == {
+        "immediate": True, "relaxed": False, "best_effort": False,
+    }
+    for (level, limit), result in outcomes.items():
+        query = result.server_query
+        assert query.status is QueryStatus.FINISHED
+        assert len(query.result_rows()) == min(limit, 10)
+    # Same query, same bytes: bills differ only by the level fraction.
+    base = outcomes[(ServiceLevel.IMMEDIATE, 1000)].server_query.price
+    assert outcomes[(ServiceLevel.RELAXED, 1000)].server_query.price == pytest.approx(
+        base * 0.2
+    )
+    assert outcomes[
+        (ServiceLevel.BEST_EFFORT, 1000)
+    ].server_query.price == pytest.approx(base * 0.1)

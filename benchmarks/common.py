@@ -1,0 +1,90 @@
+"""Shared infrastructure for the experiment benches.
+
+Each bench file regenerates one row of DESIGN.md's per-experiment index:
+it runs the experiment on the simulated stack, prints a paper-vs-measured
+table through ``report()`` (visible in ``bench_output.txt``), and asserts
+the claim's qualitative shape so the harness is self-checking.
+
+Datasets are generated once per scale and cached for the whole pytest
+session — loading dominates bench start-up otherwise.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.storage.catalog import Catalog
+from repro.storage.object_store import ObjectStore
+from repro.workloads import LogsGenerator, TpchGenerator, load_dataset
+
+_DATASET_CACHE: dict[tuple, tuple[ObjectStore, Catalog]] = {}
+
+HEAVY_SQL = (
+    "SELECT l_returnflag, l_linestatus, sum(l_extendedprice) AS revenue, "
+    "count(*) AS n FROM lineitem GROUP BY l_returnflag, l_linestatus"
+)
+MEDIUM_SQL = (
+    "SELECT o_orderstatus, count(*) AS n, sum(o_totalprice) AS total "
+    "FROM orders GROUP BY o_orderstatus"
+)
+LIGHT_SQL = "SELECT count(*) FROM customer"
+
+
+def tpch_environment(scale: float = 0.2, seed: int = 42):
+    """(store, catalog) with a TPC-H dataset loaded — cached per scale."""
+    key = ("tpch", scale, seed)
+    if key not in _DATASET_CACHE:
+        store = ObjectStore()
+        catalog = Catalog()
+        load_dataset(store, catalog, "tpch", TpchGenerator(scale, seed).tables())
+        _DATASET_CACHE[key] = (store, catalog)
+    return _DATASET_CACHE[key]
+
+
+def logs_environment(num_rows: int = 5000, seed: int = 7):
+    """(store, catalog) with the web-log dataset loaded — cached."""
+    key = ("logs", num_rows, seed)
+    if key not in _DATASET_CACHE:
+        store = ObjectStore()
+        catalog = Catalog()
+        load_dataset(
+            store, catalog, "weblogs", [LogsGenerator(num_rows, seed).table()]
+        )
+        _DATASET_CACHE[key] = (store, catalog)
+    return _DATASET_CACHE[key]
+
+
+REPORTS: list[tuple[str, list[str]]] = []
+
+
+def report(title: str, lines: list[str]) -> None:
+    """Record an experiment table.
+
+    Tables are (a) queued for the end-of-session terminal summary (the
+    benchmarks' conftest flushes them after pytest's capture ends, so
+    they land in ``bench_output.txt``) and (b) persisted to
+    ``benchmarks/results/<id>.txt`` for later inspection.
+    """
+    REPORTS.append((title, list(lines)))
+    results_dir = os.path.join(os.path.dirname(__file__), "results")
+    os.makedirs(results_dir, exist_ok=True)
+    slug = title.split()[0].lower().strip(":")
+    path = os.path.join(results_dir, f"{slug}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(title + "\n")
+        handle.write("-" * 72 + "\n")
+        for line in lines:
+            handle.write(line + "\n")
+
+
+def render_report(title: str, lines: list[str]) -> list[str]:
+    """Render one report as terminal lines."""
+    rendered = ["", "=" * 72, title, "-" * 72]
+    rendered.extend(lines)
+    rendered.append("=" * 72)
+    return rendered
+
+
+def format_row(*cells, widths=None) -> str:
+    widths = widths or [22] * len(cells)
+    return "  ".join(str(c)[: w].ljust(w) for c, w in zip(cells, widths))

@@ -1,0 +1,16 @@
+"""Bench-session plumbing: flush experiment reports after capture ends."""
+
+import common
+
+
+def pytest_terminal_summary(terminalreporter):
+    """Print every experiment's paper-vs-measured table at the end of the
+    run, where pytest no longer captures output — this is what makes the
+    tables appear in ``bench_output.txt``."""
+    if not common.REPORTS:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line("EXPERIMENT REPORTS (paper vs measured)")
+    for title, lines in common.REPORTS:
+        for rendered in common.render_report(title, lines):
+            terminalreporter.write_line(rendered)

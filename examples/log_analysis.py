@@ -1,0 +1,53 @@
+"""Internet log analysis — the paper's second workload class (§3.1).
+
+Loads a week of synthetic web-access logs, answers operations questions
+through the natural-language interface, and runs the canned log-analytics
+query set at the cheap best-of-effort tier (batch reporting is exactly
+the "non-urgent" query class the paper's pricing targets).
+
+Run:  python examples/log_analysis.py
+"""
+
+from repro import PixelsDB, ServiceLevel
+from repro.workloads import LOGS_QUERIES
+
+
+def main() -> None:
+    db = PixelsDB(seed=11)
+    db.load_logs("weblogs", num_rows=30000)
+
+    print("Ad-hoc questions through the NL interface:\n")
+    questions = [
+        "How many web logs have status equal to 500?",
+        "What is the average latency ms per url?",
+        "Top 5 web logs by bytes sent",
+    ]
+    for question in questions:
+        sql = db.ask("weblogs", question)
+        query = db.submit("weblogs", sql, ServiceLevel.IMMEDIATE)
+        db.run_to_completion()
+        print(f"Q: {question}")
+        print(f"   {sql}")
+        for row in query.result_rows()[:5]:
+            print("   ", row)
+        print()
+
+    print("Nightly batch report at the best-of-effort tier ($0.5/TB):\n")
+    batch = {
+        name: db.submit("weblogs", sql, ServiceLevel.BEST_EFFORT)
+        for name, sql in LOGS_QUERIES.items()
+    }
+    db.run_to_completion()
+    total = 0.0
+    for name, query in batch.items():
+        total += query.price
+        print(
+            f"  {name:<22} {query.status.value:<9} "
+            f"rows={len(query.result_rows()):>3}  ${query.price:.9f}"
+        )
+    print(f"\nWhole report billed: ${total:.9f} "
+          f"(would be 10x at the immediate tier)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""A full Pixels-Rover session, following the paper's §4 demonstration.
+
+Walks the exact flow of the demo: log in, browse the schema of the
+authorized database, type analytic questions into the Translator, edit a
+translated query, pick a service level on the submission form (Figure 3),
+and watch status-and-result blocks appear in the Query Result area with
+the per-level colours of §4.3.
+
+Run:  python examples/nl_analytics_session.py
+"""
+
+from repro import PixelsDB, UserStore
+
+
+def main() -> None:
+    db = PixelsDB(seed=3)
+    db.load_tpch("tpch", scale=0.05)
+
+    users = UserStore()
+    users.register("ana", "demo-password", authorized_databases={"tpch"})
+    rover = db.rover(users, "tpch")
+
+    # -- §4: log in through authentication --------------------------------
+    token = rover.login("ana", "demo-password")
+    print("Logged in. Authorized databases:", rover.list_databases(token))
+
+    # -- §4.1: browse the database schema ----------------------------------
+    tree = rover.schema_tree(token, "tpch")
+    print("\nSchema browser:")
+    for table in tree["tables"][:4]:
+        columns = ", ".join(
+            f"{c['name']}:{c['type']}" for c in table["columns"][:4]
+        )
+        print(f"  {table['name']:<10} {columns}, ...")
+
+    # -- §4.2: form and submit queries -------------------------------------
+    rover.select_database(token, "tpch")
+    questions = [
+        "How many orders are there?",
+        "What is the total price per order status?",
+        "Top 5 customers by account balance",
+    ]
+    blocks = []
+    for question in questions:
+        block = rover.ask(token, question)
+        blocks.append(block)
+        print(f"\nQ: {question}\n   -> {block.sql}")
+
+    # Correct a minor error in the last query via the edit buttons.
+    last = blocks[-1]
+    rover.begin_edit(token, last.block_id)
+    rover.update_draft(token, last.block_id, last.sql.replace("LIMIT 5", "LIMIT 3"))
+    rover.confirm_edit(token, last.block_id)
+    print(f"\nEdited last query -> {last.sql}")
+
+    # The submission form shows levels and prices (Figure 3).
+    form = rover.submission_form(token, blocks[0].block_id)
+    print("\nSubmission form service levels:")
+    for entry in form["service_levels"]:
+        print(
+            f"  {entry['level']:<12} ${entry['price_per_tb']}/TB-scan "
+            f"(CF acceleration: {entry['cf_acceleration']})"
+        )
+
+    rover.submit_query(token, blocks[0].block_id, "immediate")
+    rover.submit_query(token, blocks[1].block_id, "relaxed")
+    rover.submit_query(token, blocks[2].block_id, "best-of-effort", result_limit=3)
+    db.run_to_completion()
+
+    # -- §4.3: check query status and result --------------------------------
+    print("\nQuery Result area (ascending submission time):")
+    for result in rover.result_blocks(token):
+        expanded = rover.expand_result(token, result.result_id)
+        origin = rover.origin_of(token, result.result_id)
+        print(
+            f"  [{result.color}] {result.level.value:<12} "
+            f"{expanded['status']:<9} <- {origin.question!r}"
+        )
+        if expanded["status"] == "finished":
+            print(
+                f"      pending {expanded['pending_time_s']:.1f}s, "
+                f"exec {expanded['execution_time_s']:.2f}s, "
+                f"cost ${expanded['monetary_cost']:.9f}"
+            )
+            for row in expanded["rows"][:3]:
+                print("      ", row)
+
+
+if __name__ == "__main__":
+    main()

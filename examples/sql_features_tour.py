@@ -1,0 +1,84 @@
+"""A tour of the SQL engine's surface on the TPC-H-style dataset.
+
+Shows the query shapes the engine executes — joins, aggregation, CASE,
+date functions, IN-subqueries (planned as semi/anti joins), UNION ALL —
+plus EXPLAIN output of an optimized plan with predicate push-down and
+zone-map ranges visible.
+
+Run:  python examples/sql_features_tour.py
+"""
+
+from repro import PixelsDB, ServiceLevel
+from repro.engine.optimizer import Optimizer
+from repro.engine.planner import Planner
+
+TOUR = [
+    (
+        "Top spenders via join + aggregation + top-N",
+        "SELECT c_name, sum(o_totalprice) AS spent "
+        "FROM customer c JOIN orders o ON c.c_custkey = o.o_custkey "
+        "GROUP BY c_name ORDER BY spent DESC LIMIT 5",
+    ),
+    (
+        "Simple CASE + date function",
+        "SELECT EXTRACT(YEAR FROM o_orderdate) AS y, "
+        "CASE o_orderstatus WHEN 'O' THEN 'open' WHEN 'F' THEN 'filled' "
+        "ELSE 'pending' END AS status, count(*) AS n "
+        "FROM orders GROUP BY EXTRACT(YEAR FROM o_orderdate), "
+        "CASE o_orderstatus WHEN 'O' THEN 'open' WHEN 'F' THEN 'filled' "
+        "ELSE 'pending' END ORDER BY y, status LIMIT 6",
+    ),
+    (
+        "IN-subquery (semi join): customers with urgent orders",
+        "SELECT count(*) FROM customer WHERE c_custkey IN "
+        "(SELECT o_custkey FROM orders WHERE o_orderpriority = '1-URGENT')",
+    ),
+    (
+        "NOT IN (anti join): parts never ordered",
+        "SELECT count(*) FROM part WHERE p_partkey NOT IN "
+        "(SELECT l_partkey FROM lineitem)",
+    ),
+    (
+        "UNION ALL across filters",
+        "SELECT o_orderkey, o_totalprice FROM orders "
+        "WHERE o_totalprice > 450000 UNION ALL "
+        "SELECT o_orderkey, o_totalprice FROM orders WHERE o_totalprice < 2000 "
+        "ORDER BY o_totalprice LIMIT 5",
+    ),
+    (
+        "Three-valued logic: NULL-safe accounting",
+        "SELECT count(*) AS all_rows, count(o_totalprice) AS priced, "
+        "sum(CASE WHEN o_totalprice IS NULL THEN 1 ELSE 0 END) AS unpriced "
+        "FROM orders",
+    ),
+]
+
+
+def main() -> None:
+    db = PixelsDB(seed=4)
+    db.load_tpch("tpch", scale=0.1)
+
+    for title, sql in TOUR:
+        query = db.submit("tpch", sql, ServiceLevel.IMMEDIATE)
+        db.run_to_completion()
+        print(f"-- {title}")
+        print(f"   {sql}")
+        for row in query.result_rows()[:6]:
+            print("   ", row)
+        print()
+
+    print("-- EXPLAIN of an optimized plan (push-down + zone maps visible)")
+    planner = Planner(db.catalog, "tpch")
+    plan = Optimizer().optimize(
+        planner.plan_sql(
+            "SELECT c_name, sum(o_totalprice) AS spent "
+            "FROM customer c JOIN orders o ON c.c_custkey = o.o_custkey "
+            "WHERE o.o_orderdate >= DATE '1995-01-01' AND o.o_totalprice > 1000 "
+            "GROUP BY c_name ORDER BY spent DESC LIMIT 5"
+        )
+    )
+    print(plan.explain())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Thin shim so `pip install -e .` works without the `wheel` package.
+
+All real metadata lives in pyproject.toml; this file only enables the
+legacy editable-install path (`--no-use-pep517`) in offline environments.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,175 @@
+"""PixelsDB reproduction: serverless, NL-aided analytics with flexible
+service levels and prices (ICDE 2025).
+
+The package layers, bottom-up:
+
+* :mod:`repro.sim` — deterministic discrete-event simulation kernel.
+* :mod:`repro.storage` — S3-like object store, Pixels columnar format,
+  metadata catalog.
+* :mod:`repro.engine` — vectorized SQL engine (lexer → parser → binder →
+  planner → optimizer → executor).
+* :mod:`repro.turbo` — Pixels-Turbo: coordinator, watermark-autoscaled VM
+  cluster, cloud-function service, CF plan splitting, cost model.
+* :mod:`repro.core` — the paper's contribution: three service levels with
+  admission rules and $/TB prices, implemented by the Query Server.
+* :mod:`repro.nl2sql` — the CodeS-analogue text-to-SQL service.
+* :mod:`repro.rover` — the Pixels-Rover UI backend.
+* :mod:`repro.workloads` / :mod:`repro.baselines` — datasets, arrival
+  processes, and the comparison engines used by the benchmark harness.
+
+:class:`PixelsDB` below wires all of it together for interactive use::
+
+    from repro import PixelsDB, ServiceLevel
+
+    db = PixelsDB()
+    db.load_tpch("tpch", scale=0.1)
+    sql = db.ask("tpch", "top 5 customers by account balance")
+    query = db.submit("tpch", sql, ServiceLevel.RELAXED)
+    db.run_to_completion()
+    print(query.result_rows(), f"${query.price:.6f}")
+"""
+
+from __future__ import annotations
+
+from repro.core import QueryServer, QueryStatus, ServerQuery, ServiceLevel
+from repro.errors import PixelsError, TranslationError
+from repro.nl2sql import CodesService
+from repro.rover import RoverServer, UserStore
+from repro.sim import Simulator
+from repro.storage import Catalog, ObjectStore
+from repro.turbo import Coordinator, TurboConfig
+from repro.workloads import LogsGenerator, TpchGenerator, load_dataset
+from repro.workloads.tpch import TpchTable
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Catalog",
+    "CodesService",
+    "Coordinator",
+    "ObjectStore",
+    "PixelsDB",
+    "PixelsError",
+    "QueryServer",
+    "QueryStatus",
+    "RoverServer",
+    "ServerQuery",
+    "ServiceLevel",
+    "Simulator",
+    "TurboConfig",
+    "UserStore",
+    "__version__",
+]
+
+
+class PixelsDB:
+    """One-stop façade over the whole system.
+
+    Owns a simulator, an object store, a catalog, and — lazily, one per
+    database schema — a Coordinator + QueryServer pair.  Time is simulated:
+    after submitting queries, advance it with :meth:`run` or
+    :meth:`run_to_completion`.
+    """
+
+    def __init__(self, config: TurboConfig | None = None, seed: int = 0) -> None:
+        self.config = config if config is not None else TurboConfig()
+        self.sim = Simulator(seed=seed)
+        self.store = ObjectStore()
+        self.catalog = Catalog()
+        self.codes = CodesService()
+        self._coordinators: dict[str, Coordinator] = {}
+        self._servers: dict[str, QueryServer] = {}
+
+    # -- data loading -------------------------------------------------------------
+
+    def load_tpch(self, schema: str, scale: float = 0.05, seed: int = 42) -> None:
+        """Generate and load a TPC-H-style dataset under ``schema``."""
+        load_dataset(
+            self.store,
+            self.catalog,
+            schema,
+            TpchGenerator(scale=scale, seed=seed).tables(),
+            schema_comment="TPC-H style decision support data",
+        )
+
+    def load_logs(self, schema: str, num_rows: int = 20000, seed: int = 7) -> None:
+        """Generate and load a web-log analytics dataset under ``schema``."""
+        load_dataset(
+            self.store,
+            self.catalog,
+            schema,
+            [LogsGenerator(num_rows=num_rows, seed=seed).table()],
+            schema_comment="web server access logs",
+        )
+
+    def load_tables(self, schema: str, tables: list[TpchTable]) -> None:
+        """Load arbitrary generated tables under ``schema``."""
+        load_dataset(self.store, self.catalog, schema, tables)
+
+    # -- engines --------------------------------------------------------------------
+
+    def coordinator(self, schema: str) -> Coordinator:
+        if schema not in self._coordinators:
+            self._coordinators[schema] = Coordinator(
+                self.sim, self.config, self.catalog, self.store, schema
+            )
+        return self._coordinators[schema]
+
+    def query_server(self, schema: str) -> QueryServer:
+        if schema not in self._servers:
+            self._servers[schema] = QueryServer(
+                self.sim, self.coordinator(schema), self.config
+            )
+        return self._servers[schema]
+
+    def rover(self, users: UserStore, schema: str) -> RoverServer:
+        """A Pixels-Rover backend over ``schema``'s query server."""
+        return RoverServer(
+            users, self.catalog, self.codes, self.query_server(schema)
+        )
+
+    # -- the three user verbs ----------------------------------------------------------
+
+    def ask(self, schema: str, question: str) -> str:
+        """Natural language → SQL via the text-to-SQL service."""
+        response = self.codes.handle(
+            {
+                "question": question,
+                "schema": self.catalog.describe_schema(schema),
+            }
+        )
+        if response.get("error"):
+            raise TranslationError(response["error"])
+        return response["sql"]
+
+    def submit(
+        self,
+        schema: str,
+        sql: str,
+        level: ServiceLevel = ServiceLevel.IMMEDIATE,
+        result_limit: int | None = None,
+    ) -> ServerQuery:
+        """Submit SQL at a service level; advance time to see it finish."""
+        return self.query_server(schema).submit(sql, level, result_limit)
+
+    # -- simulated time ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def run(self, seconds: float) -> None:
+        """Advance simulated time by ``seconds``."""
+        self.sim.run_until(self.sim.now + seconds)
+
+    def run_to_completion(self, max_slices: int = 100_000) -> None:
+        """Advance time until every submitted query is finished/failed."""
+        for _ in range(max_slices):
+            if all(
+                query.status.is_terminal
+                for server in self._servers.values()
+                for query in server.queries
+            ):
+                return
+            self.sim.run_until(self.sim.now + 60.0)
+        raise PixelsError("queries did not complete; check for starvation")

@@ -1,0 +1,30 @@
+"""Baseline engines the paper compares itself against.
+
+* :class:`PureCfCoordinator` — an Athena-like pure-serverless engine:
+  every query fans out to cloud functions (§1's "existing serverless
+  query engines" whose sustained-workload cost is 1–2 orders above MPP).
+* :class:`PureVmCoordinator` — a provisioned MPP-style engine: every
+  query runs in the VM cluster, never CF; optionally with the autoscaler
+  frozen (a fixed-size provisioned cluster).
+* :class:`SingleLevelServer` — the SIGMOD'23 Pixels-Turbo behaviour:
+  adaptive CF acceleration but a single service level (everything is
+  urgent); the ablation target for the paper's contribution.
+* :func:`~repro.baselines.runner.run_workload` — the shared experiment
+  harness benches use to replay an arrival schedule against any of these
+  engines and collect cost/latency summaries.
+"""
+
+from repro.baselines.engines import (
+    PureCfCoordinator,
+    PureVmCoordinator,
+    SingleLevelServer,
+)
+from repro.baselines.runner import WorkloadResult, run_workload
+
+__all__ = [
+    "PureCfCoordinator",
+    "PureVmCoordinator",
+    "SingleLevelServer",
+    "WorkloadResult",
+    "run_workload",
+]

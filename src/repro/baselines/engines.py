@@ -1,0 +1,71 @@
+"""Baseline engine variants, as thin overrides of the hybrid Coordinator."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.query_server import QueryServer, ServerQuery
+from repro.core.service_levels import ServiceLevel
+from repro.turbo.coordinator import Coordinator
+
+
+class PureCfCoordinator(Coordinator):
+    """Athena-like: every query executes in cloud functions.
+
+    The VM cluster exists only as the coordinator's host; queries never
+    take VM slots, so elasticity is perfect and unit cost is maximal —
+    exactly the trade §1 attributes to pure serverless engines.
+    """
+
+    def _choose_cf(self, cf_enabled: bool) -> bool:
+        return True
+
+
+class PureVmCoordinator(Coordinator):
+    """Provisioned MPP-style: every query executes in the VM cluster.
+
+    With ``fixed_size`` the autoscaler is frozen, modelling a statically
+    provisioned cluster; otherwise the watermark autoscaler still runs
+    (an auto-scaled but CF-less engine).
+    """
+
+    def __init__(self, *args, fixed_size: bool = False, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if fixed_size:
+            self.vm_cluster.disable_autoscaler()
+
+    def _choose_cf(self, cf_enabled: bool) -> bool:
+        return False
+
+
+class SingleLevelServer:
+    """The SIGMOD'23 Pixels-Turbo front end: one implicit service level.
+
+    Every submission behaves like the paper's *Immediate* level (adaptive
+    CF acceleration, no queueing in the server) and is billed at the
+    immediate rate — there is no cheaper tier to choose.  This is the
+    ablation baseline for the paper's service-level contribution.
+    """
+
+    def __init__(self, server: QueryServer) -> None:
+        self._server = server
+
+    def submit(
+        self,
+        sql: str,
+        result_limit: int | None = None,
+        on_finish: Callable[[ServerQuery], None] | None = None,
+    ) -> ServerQuery:
+        return self._server.submit(
+            sql,
+            ServiceLevel.IMMEDIATE,
+            result_limit=result_limit,
+            on_finish=on_finish,
+        )
+
+    @property
+    def queries(self) -> list[ServerQuery]:
+        return self._server.queries
+
+    def total_billed(self) -> float:
+        return self._server.total_billed()

@@ -1,0 +1,165 @@
+"""Shared experiment harness: replay an arrival schedule, collect numbers.
+
+Every benchmark builds on :func:`run_workload`: it wires up a fresh
+simulator + coordinator + query server over an already-loaded object
+store/catalog, schedules each (time, sql, level) submission, runs the
+simulation to completion, and returns a :class:`WorkloadResult` with the
+per-level latency/billing summaries the paper's claims are stated in.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.query_server import QueryServer, ServerQuery
+from repro.core.service_levels import QueryStatus, ServiceLevel
+from repro.sim import Simulator
+from repro.storage.catalog import Catalog
+from repro.storage.object_store import ObjectStore
+from repro.turbo.config import TurboConfig
+from repro.turbo.coordinator import Coordinator
+
+
+@dataclass(frozen=True)
+class Submission:
+    """One scheduled query submission."""
+
+    time: float
+    sql: str
+    level: ServiceLevel
+    result_limit: int | None = None
+
+
+@dataclass
+class WorkloadResult:
+    """Everything a bench needs from one workload replay."""
+
+    sim: Simulator
+    coordinator: Coordinator
+    server: QueryServer
+    queries: list[ServerQuery] = field(default_factory=list)
+
+    def of_level(self, level: ServiceLevel) -> list[ServerQuery]:
+        return [query for query in self.queries if query.level is level]
+
+    def finished(self, level: ServiceLevel | None = None) -> list[ServerQuery]:
+        pool = self.queries if level is None else self.of_level(level)
+        return [q for q in pool if q.status is QueryStatus.FINISHED]
+
+    def pending_times(self, level: ServiceLevel) -> list[float]:
+        return [
+            q.pending_time_s
+            for q in self.of_level(level)
+            if q.pending_time_s is not None
+        ]
+
+    def mean_pending(self, level: ServiceLevel) -> float:
+        times = self.pending_times(level)
+        return sum(times) / len(times) if times else math.nan
+
+    def max_pending(self, level: ServiceLevel) -> float:
+        times = self.pending_times(level)
+        return max(times) if times else math.nan
+
+    def billed(self, level: ServiceLevel | None = None) -> float:
+        pool = self.queries if level is None else self.of_level(level)
+        return sum(q.price for q in pool)
+
+    def billed_per_tb(self, level: ServiceLevel) -> float:
+        """Effective $/TB actually charged — experiment C1's measurement."""
+        from repro.turbo.cost import TB
+
+        finished = self.finished(level)
+        inflation = self.coordinator.config.data_inflation
+        scanned = sum(q.execution.bytes_scanned for q in finished) * inflation
+        if scanned == 0:
+            return math.nan
+        return self.billed(level) / (scanned / TB)
+
+    def provider_cost(self) -> float:
+        return self.coordinator.total_provider_cost()
+
+    def attributed_cost(self, level: ServiceLevel) -> float:
+        """Provider cost attributable to this level's queries.
+
+        CF queries carry their exact invocation cost.  VM queries share
+        the cluster, so each is attributed its modelled worker-seconds at
+        the VM unit price — the marginal-cost view used for C2.
+        """
+        total = 0.0
+        for query in self.finished(level):
+            total += query.execution.provider_cost
+        return total
+
+
+def run_workload(
+    submissions: list[Submission],
+    store: ObjectStore,
+    catalog: Catalog,
+    schema: str,
+    config: TurboConfig | None = None,
+    coordinator_cls: type[Coordinator] = Coordinator,
+    seed: int = 0,
+    horizon_s: float | None = None,
+    coordinator_kwargs: dict | None = None,
+) -> WorkloadResult:
+    """Replay ``submissions`` against a fresh engine instance.
+
+    Args:
+        submissions: The arrival schedule (need not be sorted).
+        store, catalog, schema: An already-loaded dataset.
+        config: Runtime parameters; defaults to the paper's values.
+        coordinator_cls: Swap in a baseline engine here.
+        horizon_s: Stop the simulation at this time even if queries are
+            still held (needed for best-effort queries that may never run
+            in a saturated-forever scenario); None runs to quiescence.
+    """
+    if config is None:
+        config = TurboConfig()
+    sim = Simulator(seed=seed)
+    coordinator = coordinator_cls(
+        sim, config, catalog, store, schema, **(coordinator_kwargs or {})
+    )
+    server = QueryServer(sim, coordinator, config)
+    result = WorkloadResult(sim=sim, coordinator=coordinator, server=server)
+
+    def make_submit(submission: Submission):
+        def submit() -> None:
+            record = server.submit(
+                submission.sql,
+                submission.level,
+                result_limit=submission.result_limit,
+            )
+            result.queries.append(record)
+
+        return submit
+
+    ordered = sorted(submissions, key=lambda s: s.time)
+    for submission in ordered:
+        sim.schedule_at(submission.time, make_submit(submission))
+    last_arrival = ordered[-1].time if ordered else 0.0
+    if horizon_s is not None:
+        sim.run_until(horizon_s)
+    else:
+        _run_to_quiescence(sim, result, last_arrival)
+    return result
+
+
+def _run_to_quiescence(
+    sim: Simulator, result: WorkloadResult, last_arrival: float
+) -> None:
+    """Run until every submitted query reached a terminal status.
+
+    The autoscaler and scheduler tick forever, so a bare ``sim.run()``
+    never returns; instead advance in slices and stop once all queries
+    are finished or failed.
+    """
+    slice_s = 60.0
+    for _ in range(100_000):
+        sim.run_until(sim.now + slice_s)
+        if sim.now >= last_arrival and all(
+            q.status.is_terminal for q in result.queries
+        ):
+            return
+    raise RuntimeError("workload did not quiesce; check for starved queries")

@@ -1,0 +1,24 @@
+"""The paper's primary contribution: flexible service levels and prices.
+
+:class:`~repro.core.service_levels.ServiceLevel` defines the three
+user-facing levels (§3.2) — Immediate, Relaxed, Best-of-effort — and
+:class:`~repro.core.query_server.QueryServer` implements their admission
+semantics on top of the Coordinator's load-status and CF-enable APIs:
+
+* **Immediate** — submit now with CF acceleration enabled; guaranteed
+  immediate execution, $5/TB-scan.
+* **Relaxed** — CF disabled; admitted while the VM cluster is below the
+  high watermark, otherwise queued up to a grace period (default 5 min)
+  so the cluster can scale out; $1/TB-scan.
+* **Best-of-effort** — only admitted while the cluster is below the low
+  watermark (when it would otherwise scale in); no pending-time
+  guarantee; $0.5/TB-scan.
+
+A level bounds pending time only — a relaxed or best-of-effort query still
+runs immediately when the cluster is free (§3.2, last paragraph).
+"""
+
+from repro.core.query_server import QueryServer, ServerQuery
+from repro.core.service_levels import QueryStatus, ServiceLevel
+
+__all__ = ["QueryServer", "QueryStatus", "ServerQuery", "ServiceLevel"]

@@ -1,0 +1,306 @@
+"""The Query Server: per-level admission, queueing, and billing (§3.2).
+
+The server fronts the Coordinator with a REST-like submit/status/result
+API (Pixels-Rover is its client).  Admission per level:
+
+* IMMEDIATE — forwarded to the Coordinator at once with CF enabled.
+* RELAXED — forwarded with CF disabled while the VM cluster is below the
+  high watermark; otherwise held in the relaxed queue.  When the grace
+  period expires the query is forwarded anyway (it then waits in the VM
+  queue rather than the server queue, still never invoking CF).
+* BEST_EFFORT — forwarded only while the cluster is below the *low*
+  watermark, i.e. exactly when the cluster would otherwise scale in; no
+  deadline.
+
+Held queries are re-evaluated on a periodic scheduler tick and whenever a
+query completes.  On completion the server computes the user's bill:
+TB-scanned × the level's rate ($5 / $1 / $0.5 per TB).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import NoSuchQueryError, QueryRejectedError
+from repro.core.service_levels import QueryStatus, ServiceLevel
+from repro.sim import Simulator
+from repro.turbo.coordinator import Coordinator, QueryExecution
+from repro.turbo.config import TurboConfig
+
+
+@dataclass
+class ServerQuery:
+    """The server's record of one submission — what Pixels-Rover renders
+    as a status-and-result block (§4.3)."""
+
+    query_id: str
+    sql: str
+    level: ServiceLevel
+    submitted_at: float
+    result_limit: int | None = None
+    grace_deadline: float | None = None
+    dispatched_at: float | None = None
+    execution: QueryExecution | None = field(default=None, repr=False)
+    price: float = 0.0
+    cancelled: bool = False
+    on_finish: Callable[["ServerQuery"], None] | None = field(
+        default=None, repr=False
+    )
+
+    @property
+    def status(self) -> QueryStatus:
+        if self.cancelled and self.execution is None:
+            # Cancelled while still held in the server queue.
+            return QueryStatus.FAILED
+        if self.execution is None:
+            return QueryStatus.PENDING
+        if self.execution.error is not None:
+            return QueryStatus.FAILED
+        if self.execution.finished_at is not None:
+            return QueryStatus.FINISHED
+        if self.execution.started_at is not None:
+            return QueryStatus.RUNNING
+        return QueryStatus.PENDING
+
+    @property
+    def pending_time_s(self) -> float | None:
+        """Time from server submission to actual execution start."""
+        if self.execution is None or self.execution.started_at is None:
+            return None
+        return self.execution.started_at - self.submitted_at
+
+    @property
+    def execution_time_s(self) -> float | None:
+        if self.execution is None:
+            return None
+        return self.execution.execution_time_s
+
+    @property
+    def error(self) -> str | None:
+        if self.execution is not None:
+            return self.execution.error
+        return "cancelled by user" if self.cancelled else None
+
+    def result_rows(self) -> list[tuple]:
+        """Finished query's rows, truncated to the submission's limit."""
+        if self.execution is None or self.execution.result is None:
+            return []
+        rows = self.execution.result.rows()
+        if self.result_limit is not None:
+            rows = rows[: self.result_limit]
+        return rows
+
+    def result_columns(self) -> list[str]:
+        if self.execution is None or self.execution.result is None:
+            return []
+        return self.execution.result.column_names
+
+
+class QueryServer:
+    """Admission control + billing in front of the Coordinator."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        coordinator: Coordinator,
+        config: TurboConfig,
+        max_queue_length: int = 10_000,
+        batch_best_effort: bool = False,
+        batch_size: int = 16,
+    ) -> None:
+        """``batch_best_effort`` enables the paper's §5 batch-optimization
+        opportunity: held best-of-effort queries are dispatched together
+        as one shared-scan batch instead of one by one."""
+        self._sim = sim
+        self._coordinator = coordinator
+        self._config = config
+        self._max_queue_length = max_queue_length
+        self._batch_best_effort = batch_best_effort
+        self._batch_size = batch_size
+        self._queries: dict[str, ServerQuery] = {}
+        self._relaxed_queue: list[ServerQuery] = []
+        self._best_effort_queue: list[ServerQuery] = []
+        self._query_counter = 0
+        sim.schedule(config.scheduler_interval_s, self._tick)
+
+    # -- lookups ---------------------------------------------------------------
+
+    def query(self, query_id: str) -> ServerQuery:
+        try:
+            return self._queries[query_id]
+        except KeyError:
+            raise NoSuchQueryError(f"no query {query_id!r}") from None
+
+    @property
+    def queries(self) -> list[ServerQuery]:
+        return list(self._queries.values())
+
+    @property
+    def queued_relaxed(self) -> int:
+        return len(self._relaxed_queue)
+
+    @property
+    def queued_best_effort(self) -> int:
+        return len(self._best_effort_queue)
+
+    def price_quote(self, level: ServiceLevel) -> float:
+        """$/TB-scan rate shown on the submission form (Figure 3)."""
+        return self._coordinator.cost_model.price_per_tb(level)
+
+    # -- submission ---------------------------------------------------------------
+
+    def submit(
+        self,
+        sql: str,
+        level: ServiceLevel,
+        result_limit: int | None = None,
+        query_id: str | None = None,
+        on_finish: Callable[[ServerQuery], None] | None = None,
+    ) -> ServerQuery:
+        """Accept a query at ``level``; returns its server record.
+
+        Raises :class:`QueryRejectedError` if the relevant hold queue is
+        full (back-pressure rather than unbounded growth).
+        """
+        if query_id is None:
+            self._query_counter += 1
+            query_id = f"sq-{self._query_counter}"
+        record = ServerQuery(
+            query_id=query_id,
+            sql=sql,
+            level=level,
+            submitted_at=self._sim.now,
+            result_limit=result_limit,
+            on_finish=on_finish,
+        )
+        self._queries[query_id] = record
+        if level is ServiceLevel.IMMEDIATE:
+            self._dispatch(record)
+        elif level is ServiceLevel.RELAXED:
+            record.grace_deadline = self._sim.now + self._config.grace_period_s
+            if self._coordinator.below_high_watermark():
+                self._dispatch(record)
+            else:
+                self._enqueue(self._relaxed_queue, record)
+        else:  # BEST_EFFORT
+            if self._coordinator.below_low_watermark():
+                self._dispatch(record)
+            else:
+                self._enqueue(self._best_effort_queue, record)
+        return record
+
+    def _enqueue(self, queue: list[ServerQuery], record: ServerQuery) -> None:
+        if len(queue) >= self._max_queue_length:
+            del self._queries[record.query_id]
+            raise QueryRejectedError(
+                f"{record.level.value} queue is full "
+                f"({self._max_queue_length} queries)"
+            )
+        queue.append(record)
+
+    def _dispatch(self, record: ServerQuery) -> None:
+        record.dispatched_at = self._sim.now
+        record.execution = self._coordinator.submit(
+            sql=record.sql,
+            cf_enabled=record.level.cf_enabled,
+            query_id=record.query_id,
+            on_complete=lambda execution: self._completed(record, execution),
+        )
+
+    def cancel(self, query_id: str) -> bool:
+        """Cancel a query at any pre-terminal stage.
+
+        Works whether the query is still held in a server queue, waiting
+        in the VM cluster's queue, or already running.  Returns False if
+        it had already finished or failed.
+        """
+        record = self.query(query_id)
+        if record.status.is_terminal:
+            return False
+        if record.execution is None:
+            record.cancelled = True
+            self._relaxed_queue = [
+                q for q in self._relaxed_queue if q.query_id != query_id
+            ]
+            self._best_effort_queue = [
+                q for q in self._best_effort_queue if q.query_id != query_id
+            ]
+            if record.on_finish is not None:
+                record.on_finish(record)
+            return True
+        record.cancelled = True
+        return self._coordinator.cancel(query_id)
+
+    # -- scheduling -----------------------------------------------------------------
+
+    def _tick(self) -> None:
+        self._sim.schedule(self._config.scheduler_interval_s, self._tick)
+        self._drain()
+
+    def _drain(self) -> None:
+        """Re-evaluate held queries against the current load status."""
+        # Relaxed queries: admit while below the high watermark; force out
+        # those whose grace period expired (they then queue in the VM
+        # cluster — the server guaranteed only the grace-period bound).
+        still_held: list[ServerQuery] = []
+        for record in self._relaxed_queue:
+            expired = (
+                record.grace_deadline is not None
+                and self._sim.now >= record.grace_deadline
+            )
+            if expired or self._coordinator.below_high_watermark():
+                self._dispatch(record)
+            else:
+                still_held.append(record)
+        self._relaxed_queue = still_held
+        if (
+            self._batch_best_effort
+            and len(self._best_effort_queue) >= 2
+            and self._coordinator.below_low_watermark()
+        ):
+            self._dispatch_batch()
+            return
+        while self._best_effort_queue and self._coordinator.below_low_watermark():
+            self._dispatch(self._best_effort_queue.pop(0))
+
+    def _dispatch_batch(self) -> None:
+        """Send held best-of-effort queries out as one shared-scan batch."""
+        group = self._best_effort_queue[: self._batch_size]
+        self._best_effort_queue = self._best_effort_queue[self._batch_size :]
+        executions = self._coordinator.submit_shared_batch(
+            [record.sql for record in group],
+            [record.query_id for record in group],
+        )
+        now = self._sim.now
+        for record, execution in zip(group, executions):
+            record.dispatched_at = now
+            record.execution = execution
+            execution.on_complete = (
+                lambda exec_, rec=record: self._completed(rec, exec_)
+            )
+            if execution.finished_at is not None:  # failed during planning
+                self._completed(record, execution)
+
+    def _completed(self, record: ServerQuery, execution: QueryExecution) -> None:
+        if execution.result is not None:
+            record.price = self._coordinator.cost_model.user_price(
+                execution.result.stats, record.level
+            )
+        if record.on_finish is not None:
+            record.on_finish(record)
+        # A finished query frees capacity: give held queries a chance now
+        # rather than waiting for the next tick.
+        self._drain()
+
+    # -- aggregate statistics ----------------------------------------------------------
+
+    def total_billed(self) -> float:
+        """Sum of user-facing charges across finished queries."""
+        return sum(query.price for query in self._queries.values())
+
+    def status_counts(self) -> dict[QueryStatus, int]:
+        counts = {status: 0 for status in QueryStatus}
+        for query in self._queries.values():
+            counts[query.status] += 1
+        return counts

@@ -1,0 +1,31 @@
+"""The vectorized SQL query engine.
+
+Pixels-Turbo executes real SQL; this package is the from-scratch engine the
+reproduction runs on, organized as a classic pipeline:
+
+``SQL text`` → :mod:`~repro.engine.sql.lexer` → :mod:`~repro.engine.sql.parser`
+→ :mod:`~repro.engine.binder` (name/type resolution against the catalog)
+→ :mod:`~repro.engine.plan` (logical plan) → :mod:`~repro.engine.optimizer`
+(push-downs, join ordering) → :mod:`~repro.engine.physical` (vectorized
+operators) → :mod:`~repro.engine.executor`.
+
+The supported SQL subset covers the TPC-H-style workloads in
+:mod:`repro.workloads`: inner/left joins, WHERE with three-valued logic,
+GROUP BY / HAVING, aggregate functions, CASE, BETWEEN/IN/LIKE, ORDER BY,
+LIMIT, and DISTINCT.
+"""
+
+from repro.engine.executor import QueryExecutor, QueryResult
+from repro.engine.binder import Binder
+from repro.engine.optimizer import Optimizer
+from repro.engine.planner import Planner
+from repro.engine.sql.parser import parse_sql
+
+__all__ = [
+    "Binder",
+    "Optimizer",
+    "Planner",
+    "QueryExecutor",
+    "QueryResult",
+    "parse_sql",
+]

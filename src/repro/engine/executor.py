@@ -1,0 +1,164 @@
+"""Plan execution: walk the logical plan, run physical operators, collect
+per-query statistics.
+
+The executor is deliberately synchronous and deterministic — in Turbo, each
+VM or CF worker runs one executor over its assigned plan fragment, and the
+simulation charges time from the cost model using the statistics returned
+here (bytes scanned, rows processed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ExecutionError
+from repro.engine.expr import mask_from_predicate
+from repro.engine.physical import (
+    execute_aggregate,
+    execute_distinct,
+    execute_hash_join,
+    execute_limit,
+    execute_sort,
+    join_tables,
+)
+from repro.engine.plan import (
+    Aggregate,
+    Distinct,
+    Filter,
+    HashJoin,
+    JoinType,
+    Limit,
+    MaterializedView,
+    PlanNode,
+    Project,
+    Scan,
+    Sort,
+    UnionAllPlan,
+)
+from repro.engine.source import DataSource
+from repro.storage.table import TableData
+from repro.storage.types import ColumnVector
+
+
+@dataclass
+class QueryStats:
+    """Execution accounting for one plan run."""
+
+    bytes_scanned: int = 0
+    scan_latency_s: float = 0.0
+    rows_scanned: int = 0
+    rows_produced: int = 0
+    operators: int = 0
+
+    def merge(self, other: "QueryStats") -> None:
+        self.bytes_scanned += other.bytes_scanned
+        self.scan_latency_s += other.scan_latency_s
+        self.rows_scanned += other.rows_scanned
+        self.rows_produced = other.rows_produced
+        self.operators += other.operators
+
+
+@dataclass
+class QueryResult:
+    """Rows plus statistics; ``column_names``/``rows()`` are the public
+    result-set view Pixels-Rover renders."""
+
+    data: TableData
+    stats: QueryStats = field(default_factory=QueryStats)
+
+    @property
+    def column_names(self) -> list[str]:
+        return self.data.column_names
+
+    @property
+    def num_rows(self) -> int:
+        return self.data.num_rows
+
+    def rows(self) -> list[tuple]:
+        return self.data.to_rows()
+
+
+class QueryExecutor:
+    """Executes logical plans against a :class:`DataSource`."""
+
+    def __init__(self, source: DataSource) -> None:
+        self._source = source
+
+    def execute(self, plan: PlanNode) -> QueryResult:
+        stats = QueryStats()
+        data = self._run(plan, stats)
+        stats.rows_produced = data.num_rows
+        return QueryResult(data, stats)
+
+    def _run(self, node: PlanNode, stats: QueryStats) -> TableData:
+        stats.operators += 1
+        if isinstance(node, Scan):
+            return self._run_scan(node, stats)
+        if isinstance(node, MaterializedView):
+            if not isinstance(node.data, TableData):
+                raise ExecutionError(
+                    f"materialized view {node.name!r} has no data attached"
+                )
+            return node.data
+        if isinstance(node, Filter):
+            table = self._run(node.input, stats)
+            if table.num_rows == 0:
+                return table
+            mask = mask_from_predicate(node.predicate.evaluate(table))
+            return table.filter(mask)
+        if isinstance(node, Project):
+            table = self._run(node.input, stats)
+            columns: dict[str, ColumnVector] = {}
+            for name, expr in node.exprs:
+                columns[name] = expr.evaluate(table)
+            return TableData(columns)
+        if isinstance(node, HashJoin):
+            left = self._run(node.left, stats)
+            right = self._run(node.right, stats)
+            if node.join_type in (JoinType.SEMI, JoinType.ANTI):
+                from repro.engine.physical import execute_semi_anti_join
+
+                return execute_semi_anti_join(
+                    left, right, node.left_keys, node.right_keys,
+                    anti=node.join_type is JoinType.ANTI,
+                )
+            left_indices, right_indices = execute_hash_join(
+                left, right, node.left_keys, node.right_keys,
+                node.join_type is JoinType.LEFT,
+            )
+            return join_tables(
+                left, right, left_indices, right_indices,
+                node.join_type is JoinType.LEFT, node.residual,
+            )
+        if isinstance(node, UnionAllPlan):
+            from repro.engine.physical import execute_union_all
+
+            return execute_union_all(
+                [self._run(child, stats) for child in node.inputs],
+                node.output_schema(),
+            )
+        if isinstance(node, Aggregate):
+            table = self._run(node.input, stats)
+            return execute_aggregate(table, node.group_keys, node.aggregates)
+        if isinstance(node, Sort):
+            table = self._run(node.input, stats)
+            return execute_sort(
+                table, [(key.column, key.ascending) for key in node.keys]
+            )
+        if isinstance(node, Distinct):
+            return execute_distinct(self._run(node.input, stats))
+        if isinstance(node, Limit):
+            table = self._run(node.input, stats)
+            return execute_limit(table, node.limit, node.offset)
+        raise ExecutionError(f"unknown plan node {type(node).__name__}")
+
+    def _run_scan(self, node: Scan, stats: QueryStats) -> TableData:
+        result = self._source.scan(node)
+        stats.bytes_scanned += result.bytes_scanned
+        stats.scan_latency_s += result.latency_s
+        stats.rows_scanned += result.data.num_rows
+        table = result.data
+        if node.residual is not None and table.num_rows:
+            mask = mask_from_predicate(node.residual.evaluate(table))
+            table = table.filter(mask)
+        return table

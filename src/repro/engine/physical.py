@@ -1,0 +1,401 @@
+"""Vectorized physical operators.
+
+One function per logical node type, all operating on whole
+:class:`~repro.storage.table.TableData` batches.  Grouping, distinct, and
+sorting share a code-based representation: every key column is reduced to
+dense integer codes (ranks of its sorted unique values) with NULL as an
+extra code, which makes multi-column grouping a single ``np.unique`` over a
+combined int64 and gives order-preserving sort keys for every data type.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.engine.expr import mask_from_predicate
+from repro.engine.plan import AggFunc, AggSpec
+from repro.storage.table import TableData
+from repro.storage.types import ColumnVector, DataType
+
+
+# ---------------------------------------------------------------------------
+# Key encoding shared by aggregate / distinct / sort
+# ---------------------------------------------------------------------------
+
+
+def column_codes(vector: ColumnVector) -> tuple[np.ndarray, np.ndarray]:
+    """Encode a column as dense rank codes.
+
+    Returns ``(codes, uniques)`` where ``codes[i]`` is the rank of row i's
+    value among the column's sorted distinct values, and NULL rows get code
+    ``len(uniques)`` (i.e. they sort last and group together, matching SQL
+    GROUP BY semantics and NULLS LAST ordering).
+    """
+    data = vector.data
+    if vector.dtype is DataType.VARCHAR:
+        data = np.asarray([str(value) for value in data], dtype=object)
+        uniques, inverse = np.unique(data.astype(str), return_inverse=True)
+    else:
+        uniques, inverse = np.unique(data, return_inverse=True)
+    codes = inverse.astype(np.int64)
+    if vector.nulls is not None:
+        codes[vector.nulls] = len(uniques)
+    return codes, uniques
+
+
+def combined_group_codes(
+    table: TableData, key_columns: list[str]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Combine multiple key columns into one group id per row.
+
+    Returns ``(group_ids, first_row_index)``: dense group ids in
+    [0, num_groups) and, per group, the index of its first row in input
+    order (used to materialize key output values).
+    """
+    num_rows = table.num_rows
+    if not key_columns:
+        return np.zeros(num_rows, dtype=np.int64), np.zeros(
+            min(num_rows, 1), dtype=np.int64
+        )
+    combined = np.zeros(num_rows, dtype=np.int64)
+    for name in key_columns:
+        codes, uniques = column_codes(table.column(name))
+        cardinality = len(uniques) + 1
+        combined = combined * cardinality + codes
+    _, first_indices, group_ids = np.unique(
+        combined, return_index=True, return_inverse=True
+    )
+    # Renumber groups by first appearance so output order is deterministic.
+    order = np.argsort(first_indices, kind="stable")
+    remap = np.empty_like(order)
+    remap[order] = np.arange(len(order))
+    return remap[group_ids], np.sort(first_indices)
+
+
+# ---------------------------------------------------------------------------
+# Aggregation
+# ---------------------------------------------------------------------------
+
+
+def execute_aggregate(
+    table: TableData, group_keys: list[str], aggregates: list[AggSpec]
+) -> TableData:
+    """Hash aggregation with SQL NULL semantics.
+
+    NULL inputs are ignored by every aggregate; COUNT(*) counts rows; an
+    empty input with no GROUP BY produces the SQL-standard single row
+    (count 0, other aggregates NULL).
+    """
+    num_rows = table.num_rows
+    if group_keys:
+        group_ids, first_rows = combined_group_codes(table, group_keys)
+        num_groups = len(first_rows)
+    else:
+        group_ids = np.zeros(num_rows, dtype=np.int64)
+        num_groups = 1
+        first_rows = np.zeros(0, dtype=np.int64)
+    columns: dict[str, ColumnVector] = {}
+    for key in group_keys:
+        columns[key] = table.column(key).take(first_rows)
+    for spec in aggregates:
+        columns[spec.output] = _compute_aggregate(
+            table, spec, group_ids, num_groups
+        )
+    return TableData(columns)
+
+
+def _valid_mask(vector: ColumnVector) -> np.ndarray:
+    if vector.nulls is None:
+        return np.ones(len(vector), dtype=bool)
+    return ~vector.nulls
+
+
+def _compute_aggregate(
+    table: TableData, spec: AggSpec, group_ids: np.ndarray, num_groups: int
+) -> ColumnVector:
+    if spec.func is AggFunc.COUNT and spec.input_column is None:
+        counts = np.bincount(group_ids, minlength=num_groups)
+        return ColumnVector(DataType.BIGINT, counts.astype(np.int64))
+    assert spec.input_column is not None
+    vector = table.column(spec.input_column)
+    valid = _valid_mask(vector)
+    valid_groups = group_ids[valid]
+    if spec.func is AggFunc.COUNT:
+        if spec.distinct:
+            return _count_distinct(vector, valid, valid_groups, num_groups)
+        counts = np.bincount(valid_groups, minlength=num_groups)
+        return ColumnVector(DataType.BIGINT, counts.astype(np.int64))
+    counts = np.bincount(valid_groups, minlength=num_groups)
+    empty = counts == 0
+    nulls = empty if empty.any() else None
+    if spec.func in (AggFunc.SUM, AggFunc.AVG):
+        values = vector.data[valid].astype(np.float64)
+        sums = np.bincount(valid_groups, weights=values, minlength=num_groups)
+        if spec.func is AggFunc.AVG:
+            with np.errstate(invalid="ignore", divide="ignore"):
+                data = np.where(counts > 0, sums / np.maximum(counts, 1), 0.0)
+            return ColumnVector(DataType.DOUBLE, data, nulls)
+        data = sums.astype(spec.dtype.numpy_dtype)
+        return ColumnVector(spec.dtype, data, nulls)
+    if spec.func in (AggFunc.MIN, AggFunc.MAX):
+        return _min_max(vector, spec, valid, valid_groups, num_groups, nulls)
+    raise ExecutionError(f"unsupported aggregate {spec.func}")  # pragma: no cover
+
+
+def _count_distinct(
+    vector: ColumnVector,
+    valid: np.ndarray,
+    valid_groups: np.ndarray,
+    num_groups: int,
+) -> ColumnVector:
+    if len(vector) == 0 or not valid.any():
+        return ColumnVector(
+            DataType.BIGINT, np.zeros(num_groups, dtype=np.int64)
+        )
+    codes, _ = column_codes(vector)
+    pairs = valid_groups.astype(np.int64) * (int(codes.max()) + 2) + codes[valid]
+    unique_pairs = np.unique(pairs)
+    distinct_groups = unique_pairs // (int(codes.max()) + 2)
+    counts = np.bincount(distinct_groups.astype(np.int64), minlength=num_groups)
+    return ColumnVector(DataType.BIGINT, counts.astype(np.int64))
+
+
+def _min_max(
+    vector: ColumnVector,
+    spec: AggSpec,
+    valid: np.ndarray,
+    valid_groups: np.ndarray,
+    num_groups: int,
+    nulls: np.ndarray | None,
+) -> ColumnVector:
+    codes, uniques = column_codes(vector)
+    valid_codes = codes[valid]
+    if spec.func is AggFunc.MIN:
+        best = np.full(num_groups, np.iinfo(np.int64).max, dtype=np.int64)
+        np.minimum.at(best, valid_groups, valid_codes)
+    else:
+        best = np.full(num_groups, -1, dtype=np.int64)
+        np.maximum.at(best, valid_groups, valid_codes)
+    safe = np.clip(best, 0, max(len(uniques) - 1, 0))
+    if len(uniques) == 0:
+        data = np.zeros(num_groups, dtype=spec.dtype.numpy_dtype)
+        if spec.dtype is DataType.VARCHAR:
+            data = np.array([""] * num_groups, dtype=object)
+        return ColumnVector(
+            spec.dtype, data, np.ones(num_groups, dtype=bool)
+        )
+    data = uniques[safe]
+    if spec.dtype is DataType.VARCHAR:
+        data = np.asarray(data, dtype=object)
+    else:
+        data = data.astype(spec.dtype.numpy_dtype)
+    return ColumnVector(spec.dtype, data, nulls)
+
+
+# ---------------------------------------------------------------------------
+# Join
+# ---------------------------------------------------------------------------
+
+
+def execute_hash_join(
+    left: TableData,
+    right: TableData,
+    left_keys: list[str],
+    right_keys: list[str],
+    is_left_join: bool,
+    residual_mask=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Compute matching row index pairs for an equi join.
+
+    Returns ``(left_indices, right_indices)``.  NULL keys never match.
+    With no keys, produces the cross product (used for comma joins whose
+    condition lives in WHERE).  The caller applies residual predicates and
+    LEFT-join null padding — see :func:`join_tables`.
+    """
+    if not left_keys:
+        left_indices = np.repeat(np.arange(left.num_rows), right.num_rows)
+        right_indices = np.tile(np.arange(right.num_rows), left.num_rows)
+        return left_indices, right_indices
+    build: dict[tuple, list[int]] = {}
+    right_key_vectors = [right.column(name) for name in right_keys]
+    right_valid = np.ones(right.num_rows, dtype=bool)
+    for vector in right_key_vectors:
+        right_valid &= _valid_mask(vector)
+    right_rows = [vector.data.tolist() for vector in right_key_vectors]
+    for index in np.flatnonzero(right_valid):
+        key = tuple(column[index] for column in right_rows)
+        build.setdefault(key, []).append(int(index))
+    left_key_vectors = [left.column(name) for name in left_keys]
+    left_valid = np.ones(left.num_rows, dtype=bool)
+    for vector in left_key_vectors:
+        left_valid &= _valid_mask(vector)
+    left_rows = [vector.data.tolist() for vector in left_key_vectors]
+    left_out: list[int] = []
+    right_out: list[int] = []
+    for index in np.flatnonzero(left_valid):
+        key = tuple(column[index] for column in left_rows)
+        matches = build.get(key)
+        if matches:
+            left_out.extend([int(index)] * len(matches))
+            right_out.extend(matches)
+    return (
+        np.asarray(left_out, dtype=np.int64),
+        np.asarray(right_out, dtype=np.int64),
+    )
+
+
+def join_tables(
+    left: TableData,
+    right: TableData,
+    left_indices: np.ndarray,
+    right_indices: np.ndarray,
+    is_left_join: bool,
+    residual=None,
+) -> TableData:
+    """Materialize join output from index pairs, applying the residual
+    predicate and, for LEFT joins, null-padding unmatched left rows."""
+    left_part = left.take(left_indices)
+    right_part = right.take(right_indices)
+    combined = TableData({**left_part.columns, **right_part.columns})
+    if residual is not None and combined.num_rows:
+        mask = mask_from_predicate(residual.evaluate(combined))
+        combined = combined.filter(mask)
+        left_indices = left_indices[mask]
+    if not is_left_join:
+        return combined
+    matched = np.zeros(left.num_rows, dtype=bool)
+    matched[left_indices] = True
+    unmatched = np.flatnonzero(~matched)
+    if len(unmatched) == 0:
+        return combined
+    left_missing = left.take(unmatched)
+    null_right = TableData(
+        {
+            name: _all_null_vector(vector.dtype, len(unmatched))
+            for name, vector in right.columns.items()
+        }
+    )
+    padding = TableData({**left_missing.columns, **null_right.columns})
+    return combined.concat(padding)
+
+
+def _all_null_vector(dtype: DataType, count: int) -> ColumnVector:
+    if dtype is DataType.VARCHAR:
+        data = np.array([""] * count, dtype=object)
+    else:
+        data = np.zeros(count, dtype=dtype.numpy_dtype)
+    return ColumnVector(dtype, data, np.ones(count, dtype=bool))
+
+
+def execute_semi_anti_join(
+    left: TableData,
+    right: TableData,
+    left_keys: list[str],
+    right_keys: list[str],
+    anti: bool,
+) -> TableData:
+    """Semi join (IN subquery) / anti join (NOT IN subquery).
+
+    SQL NULL semantics are honoured:
+
+    * a NULL left key never matches — excluded from both semi and anti
+      results (``x IN S`` / ``x NOT IN S`` are UNKNOWN for NULL x, except
+      over an empty S);
+    * an empty subquery result makes NOT IN pass every row (even NULL x,
+      since ``x NOT IN ()`` is TRUE);
+    * a NULL among the subquery's values makes NOT IN pass no rows at all
+      (each comparison is at best UNKNOWN).
+    """
+    if left.num_rows == 0:
+        return left
+    build_values: set[tuple] = set()
+    right_has_null = False
+    right_vectors = [right.column(name) for name in right_keys]
+    if right.num_rows:
+        right_valid = np.ones(right.num_rows, dtype=bool)
+        for vector in right_vectors:
+            right_valid &= _valid_mask(vector)
+        right_has_null = not right_valid.all()
+        right_rows = [vector.data.tolist() for vector in right_vectors]
+        for index in np.flatnonzero(right_valid):
+            build_values.add(tuple(column[index] for column in right_rows))
+    if anti and right.num_rows == 0:
+        return left  # x NOT IN (empty) is TRUE for every x
+    if anti and right_has_null:
+        return left.slice(0, 0)  # any NULL in S poisons NOT IN entirely
+    left_vectors = [left.column(name) for name in left_keys]
+    left_valid = np.ones(left.num_rows, dtype=bool)
+    for vector in left_vectors:
+        left_valid &= _valid_mask(vector)
+    left_rows = [vector.data.tolist() for vector in left_vectors]
+    matches = np.zeros(left.num_rows, dtype=bool)
+    for index in np.flatnonzero(left_valid):
+        key = tuple(column[index] for column in left_rows)
+        if key in build_values:
+            matches[index] = True
+    if anti:
+        return left.filter(left_valid & ~matches)
+    return left.filter(matches)
+
+
+def execute_union_all(
+    tables: list[TableData], schema: list[tuple[str, DataType]]
+) -> TableData:
+    """Concatenate branch outputs positionally under the first branch's
+    column names (numeric branches are promoted to the output type)."""
+    from repro.engine.expr import BoundCast, BoundColumn
+
+    aligned: list[TableData] = []
+    for table in tables:
+        columns: dict[str, ColumnVector] = {}
+        for (out_name, out_type), in_name in zip(schema, table.column_names):
+            vector = table.column(in_name)
+            if vector.dtype is not out_type:
+                vector = BoundCast(
+                    BoundColumn(in_name, vector.dtype), out_type
+                ).evaluate(table)
+            columns[out_name] = vector
+        aligned.append(TableData(columns))
+    result = aligned[0]
+    for piece in aligned[1:]:
+        result = result.concat(piece)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Sort / distinct / limit
+# ---------------------------------------------------------------------------
+
+
+def execute_sort(
+    table: TableData, keys: list[tuple[str, bool]]
+) -> TableData:
+    """Stable multi-key sort; NULLs last for both directions."""
+    if table.num_rows == 0:
+        return table
+    indices = np.arange(table.num_rows)
+    for column_name, ascending in reversed(keys):
+        vector = table.column(column_name)
+        codes, _ = column_codes(vector)
+        sort_values = codes.astype(np.float64)
+        if not ascending:
+            sort_values = -sort_values
+        if vector.nulls is not None:
+            sort_values[vector.nulls] = np.nan  # NaN sorts last in argsort
+        indices = indices[np.argsort(sort_values[indices], kind="stable")]
+    return table.take(indices)
+
+
+def execute_distinct(table: TableData) -> TableData:
+    """Drop duplicate rows, keeping first occurrences in input order."""
+    if table.num_rows == 0 or not table.columns:
+        return table
+    _, first_rows = combined_group_codes(table, table.column_names)
+    return table.take(first_rows)
+
+
+def execute_limit(table: TableData, limit: int | None, offset: int) -> TableData:
+    start = min(offset, table.num_rows)
+    stop = table.num_rows if limit is None else min(start + limit, table.num_rows)
+    return table.slice(start, stop)

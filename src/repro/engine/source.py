@@ -1,0 +1,91 @@
+"""Data sources: where Scan leaves get their bytes.
+
+The executor is storage-agnostic behind :class:`DataSource`.  Production
+uses :class:`ObjectStoreSource` (the accounted S3-like store, which is what
+makes $/TB-scan billing real); tests and CF materialized views use
+:class:`InMemorySource`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.errors import ExecutionError
+from repro.engine.plan import Scan
+from repro.storage.object_store import ObjectStore
+from repro.storage.table import TableData, TableReader
+
+
+@dataclass(frozen=True)
+class SourceResult:
+    """A scan's payload plus its cost accounting."""
+
+    data: TableData
+    bytes_scanned: int
+    latency_s: float
+
+
+class DataSource(Protocol):
+    """Anything that can materialize a Scan leaf."""
+
+    def scan(self, node: Scan) -> SourceResult:
+        """Read the scan's projection (with zone-map ranges applied) and
+        return columns under the scan's *qualified* output names."""
+        ...
+
+
+class ObjectStoreSource:
+    """Reads base tables from the object store via :class:`TableReader`.
+
+    Args:
+        store: The backing object store.
+        keys: Optional restriction to specific file keys — this is how
+            Turbo assigns distinct file subsets of one table to parallel
+            workers.
+    """
+
+    def __init__(self, store: ObjectStore, keys: list[str] | None = None) -> None:
+        self._store = store
+        self._keys = keys
+
+    def scan(self, node: Scan) -> SourceResult:
+        if not node.table.bucket or not node.table.prefix:
+            raise ExecutionError(
+                f"table {node.table.name!r} has no storage location"
+            )
+        reader = TableReader(self._store, node.table.bucket, node.table.prefix)
+        base_columns = [base for _, base in node.columns]
+        result = reader.scan(
+            columns=base_columns,
+            ranges=node.ranges or None,
+            keys=self._keys,
+        )
+        renamed = result.data.rename(
+            {base: out for out, base in node.columns}
+        ).select([out for out, _ in node.columns])
+        return SourceResult(renamed, result.bytes_scanned, result.latency_s)
+
+
+class InMemorySource:
+    """Serves scans from in-memory tables keyed by (schema, table) name.
+
+    ``bytes_scanned`` is the in-memory size of the projected columns, so
+    cost-model tests behave consistently with the object-store source.
+    """
+
+    def __init__(self, tables: dict[tuple[str, str], TableData] | None = None) -> None:
+        self._tables = dict(tables or {})
+
+    def add_table(self, schema: str, table: str, data: TableData) -> None:
+        self._tables[(schema, table)] = data
+
+    def scan(self, node: Scan) -> SourceResult:
+        key = (node.schema_name, node.table.name)
+        if key not in self._tables:
+            raise ExecutionError(f"no in-memory table {key}")
+        data = self._tables[key]
+        projected = data.select([base for _, base in node.columns]).rename(
+            {base: out for out, base in node.columns}
+        )
+        return SourceResult(projected, projected.nbytes(), 0.0)

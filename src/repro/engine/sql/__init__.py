@@ -1,0 +1,6 @@
+"""SQL front end: tokens, lexer, AST, and recursive-descent parser."""
+
+from repro.engine.sql.lexer import Lexer, Token, TokenType
+from repro.engine.sql.parser import Parser, parse_sql
+
+__all__ = ["Lexer", "Parser", "Token", "TokenType", "parse_sql"]

@@ -1,0 +1,36 @@
+"""Text-to-SQL service (the CodeS analogue, paper §2(3) and §3.3).
+
+The real PixelsDB plugs in CodeS, a fine-tuned language model.  This
+reproduction implements the same *pipeline* with a deterministic semantic
+parser so the system is runnable offline:
+
+1. :mod:`~repro.nl2sql.schema_pruning` — identify the schema elements most
+   related to the question and serialize only those (what lets CodeS
+   "adeptly handle tables of any width, including those with thousands of
+   columns, without being constrained by context truncation").
+2. :mod:`~repro.nl2sql.translator` — single-turn translation of the
+   question plus pruned schema into an executable SQL query.
+3. :mod:`~repro.nl2sql.protocol` — the JSON request/response REST shape
+   Pixels-Rover speaks to the service; the translator behind it is
+   pluggable, mirroring the paper's "the text-to-SQL service in PixelsDB
+   is plug-able".
+4. :mod:`~repro.nl2sql.benchmark` — a Spider-style synthetic benchmark
+   measuring single-turn execution accuracy (the paper cites >80 %).
+"""
+
+from repro.nl2sql.benchmark import BenchmarkReport, Nl2SqlBenchmark
+from repro.nl2sql.protocol import CodesService, TranslationRequest, TranslationResponse
+from repro.nl2sql.schema_pruning import PrunedSchema, SchemaPruner
+from repro.nl2sql.translator import RuleBasedTranslator, Translator
+
+__all__ = [
+    "BenchmarkReport",
+    "CodesService",
+    "Nl2SqlBenchmark",
+    "PrunedSchema",
+    "RuleBasedTranslator",
+    "SchemaPruner",
+    "TranslationRequest",
+    "TranslationResponse",
+    "Translator",
+]

@@ -1,0 +1,405 @@
+"""Spider-style synthetic benchmark for the text-to-SQL pipeline.
+
+Spider/BIRD themselves are not redistributable here, so the benchmark
+*generates* single-turn (question, gold SQL) pairs from templates over a
+real catalog, with paraphrase channels (synonyms, filler prefixes) and a
+hard-phrasing channel the parser does not handle — keeping measured
+accuracy meaningfully below 100 %.  Accuracy is **execution accuracy**, as
+in the CodeS paper: the translated query and the gold query are both
+executed and their result multisets compared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import PixelsError
+from repro.nl2sql.translator import RuleBasedTranslator, Translator
+from repro.storage.catalog import ColumnMeta, SchemaMeta, TableMeta
+from repro.storage.types import DataType
+
+FILLERS = [
+    "", "", "", "please tell me ", "could you tell me ", "i want to know ",
+    "i would like to know ",
+]
+
+# Phrasings outside the parser's comparator vocabulary: honest error mass.
+HARD_COMPARATORS = ["not exceeding", "no less than", "within"]
+
+
+@dataclass(frozen=True)
+class BenchmarkCase:
+    """One benchmark item."""
+
+    question: str
+    gold_sql: str
+    template: str
+    hard: bool = False
+
+
+@dataclass
+class CaseResult:
+    case: BenchmarkCase
+    predicted_sql: str
+    correct: bool
+    error: str | None = None
+
+
+@dataclass
+class BenchmarkReport:
+    """Aggregate accuracy over a benchmark run."""
+
+    results: list[CaseResult] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.results)
+
+    @property
+    def correct(self) -> int:
+        return sum(1 for result in self.results if result.correct)
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.total if self.total else 0.0
+
+    def per_template(self) -> dict[str, tuple[int, int]]:
+        """template → (correct, total)."""
+        buckets: dict[str, list[int]] = {}
+        for result in self.results:
+            bucket = buckets.setdefault(result.case.template, [0, 0])
+            bucket[1] += 1
+            if result.correct:
+                bucket[0] += 1
+        return {name: (c, t) for name, (c, t) in buckets.items()}
+
+    def failures(self) -> list[CaseResult]:
+        return [result for result in self.results if not result.correct]
+
+
+def _column_phrase(column: ColumnMeta) -> str:
+    """Natural-language words for a column: its comment, else name parts."""
+    if column.comment:
+        return column.comment
+    parts = column.name.split("_")
+    if len(parts) > 1 and len(parts[0]) <= 2:
+        parts = parts[1:]  # drop TPC-H style prefixes: o_totalprice → totalprice
+    return " ".join(parts)
+
+
+class Nl2SqlBenchmark:
+    """Generates cases over a schema and scores a translator on them."""
+
+    def __init__(self, schema: SchemaMeta, seed: int = 0, hard_fraction: float = 0.12):
+        self._schema = schema
+        self._rng = np.random.default_rng(seed)
+        self._hard_fraction = hard_fraction
+
+    # -- generation ----------------------------------------------------------------
+
+    def generate(self, count: int) -> list[BenchmarkCase]:
+        makers = [
+            self._make_count,
+            self._make_count_filtered,
+            self._make_aggregate,
+            self._make_group,
+            self._make_count_distinct,
+            self._make_top_n,
+            self._make_list_filtered,
+            self._make_between,
+            self._make_join_group,
+        ]
+        cases: list[BenchmarkCase] = []
+        attempts = 0
+        while len(cases) < count and attempts < count * 20:
+            attempts += 1
+            maker = makers[int(self._rng.integers(0, len(makers)))]
+            case = maker()
+            if case is not None:
+                cases.append(case)
+        return cases
+
+    def _filler(self) -> str:
+        return FILLERS[int(self._rng.integers(0, len(FILLERS)))]
+
+    def _hard(self) -> bool:
+        return bool(self._rng.uniform() < self._hard_fraction)
+
+    def _pick_table(self, needs_numeric: bool = False) -> TableMeta | None:
+        tables = [
+            table
+            for table in self._schema.tables.values()
+            if not needs_numeric or self._numeric_columns(table)
+        ]
+        if not tables:
+            return None
+        return tables[int(self._rng.integers(0, len(tables)))]
+
+    @staticmethod
+    def _numeric_columns(table: TableMeta) -> list[ColumnMeta]:
+        return [column for column in table.columns if column.dtype.is_numeric]
+
+    @staticmethod
+    def _varchar_columns(table: TableMeta) -> list[ColumnMeta]:
+        return [
+            column for column in table.columns if column.dtype is DataType.VARCHAR
+        ]
+
+    def _pick(self, columns: list[ColumnMeta]) -> ColumnMeta:
+        return columns[int(self._rng.integers(0, len(columns)))]
+
+    def _value(self) -> int:
+        return int(self._rng.integers(1, 1000))
+
+    def _make_count(self) -> BenchmarkCase | None:
+        table = self._pick_table()
+        if table is None:
+            return None
+        question = f"{self._filler()}how many {table.name} are there"
+        return BenchmarkCase(
+            question=question,
+            gold_sql=f"SELECT count(*) FROM {table.name}",
+            template="count",
+        )
+
+    def _make_count_filtered(self) -> BenchmarkCase | None:
+        table = self._pick_table(needs_numeric=True)
+        if table is None:
+            return None
+        column = self._pick(self._numeric_columns(table))
+        value = self._value()
+        hard = self._hard()
+        if hard:
+            comparator = HARD_COMPARATORS[
+                int(self._rng.integers(0, len(HARD_COMPARATORS)))
+            ]
+        else:
+            comparator = ["greater than", "more than", "over", "above"][
+                int(self._rng.integers(0, 4))
+            ]
+        question = (
+            f"{self._filler()}how many {table.name} have "
+            f"{_column_phrase(column)} {comparator} {value}"
+        )
+        return BenchmarkCase(
+            question=question,
+            gold_sql=(
+                f"SELECT count(*) FROM {table.name} "
+                f"WHERE {column.name} > {value}"
+            ),
+            template="count_filtered",
+            hard=hard,
+        )
+
+    def _make_aggregate(self) -> BenchmarkCase | None:
+        table = self._pick_table(needs_numeric=True)
+        if table is None:
+            return None
+        column = self._pick(self._numeric_columns(table))
+        func, word = [("avg", "average"), ("max", "maximum"), ("min", "minimum")][
+            int(self._rng.integers(0, 3))
+        ]
+        question = (
+            f"{self._filler()}what is the {word} "
+            f"{_column_phrase(column)} in {table.name}"
+        )
+        return BenchmarkCase(
+            question=question,
+            gold_sql=f"SELECT {func}({column.name}) FROM {table.name}",
+            template="aggregate",
+        )
+
+    def _make_group(self) -> BenchmarkCase | None:
+        table = self._pick_table(needs_numeric=True)
+        if table is None or not self._varchar_columns(table):
+            return None
+        target = self._pick(self._numeric_columns(table))
+        group = self._pick(self._varchar_columns(table))
+        question = (
+            f"{self._filler()}what is the total {_column_phrase(target)} "
+            f"for each {_column_phrase(group)} in {table.name}"
+        )
+        return BenchmarkCase(
+            question=question,
+            gold_sql=(
+                f"SELECT {group.name}, sum({target.name}) FROM {table.name} "
+                f"GROUP BY {group.name}"
+            ),
+            template="group",
+        )
+
+    def _make_count_distinct(self) -> BenchmarkCase | None:
+        table = self._pick_table()
+        if table is None or not table.columns:
+            return None
+        column = self._pick(table.columns)
+        question = (
+            f"{self._filler()}how many different {_column_phrase(column)} "
+            f"are there in {table.name}"
+        )
+        return BenchmarkCase(
+            question=question,
+            gold_sql=f"SELECT count(DISTINCT {column.name}) FROM {table.name}",
+            template="count_distinct",
+        )
+
+    def _make_top_n(self) -> BenchmarkCase | None:
+        table = self._pick_table(needs_numeric=True)
+        if table is None:
+            return None
+        column = self._pick(self._numeric_columns(table))
+        n = int(self._rng.integers(2, 10))
+        question = (
+            f"{self._filler()}top {n} {table.name} by {_column_phrase(column)}"
+        )
+        return BenchmarkCase(
+            question=question,
+            gold_sql=(
+                f"SELECT {column.name} FROM {table.name} "
+                f"ORDER BY {column.name} DESC LIMIT {n}"
+            ),
+            template="top_n",
+        )
+
+    def _make_list_filtered(self) -> BenchmarkCase | None:
+        table = self._pick_table(needs_numeric=True)
+        if table is None or len(table.columns) < 3:
+            return None
+        numeric = self._numeric_columns(table)
+        filter_column = self._pick(numeric)
+        listed = [c for c in table.columns if c.name != filter_column.name][:1]
+        if not listed:
+            return None
+        value = self._value()
+        question = (
+            f"{self._filler()}show the {_column_phrase(listed[0])} of "
+            f"{table.name} with {_column_phrase(filter_column)} "
+            f"less than {value}"
+        )
+        return BenchmarkCase(
+            question=question,
+            gold_sql=(
+                f"SELECT {listed[0].name} FROM {table.name} "
+                f"WHERE {filter_column.name} < {value}"
+            ),
+            template="list_filtered",
+        )
+
+    def _make_between(self) -> BenchmarkCase | None:
+        table = self._pick_table(needs_numeric=True)
+        if table is None:
+            return None
+        column = self._pick(self._numeric_columns(table))
+        low = self._value()
+        high = low + int(self._rng.integers(1, 500))
+        question = (
+            f"{self._filler()}how many {table.name} have "
+            f"{_column_phrase(column)} between {low} and {high}"
+        )
+        return BenchmarkCase(
+            question=question,
+            gold_sql=(
+                f"SELECT count(*) FROM {table.name} "
+                f"WHERE {column.name} BETWEEN {low} AND {high}"
+            ),
+            template="between",
+        )
+
+    def _make_join_group(self) -> BenchmarkCase | None:
+        """Group a fact-table measure by a dimension attribute via an FK."""
+        candidates = []
+        for table in self._schema.tables.values():
+            for fk in table.foreign_keys:
+                parent = self._schema.tables.get(fk.ref_table)
+                if parent is None:
+                    continue
+                numeric = self._numeric_columns(table)
+                labels = self._varchar_columns(parent)
+                if numeric and labels:
+                    candidates.append((table, fk, parent, numeric, labels))
+        if not candidates:
+            return None
+        table, fk, parent, numeric, labels = candidates[
+            int(self._rng.integers(0, len(candidates)))
+        ]
+        target = self._pick(numeric)
+        label = self._pick(labels)
+        question = (
+            f"{self._filler()}what is the total {_column_phrase(target)} "
+            f"per {_column_phrase(label)}"
+        )
+        gold = (
+            f"SELECT {label.name}, sum({target.name}) FROM {table.name} "
+            f"JOIN {parent.name} ON {table.name}.{fk.column} "
+            f"= {parent.name}.{fk.ref_column} GROUP BY {label.name}"
+        )
+        return BenchmarkCase(question=question, gold_sql=gold, template="join_group")
+
+    # -- evaluation ----------------------------------------------------------------
+
+    def evaluate(
+        self,
+        cases: list[BenchmarkCase],
+        run_sql: Callable[[str], list[tuple]],
+        translator: Translator | None = None,
+    ) -> BenchmarkReport:
+        """Execution accuracy: translate, run both, compare multisets."""
+        if translator is None:
+            translator = RuleBasedTranslator()
+        report = BenchmarkReport()
+        for case in cases:
+            predicted_sql = ""
+            try:
+                translation = translator.translate(self._schema, case.question)
+                predicted_sql = translation.sql
+                predicted = run_sql(predicted_sql)
+                gold = run_sql(case.gold_sql)
+                correct = _rows_match(predicted, gold)
+                report.results.append(
+                    CaseResult(case, predicted_sql, correct)
+                )
+            except PixelsError as error:
+                report.results.append(
+                    CaseResult(case, predicted_sql, False, error=str(error))
+                )
+        return report
+
+
+def _rows_match(a: list[tuple], b: list[tuple]) -> bool:
+    """Multiset comparison with float tolerance."""
+    if len(a) != len(b):
+        return False
+    return sorted(map(_normalize_row, a)) == sorted(map(_normalize_row, b))
+
+
+def _normalize_row(row: tuple) -> tuple:
+    normalized = []
+    for value in row:
+        if isinstance(value, float):
+            normalized.append(round(value, 6))
+        elif value is None:
+            normalized.append("\x00null")
+        else:
+            normalized.append(str(value))
+    return tuple(normalized)
+
+
+def make_wide_schema(
+    num_columns: int = 1000, table_name: str = "telemetry"
+) -> SchemaMeta:
+    """A pathologically wide table for the pruning stress test (§3.3:
+    'tables of any width, including those with thousands of columns')."""
+    columns = [ColumnMeta("event_id", DataType.BIGINT, "event id")]
+    columns += [
+        ColumnMeta(f"metric_{index:04d}", DataType.DOUBLE, f"metric number {index}")
+        for index in range(num_columns - 2)
+    ]
+    columns.append(ColumnMeta("sensor_temperature", DataType.DOUBLE, "temperature"))
+    schema = SchemaMeta(name="wide")
+    schema.tables[table_name] = TableMeta(
+        name=table_name, columns=columns, comment="wide telemetry fact table"
+    )
+    return schema

@@ -1,0 +1,125 @@
+"""The JSON request/response protocol of the text-to-SQL service.
+
+Mirrors §2(3): "Pixels-Rover's backend compiles a JSON message containing
+the question and the schema elements (e.g., table and column names) of the
+user's selected database and sends it to CodeS.  Then, CodeS translates
+the question into an SQL query and responds."
+
+:class:`CodesService` is the in-process stand-in for the REST endpoint:
+it accepts/returns JSON-serializable dicts, validates the message shape,
+and delegates to a pluggable :class:`~repro.nl2sql.translator.Translator`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.errors import ProtocolError, TranslationError
+from repro.nl2sql.translator import RuleBasedTranslator, Translator
+from repro.storage.catalog import ColumnMeta, ForeignKey, SchemaMeta, TableMeta
+from repro.storage.types import DataType
+
+
+@dataclass(frozen=True)
+class TranslationRequest:
+    """Parsed request message."""
+
+    question: str
+    schema: SchemaMeta
+
+    @staticmethod
+    def from_json(payload: dict) -> "TranslationRequest":
+        if not isinstance(payload, dict):
+            raise ProtocolError("request must be a JSON object")
+        question = payload.get("question")
+        if not isinstance(question, str) or not question.strip():
+            raise ProtocolError("request needs a non-empty 'question' string")
+        schema_payload = payload.get("schema")
+        if not isinstance(schema_payload, dict):
+            raise ProtocolError("request needs a 'schema' object")
+        return TranslationRequest(
+            question=question, schema=_schema_from_json(schema_payload)
+        )
+
+
+@dataclass(frozen=True)
+class TranslationResponse:
+    """Response message: the SQL plus pruning introspection."""
+
+    sql: str
+    confidence: float
+    pruned_schema: str
+    error: str | None = None
+
+    def to_json(self) -> dict:
+        payload: dict = {
+            "sql": self.sql,
+            "confidence": self.confidence,
+            "pruned_schema": self.pruned_schema,
+        }
+        if self.error is not None:
+            payload["error"] = self.error
+        return payload
+
+
+def _schema_from_json(payload: dict) -> SchemaMeta:
+    """Rebuild a SchemaMeta from the wire shape produced by
+    :meth:`repro.storage.catalog.Catalog.describe_schema`."""
+    try:
+        schema = SchemaMeta(name=payload["schema"])
+        for table_payload in payload["tables"]:
+            table = TableMeta(
+                name=table_payload["name"],
+                columns=[
+                    ColumnMeta(
+                        name=column["name"],
+                        dtype=DataType(column["type"]),
+                        comment=column.get("comment", ""),
+                    )
+                    for column in table_payload["columns"]
+                ],
+                comment=table_payload.get("comment", ""),
+            )
+            for fk in table_payload.get("foreign_keys", []):
+                table.foreign_keys.append(
+                    ForeignKey(fk["column"], fk["ref_table"], fk["ref_column"])
+                )
+            schema.tables[table.name] = table
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed schema payload: {exc}") from exc
+    return schema
+
+
+class CodesService:
+    """The text-to-SQL endpoint, pluggable behind a fixed message shape."""
+
+    def __init__(self, translator: Translator | None = None) -> None:
+        self._translator = (
+            translator if translator is not None else RuleBasedTranslator()
+        )
+
+    def handle(self, payload: dict) -> dict:
+        """One request/response round trip (single-turn, as in §3.3)."""
+        request = TranslationRequest.from_json(payload)
+        try:
+            translation = self._translator.translate(
+                request.schema, request.question
+            )
+        except TranslationError as error:
+            return TranslationResponse(
+                sql="", confidence=0.0, pruned_schema="", error=str(error)
+            ).to_json()
+        return TranslationResponse(
+            sql=translation.sql,
+            confidence=translation.confidence,
+            pruned_schema=translation.pruned_schema.serialize(),
+        ).to_json()
+
+    def handle_text(self, body: str) -> str:
+        """The REST framing: JSON text in, JSON text out."""
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise ProtocolError(f"request body is not valid JSON: {exc}") from exc
+        return json.dumps(self.handle(payload))

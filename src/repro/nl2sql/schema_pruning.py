@@ -1,0 +1,200 @@
+"""Schema pruning: select the schema elements relevant to a question.
+
+This is CodeS's first stage (§3.3): before generation, score every table
+and column against the question and keep only the most related ones, so
+arbitrarily wide tables never overflow the generator's context.  Scoring
+is lexical: question tokens are matched against identifier parts
+(``o_totalprice`` → ``o``, ``total``, ``price``), column comments, and a
+small synonym table; light stemming handles plurals.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.storage.catalog import ColumnMeta, SchemaMeta, TableMeta
+
+SYNONYMS: dict[str, set[str]] = {
+    "price": {"cost", "amount", "value", "revenue", "spend", "spent"},
+    "total": {"sum", "overall"},
+    "name": {"called", "named"},
+    "date": {"day", "time", "when"},
+    "status": {"state"},
+    "count": {"number", "many"},
+    "customer": {"client", "buyer", "user"},
+    "order": {"purchase", "sale"},
+    "nation": {"country"},
+    "region": {"continent", "area"},
+    "supplier": {"vendor", "seller"},
+    "quantity": {"qty", "units"},
+    "discount": {"rebate", "reduction"},
+    "url": {"page", "path", "endpoint"},
+    "latency": {"delay", "slow", "slowness"},
+    "bytes": {"size", "traffic"},
+    "segment": {"category"},
+    "balance": {"funds"},
+    "priority": {"urgency"},
+}
+
+
+def tokenize(text: str) -> list[str]:
+    """Lowercase word tokens; identifier-friendly (splits on ``_`` too)."""
+    return [token for token in re.split(r"[^a-z0-9]+", text.lower()) if token]
+
+
+def stem(token: str) -> str:
+    """Tiny plural stemmer: enough for schema-word matching."""
+    if token.endswith(("ss", "us", "is")):  # status, address, analysis
+        return token
+    if token.endswith("ies") and len(token) > 5:
+        return token[:-3] + "y"  # countries → country
+    if token.endswith("es") and len(token) > 4 and token[-3] in "sxzh":
+        return token[:-2]  # boxes → box, dishes → dish
+    if token.endswith("s") and len(token) > 3:
+        return token[:-1]  # prices → price
+    return token
+
+
+STOPWORDS = {
+    "the", "a", "an", "of", "in", "on", "at", "for", "to", "with", "and",
+    "or", "is", "are", "was", "were", "have", "has", "had", "do", "does",
+    "what", "which", "who", "how", "many", "much", "show", "list", "me",
+    "all", "their", "its", "by", "per", "each", "there", "that", "this",
+    "i", "you", "we", "be", "it",
+}
+
+
+def _expand(tokens: list[str]) -> set[str]:
+    """Token set closed under stemming and synonym equivalence; stopwords
+    are dropped so phrases like "nation of the supplier" match on content
+    words only."""
+    expanded: set[str] = set()
+    for token in tokens:
+        if token in STOPWORDS:
+            continue
+        stemmed = stem(token)
+        expanded.add(token)
+        expanded.add(stemmed)
+        for canonical, alternates in SYNONYMS.items():
+            if stemmed == canonical or stemmed in alternates:
+                expanded.add(canonical)
+                expanded.update(alternates)
+    return expanded
+
+
+@dataclass(frozen=True)
+class ScoredColumn:
+    table: str
+    column: ColumnMeta
+    score: float
+
+
+@dataclass
+class PrunedSchema:
+    """What survives pruning: ranked tables and columns.
+
+    ``serialize()`` produces the single-sequence form that would be fed to
+    the generation model (and which our rule translator consumes).
+    """
+
+    tables: list[TableMeta] = field(default_factory=list)
+    columns: list[ScoredColumn] = field(default_factory=list)
+
+    @property
+    def table_names(self) -> list[str]:
+        return [table.name for table in self.tables]
+
+    def columns_of(self, table_name: str) -> list[ScoredColumn]:
+        return [sc for sc in self.columns if sc.table == table_name]
+
+    def serialize(self) -> str:
+        parts = []
+        for table in self.tables:
+            columns = ", ".join(
+                f"{sc.column.name} {sc.column.dtype.value}"
+                for sc in self.columns_of(table.name)
+            )
+            parts.append(f"{table.name}({columns})")
+        return " | ".join(parts)
+
+
+class SchemaPruner:
+    """Ranks schema elements by lexical relevance to a question."""
+
+    def __init__(
+        self, max_tables: int = 4, max_columns_per_table: int = 12
+    ) -> None:
+        self._max_tables = max_tables
+        self._max_columns = max_columns_per_table
+
+    def prune(self, schema: SchemaMeta, question: str) -> PrunedSchema:
+        """Keep the top tables/columns for ``question``.
+
+        Key columns (FK endpoints) of the kept tables are always retained
+        so join paths survive pruning, whatever the table width.
+        """
+        question_tokens = _expand(tokenize(question))
+        table_scores: list[tuple[float, TableMeta]] = []
+        column_scores: dict[str, list[ScoredColumn]] = {}
+        for table in schema.tables.values():
+            columns = [
+                ScoredColumn(
+                    table.name, column, self._score_column(column, question_tokens)
+                )
+                for column in table.columns
+            ]
+            columns.sort(key=lambda sc: -sc.score)
+            column_scores[table.name] = columns
+            table_score = self._score_table(table, question_tokens) + sum(
+                sc.score for sc in columns[:3]
+            )
+            table_scores.append((table_score, table))
+        table_scores.sort(key=lambda pair: -pair[0])
+        kept_tables = [
+            table
+            for score, table in table_scores[: self._max_tables]
+            if score > 0
+        ]
+        if not kept_tables and table_scores:
+            kept_tables = [table_scores[0][1]]
+        pruned = PrunedSchema(tables=kept_tables)
+        key_columns = self._key_columns(schema, kept_tables)
+        for table in kept_tables:
+            kept: list[ScoredColumn] = []
+            for sc in column_scores[table.name]:
+                is_key = (table.name, sc.column.name) in key_columns
+                if sc.score > 0 or is_key:
+                    kept.append(sc)
+                if len(kept) >= self._max_columns:
+                    break
+            if not kept:
+                kept = column_scores[table.name][:3]
+            pruned.columns.extend(kept)
+        return pruned
+
+    @staticmethod
+    def _key_columns(
+        schema: SchemaMeta, tables: list[TableMeta]
+    ) -> set[tuple[str, str]]:
+        names = {table.name for table in tables}
+        keys: set[tuple[str, str]] = set()
+        for table in tables:
+            for fk in table.foreign_keys:
+                if fk.ref_table in names:
+                    keys.add((table.name, fk.column))
+                    keys.add((fk.ref_table, fk.ref_column))
+        return keys
+
+    @staticmethod
+    def _score_table(table: TableMeta, question_tokens: set[str]) -> float:
+        name_tokens = _expand(tokenize(table.name) + tokenize(table.comment))
+        return 2.0 * len(name_tokens & question_tokens)
+
+    @staticmethod
+    def _score_column(column: ColumnMeta, question_tokens: set[str]) -> float:
+        name_tokens = _expand(tokenize(column.name))
+        comment_tokens = _expand(tokenize(column.comment))
+        return 1.0 * len(name_tokens & question_tokens) + 0.5 * len(
+            comment_tokens & question_tokens
+        )

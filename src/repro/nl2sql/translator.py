@@ -1,0 +1,534 @@
+"""Single-turn question → SQL translation.
+
+:class:`RuleBasedTranslator` stands in for the CodeS generation model: it
+consumes the question plus the *pruned* schema (never the full one — the
+pruning contract is what makes wide tables workable) and emits one SQL
+query in a single turn, as §3.3 describes.  The translator interface is
+pluggable so a real model could be dropped in behind the same protocol.
+
+The parser recognizes the analytic question shapes the demo exercises:
+counting, aggregation (sum/avg/min/max), count-distinct, grouping
+("per X" / "for each X"), top-N, attribute listing, and filters with
+comparison/range/date/string predicates, joining tables over foreign-key
+paths when a question spans more than one table.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.errors import TranslationError
+from repro.nl2sql.schema_pruning import (
+    PrunedSchema,
+    SchemaPruner,
+    stem,
+    tokenize,
+    _expand,
+)
+from repro.storage.catalog import SchemaMeta
+from repro.storage.types import DataType
+
+
+class Translator(Protocol):
+    """Anything that can translate questions against a schema."""
+
+    def translate(self, schema: SchemaMeta, question: str) -> "Translation":
+        ...
+
+
+@dataclass(frozen=True)
+class Translation:
+    """A produced query plus introspection the UI can display."""
+
+    sql: str
+    confidence: float
+    pruned_schema: PrunedSchema
+
+
+@dataclass(frozen=True)
+class _Filter:
+    column: "_ColumnRef"
+    op: str  # '=', '<', '<=', '>', '>=', 'between'
+    value: str  # already rendered as a SQL literal
+    value2: str | None = None
+
+    def to_sql(self) -> str:
+        if self.op == "between":
+            return f"{self.column.name} BETWEEN {self.value} AND {self.value2}"
+        return f"{self.column.name} {self.op} {self.value}"
+
+
+@dataclass(frozen=True)
+class _ColumnRef:
+    table: str
+    name: str
+    dtype: DataType
+
+
+_COMPARATORS: list[tuple[str, str]] = [
+    ("greater than or equal to", ">="),
+    ("less than or equal to", "<="),
+    ("greater than", ">"),
+    ("more than", ">"),
+    ("larger than", ">"),
+    ("bigger than", ">"),
+    ("over", ">"),
+    ("above", ">"),
+    ("exceeding", ">"),
+    ("at least", ">="),
+    ("less than", "<"),
+    ("smaller than", "<"),
+    ("under", "<"),
+    ("below", "<"),
+    ("at most", "<="),
+    ("between", "between"),
+    ("after", ">"),
+    ("since", ">="),
+    ("before", "<"),
+    ("starting from", ">="),
+    ("equal to", "="),
+    ("equals", "="),
+]
+
+_AGG_KEYWORDS: list[tuple[str, str]] = [
+    ("how many different", "count_distinct"),
+    ("how many distinct", "count_distinct"),
+    ("how many unique", "count_distinct"),
+    ("number of different", "count_distinct"),
+    ("number of distinct", "count_distinct"),
+    ("how many", "count"),
+    ("number of", "count"),
+    ("count of", "count"),
+    ("total number of", "count"),
+    ("average", "avg"),
+    ("mean", "avg"),
+    ("total", "sum"),
+    ("sum of", "sum"),
+    ("overall", "sum"),
+    ("maximum", "max"),
+    ("highest", "max"),
+    ("largest", "max"),
+    ("biggest", "max"),
+    ("max", "max"),
+    ("minimum", "min"),
+    ("lowest", "min"),
+    ("smallest", "min"),
+    ("min", "min"),
+]
+
+_GROUP_MARKERS = ["for each", "per", "grouped by", "broken down by", "by each"]
+
+_NUMBER_WORDS = {
+    "one": 1, "two": 2, "three": 3, "four": 4, "five": 5,
+    "six": 6, "seven": 7, "eight": 8, "nine": 9, "ten": 10,
+}
+
+
+class RuleBasedTranslator:
+    """Deterministic semantic parser over the pruned schema."""
+
+    def __init__(self, pruner: SchemaPruner | None = None) -> None:
+        self._pruner = pruner if pruner is not None else SchemaPruner()
+
+    def translate(self, schema: SchemaMeta, question: str) -> Translation:
+        if not question or not question.strip():
+            raise TranslationError("empty question")
+        pruned = self._pruner.prune(schema, question)
+        if not pruned.tables:
+            raise TranslationError("no relevant tables found for the question")
+        # Pull quoted literals out before lowercasing so 'O' stays 'O'.
+        literals: dict[str, str] = {}
+
+        def _stash(match: re.Match) -> str:
+            key = f"qv{len(literals)}"
+            literals[key] = match.group(0)[1:-1]
+            return key
+
+        text = re.sub(
+            r"'[^']*'|\"[^\"]*\"", _stash, question.strip().rstrip("?.!")
+        ).lower()
+        confidence = 1.0
+
+        limit, order_desc, text = self._extract_top_n(text)
+        filters, text = self._extract_filters(text, pruned, literals)
+        if limit is None:
+            group_column, text = self._extract_group(text, pruned)
+            agg_func, agg_column, text = self._extract_aggregate(text, pruned)
+        else:
+            # A top-N question reads "by X" as the ranking key, not as an
+            # aggregation; "total price" names the column there.
+            group_column = agg_func = agg_column = None
+
+        select_parts: list[str] = []
+        order_by: str | None = None
+        used_columns: list[_ColumnRef] = [f.column for f in filters]
+        if group_column is not None:
+            used_columns.append(group_column)
+            select_parts.append(group_column.name)
+        if agg_func is not None:
+            agg_sql = self._render_aggregate(agg_func, agg_column)
+            select_parts.append(agg_sql)
+            if agg_column is not None:
+                used_columns.append(agg_column)
+        if limit is not None and agg_func is None:
+            sort_column = self._pick_sort_column(text, pruned)
+            if sort_column is not None:
+                used_columns.append(sort_column)
+                order_by = f"{sort_column.name} {'DESC' if order_desc else 'ASC'}"
+                listed = self._listed_columns(text, pruned, exclude={sort_column.name})
+                used_columns.extend(listed)
+                select_parts = [c.name for c in listed] + [sort_column.name]
+        if not select_parts:
+            listed = self._listed_columns(text, pruned, exclude=set())
+            if listed:
+                select_parts = [c.name for c in listed]
+                used_columns.extend(listed)
+            else:
+                select_parts = ["*"]
+                confidence = 0.3
+        tables = self._tables_for(used_columns, pruned)
+        from_sql = self._render_from(tables, pruned)
+        sql = f"SELECT {', '.join(dict.fromkeys(select_parts))} FROM {from_sql}"
+        if filters:
+            sql += " WHERE " + " AND ".join(f.to_sql() for f in filters)
+        if group_column is not None:
+            sql += f" GROUP BY {group_column.name}"
+        if order_by is not None:
+            sql += f" ORDER BY {order_by}"
+        if limit is not None:
+            sql += f" LIMIT {limit}"
+        return Translation(sql=sql, confidence=confidence, pruned_schema=pruned)
+
+    # -- component extractors ---------------------------------------------------
+
+    @staticmethod
+    def _extract_top_n(text: str) -> tuple[int | None, bool, str]:
+        match = re.search(r"\btop\s+(\d+|\w+)\b", text)
+        if not match:
+            match = re.search(r"\b(\d+)\s+(?:best|largest|highest)\b", text)
+            if not match:
+                return None, True, text
+        raw = match.group(1)
+        count = _NUMBER_WORDS.get(raw)
+        if count is None:
+            try:
+                count = int(raw)
+            except ValueError:
+                return None, True, text
+        return count, True, text.replace(match.group(0), " ", 1)
+
+    def _extract_filters(
+        self, text: str, pruned: PrunedSchema, literals: dict[str, str]
+    ) -> tuple[list[_Filter], str]:
+        filters: list[_Filter] = []
+        for phrase, op in _COMPARATORS:
+            while True:
+                pattern = rf"\b{re.escape(phrase)}\b\s+" + _VALUE_PATTERN
+                match = re.search(pattern, text)
+                if match is None:
+                    break
+                value_raw = match.group("value")
+                prefix = text[: match.start()]
+                column = self._column_before(prefix, pruned)
+                column = self._retarget_date(column, value_raw, pruned)
+                value2_raw = None
+                consumed_end = match.end()
+                if op == "between":
+                    tail = text[match.end():]
+                    second = re.match(r"\s*and\s+" + _VALUE_PATTERN, tail)
+                    if second is None or column is None:
+                        break
+                    value2_raw = second.group("value")
+                    consumed_end = match.end() + second.end()
+                if column is None:
+                    text = text[: match.start()] + " " + text[consumed_end:]
+                    continue
+                value = self._render_value(value_raw, column, literals)
+                value2 = (
+                    self._render_value(value2_raw, column, literals)
+                    if value2_raw is not None
+                    else None
+                )
+                filters.append(_Filter(column, op, value, value2))
+                start = self._phrase_start(prefix, column)
+                text = text[:start] + " " + text[consumed_end:]
+        # "with status 'O'" style equality (no comparator word).
+        match = re.search(r"\b(?:is|was|equal to|=)\s+" + _VALUE_PATTERN, text)
+        if match:
+            column = self._column_before(text[: match.start()], pruned)
+            column = self._retarget_date(column, match.group("value"), pruned)
+            if column is not None:
+                value = self._render_value(match.group("value"), column, literals)
+                filters.append(_Filter(column, "=", value))
+                start = self._phrase_start(text[: match.start()], column)
+                text = text[:start] + " " + text[match.end():]
+        return filters, text
+
+    @staticmethod
+    def _phrase_start(prefix: str, column: _ColumnRef) -> int:
+        """Index where the column phrase (≤3 trailing words) begins."""
+        words = prefix.rstrip().rsplit(maxsplit=3)
+        if len(words) <= 1:
+            return 0
+        return len(prefix.rstrip()) - sum(
+            len(word) + 1 for word in words[1:]
+        ) + 1
+
+    def _extract_group(
+        self, text: str, pruned: PrunedSchema
+    ) -> tuple[_ColumnRef | None, str]:
+        for marker in _GROUP_MARKERS:
+            match = re.search(rf"\b{re.escape(marker)}\b\s+((?:\w+\s*){{1,3}})", text)
+            if match is None:
+                continue
+            column = self._resolve_column(match.group(1), pruned)
+            if column is not None:
+                return column, text[: match.start()] + " " + text[match.end():]
+        return None, text
+
+    def _extract_aggregate(
+        self, text: str, pruned: PrunedSchema
+    ) -> tuple[str | None, _ColumnRef | None, str]:
+        # Consider every aggregate keyword present, earliest in the text
+        # first ("minimum total price" must read as MIN, not SUM), with
+        # longer phrases winning ties at the same position.
+        candidates: list[tuple[int, int, str, str, re.Match]] = []
+        for rank, (phrase, func) in enumerate(_AGG_KEYWORDS):
+            match = re.search(
+                rf"\b{re.escape(phrase)}\b\s*((?:\w+\s*){{0,4}})", text
+            )
+            if match is not None:
+                candidates.append((match.start(), rank, phrase, func, match))
+        candidates.sort(key=lambda item: (item[0], item[1]))
+        for _, _, phrase, func, match in candidates:
+            target_phrase = match.group(1)
+            column = self._resolve_column(target_phrase, pruned)
+            if func in ("count", "count_distinct"):
+                remaining = text[: match.start()] + " " + text[match.end():]
+                if func == "count_distinct":
+                    if column is None:
+                        continue
+                    return "count_distinct", column, remaining
+                return "count", None, remaining
+            if column is None:
+                continue
+            if not column.dtype.is_numeric and func in ("sum", "avg"):
+                continue
+            remaining = text[: match.start()] + " " + text[match.end():]
+            return func, column, remaining
+        return None, None, text
+
+    @staticmethod
+    def _render_aggregate(func: str, column: _ColumnRef | None) -> str:
+        if func == "count":
+            return "count(*)"
+        if func == "count_distinct":
+            assert column is not None
+            return f"count(DISTINCT {column.name})"
+        assert column is not None
+        return f"{func}({column.name})"
+
+    def _pick_sort_column(
+        self, text: str, pruned: PrunedSchema
+    ) -> _ColumnRef | None:
+        match = re.search(r"\bby\s+((?:\w+\s*){1,3})", text)
+        if match:
+            column = self._resolve_column(match.group(1), pruned)
+            if column is not None:
+                return column
+        match = re.search(
+            r"\b(?:highest|largest|biggest|most|greatest)\s+((?:\w+\s*){1,3})", text
+        )
+        if match:
+            return self._resolve_column(match.group(1), pruned)
+        return None
+
+    def _listed_columns(
+        self, text: str, pruned: PrunedSchema, exclude: set[str]
+    ) -> list[_ColumnRef]:
+        """Columns explicitly named in a 'show/list the X and Y' question."""
+        match = re.search(
+            r"\b(?:show|list|display|give me|what are|return)\b(.*)", text
+        )
+        if match is None:
+            return []
+        phrase = match.group(1)
+        columns: list[_ColumnRef] = []
+        for piece in re.split(r",| and ", phrase):
+            column = self._resolve_column(piece, pruned)
+            if column is not None and column.name not in exclude:
+                if all(column.name != existing.name for existing in columns):
+                    columns.append(column)
+        return columns
+
+    # -- resolution helpers ----------------------------------------------------------
+
+    def _column_before(
+        self, prefix: str, pruned: PrunedSchema
+    ) -> _ColumnRef | None:
+        """Resolve the column phrase immediately preceding a comparator."""
+        words = tokenize(prefix)[-3:]
+        best: tuple[float, _ColumnRef] | None = None
+        for take in (3, 2, 1):
+            if len(words) >= take:
+                candidate = self._resolve_column(" ".join(words[-take:]), pruned)
+                if candidate is not None:
+                    return candidate
+        return best[1] if best else None
+
+    def _resolve_column(
+        self, phrase: str, pruned: PrunedSchema
+    ) -> _ColumnRef | None:
+        """Best pruned column for a free-text phrase, if any scores > 0."""
+        phrase_tokens = _expand(tokenize(phrase))
+        if not phrase_tokens:
+            return None
+        best_score = 0.0
+        best: _ColumnRef | None = None
+        for scored in pruned.columns:
+            name_tokens = _expand(tokenize(scored.column.name))
+            column_tokens = name_tokens | _expand(tokenize(scored.column.comment))
+            overlap = len(phrase_tokens & column_tokens)
+            if overlap == 0:
+                continue
+            # Precision term: "temperature" should prefer `temperature`
+            # (1/1 of its tokens matched) over `sensor_id` (1/2 matched).
+            precision = len(phrase_tokens & name_tokens) / max(len(name_tokens), 1)
+            score = overlap + 0.5 * precision + 0.1 * scored.score
+            if score > best_score:
+                best_score = score
+                best = _ColumnRef(
+                    scored.table, scored.column.name, scored.column.dtype
+                )
+        return best
+
+    @staticmethod
+    def _retarget_date(
+        column: "_ColumnRef | None", value_raw: str, pruned: PrunedSchema
+    ) -> "_ColumnRef | None":
+        """A date literal almost certainly filters a DATE column, whatever
+        noun happened to precede the comparator ("orders after 1995-06-01"
+        means the order *date*)."""
+        if not re.fullmatch(r"\d{4}-\d{2}-\d{2}", value_raw.strip()):
+            return column
+        if column is not None and column.dtype is DataType.DATE:
+            return column
+        date_columns = [
+            sc for sc in pruned.columns if sc.column.dtype is DataType.DATE
+        ]
+        if not date_columns:
+            return column
+        best = max(date_columns, key=lambda sc: sc.score)
+        return _ColumnRef(best.table, best.column.name, best.column.dtype)
+
+    @staticmethod
+    def _render_value(
+        raw: str, column: _ColumnRef, literals: dict[str, str]
+    ) -> str:
+        value = raw.strip()
+        if value in literals:
+            value = literals[value]
+        else:
+            value = value.strip("'\"")
+        if re.fullmatch(r"\d{4}-\d{2}-\d{2}", value):
+            return f"DATE '{value}'"
+        if column.dtype is DataType.VARCHAR:
+            escaped = value.replace("'", "''")
+            return f"'{escaped}'"
+        if column.dtype is DataType.DATE:
+            return f"DATE '{value}'"
+        return value
+
+    # -- FROM clause assembly -----------------------------------------------------------
+
+    def _tables_for(
+        self, used_columns: list[_ColumnRef], pruned: PrunedSchema
+    ) -> list[str]:
+        tables = list(dict.fromkeys(column.table for column in used_columns))
+        if not tables:
+            tables = [pruned.tables[0].name]
+        return tables
+
+    def _render_from(self, tables: list[str], pruned: PrunedSchema) -> str:
+        if len(tables) == 1:
+            return tables[0]
+        path = self._join_path(tables, pruned)
+        if path is None:
+            raise TranslationError(
+                f"cannot find a join path between tables {tables}"
+            )
+        ordered, edges = path
+        sql = ordered[0]
+        joined = {ordered[0]}
+        for table in ordered[1:]:
+            edge = next(
+                (e for e in edges if (e[0] in joined) != (e[2] in joined)
+                 and table in (e[0], e[2])),
+                None,
+            )
+            if edge is None:
+                raise TranslationError(f"no join edge reaches table {table!r}")
+            left_table, left_column, right_table, right_column = edge
+            sql += (
+                f" JOIN {table} ON {left_table}.{left_column}"
+                f" = {right_table}.{right_column}"
+            )
+            joined.add(table)
+        return sql
+
+    def _join_path(
+        self, tables: list[str], pruned: PrunedSchema
+    ) -> tuple[list[str], list[tuple[str, str, str, str]]] | None:
+        """Order ``tables`` so each joins the previous ones via an FK edge.
+
+        Uses BFS over the (undirected) FK graph of the pruned tables,
+        allowing intermediate tables that were pruned in but not
+        explicitly referenced.
+        """
+        edges: list[tuple[str, str, str, str]] = []
+        for table in pruned.tables:
+            for fk in table.foreign_keys:
+                edges.append((table.name, fk.column, fk.ref_table, fk.ref_column))
+        adjacency: dict[str, list[tuple[str, str, str, str]]] = {}
+        for edge in edges:
+            adjacency.setdefault(edge[0], []).append(edge)
+            adjacency.setdefault(edge[2], []).append(edge)
+        ordered = [tables[0]]
+        included = {tables[0]}
+        used_edges: list[tuple[str, str, str, str]] = []
+        for target in tables[1:]:
+            if target in included:
+                continue
+            path = self._bfs(ordered, target, adjacency)
+            if path is None:
+                return None
+            for edge, node in path:
+                if node not in included:
+                    ordered.append(node)
+                    included.add(node)
+                    used_edges.append(edge)
+        return ordered, used_edges
+
+    @staticmethod
+    def _bfs(sources, target, adjacency):
+        from collections import deque
+
+        visited = set(sources)
+        queue = deque([(node, []) for node in sources])
+        while queue:
+            node, path = queue.popleft()
+            if node == target:
+                return path
+            for edge in adjacency.get(node, []):
+                neighbor = edge[2] if edge[0] == node else edge[0]
+                if neighbor not in visited:
+                    visited.add(neighbor)
+                    queue.append((neighbor, path + [(edge, neighbor)]))
+        return None
+
+
+_VALUE_PATTERN = (
+    r"(?P<value>'[^']*'|\"[^\"]*\"|qv\d+|\d{4}-\d{2}-\d{2}|\d+(?:\.\d+)?)"
+)

@@ -1,0 +1,22 @@
+"""Pixels-Rover: the user-interface backend (paper §2(1) and §4).
+
+The demo UI is a browser app; its *backend* is what carries the system
+behaviour, and that is what this package implements:
+
+* :mod:`~repro.rover.auth` — login/authentication and per-user database
+  authorization (§4: "after logging in through authentication ... schemas
+  of the authorized databases").
+* :mod:`~repro.rover.models` — translator blocks (question → editable SQL
+  code block) and status-and-result blocks with the per-level colours and
+  the four statuses of §4.3.
+* :mod:`~repro.rover.server` — the backend façade wiring the schema
+  browser, the text-to-SQL service (via the JSON protocol of §2(3)), the
+  submission form (service level + result-size limit, Figure 3), and the
+  query-result area ordered by submission time.
+"""
+
+from repro.rover.auth import UserStore
+from repro.rover.models import ResultBlock, TranslatorBlock
+from repro.rover.server import RoverServer
+
+__all__ = ["ResultBlock", "RoverServer", "TranslatorBlock", "UserStore"]

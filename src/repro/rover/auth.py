@@ -1,0 +1,73 @@
+"""Authentication and per-user database authorization."""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+from dataclasses import dataclass, field
+
+from repro.errors import AuthenticationError, AuthorizationError
+
+
+def _hash_password(password: str, salt: str) -> str:
+    return hashlib.sha256(f"{salt}:{password}".encode("utf-8")).hexdigest()
+
+
+@dataclass
+class User:
+    """One registered user and the database schemas they may analyze."""
+
+    username: str
+    password_hash: str
+    salt: str
+    authorized_databases: set[str] = field(default_factory=set)
+
+
+class UserStore:
+    """User registry with salted-hash password verification."""
+
+    def __init__(self) -> None:
+        self._users: dict[str, User] = {}
+
+    def register(
+        self, username: str, password: str, authorized_databases: set[str]
+    ) -> User:
+        if username in self._users:
+            raise AuthenticationError(f"user {username!r} already exists")
+        if not password:
+            raise AuthenticationError("password must not be empty")
+        salt = secrets.token_hex(8)
+        user = User(
+            username=username,
+            password_hash=_hash_password(password, salt),
+            salt=salt,
+            authorized_databases=set(authorized_databases),
+        )
+        self._users[username] = user
+        return user
+
+    def authenticate(self, username: str, password: str) -> User:
+        user = self._users.get(username)
+        if user is None or user.password_hash != _hash_password(
+            password, user.salt
+        ):
+            raise AuthenticationError("invalid username or password")
+        return user
+
+    def grant(self, username: str, database: str) -> None:
+        self._user(username).authorized_databases.add(database)
+
+    def revoke(self, username: str, database: str) -> None:
+        self._user(username).authorized_databases.discard(database)
+
+    def check_authorized(self, username: str, database: str) -> None:
+        if database not in self._user(username).authorized_databases:
+            raise AuthorizationError(
+                f"user {username!r} is not authorized for database {database!r}"
+            )
+
+    def _user(self, username: str) -> User:
+        user = self._users.get(username)
+        if user is None:
+            raise AuthenticationError(f"no such user {username!r}")
+        return user

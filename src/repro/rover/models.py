@@ -1,0 +1,94 @@
+"""UI state objects: translator blocks and status-and-result blocks (§4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.query_server import ServerQuery
+from repro.core.service_levels import QueryStatus, ServiceLevel
+
+
+@dataclass
+class TranslatorBlock:
+    """One question and its SQL code block in the Translator area.
+
+    Mirrors §4.2's edit workflow: the block starts read-only with the
+    translated query; ``begin_edit`` makes it writable, ``confirm_edit``
+    accepts the modification, ``cancel_edit`` resets to the last confirmed
+    text.  ``result_ids`` link to the result blocks this query produced
+    (double-click highlighting in the UI).
+    """
+
+    block_id: str
+    question: str
+    sql: str
+    translated_sql: str  # what the service originally produced
+    confidence: float
+    editing: bool = False
+    _draft: str | None = None
+    result_ids: list[str] = field(default_factory=list)
+
+    def begin_edit(self) -> None:
+        self.editing = True
+        self._draft = self.sql
+
+    def update_draft(self, sql: str) -> None:
+        if not self.editing:
+            raise ValueError("block is not in edit mode")
+        self._draft = sql
+
+    def confirm_edit(self) -> None:
+        if not self.editing:
+            raise ValueError("block is not in edit mode")
+        assert self._draft is not None
+        self.sql = self._draft
+        self.editing = False
+        self._draft = None
+
+    def cancel_edit(self) -> None:
+        if not self.editing:
+            raise ValueError("block is not in edit mode")
+        self.editing = False
+        self._draft = None
+
+
+@dataclass
+class ResultBlock:
+    """One status-and-result block in the Query Result area (§4.3)."""
+
+    result_id: str
+    origin_block_id: str
+    submitted_at: float
+    server_query: ServerQuery
+
+    @property
+    def level(self) -> ServiceLevel:
+        return self.server_query.level
+
+    @property
+    def status(self) -> QueryStatus:
+        return self.server_query.status
+
+    @property
+    def color(self) -> str:
+        """Background colour encodes the service level (§4.3)."""
+        return self.level.display_color
+
+    def expand(self) -> dict:
+        """The expanded block: result + execution statistics, or the error
+        message for failed queries (§4.3)."""
+        query = self.server_query
+        if self.status is QueryStatus.FAILED:
+            return {"status": self.status.value, "error": query.error}
+        payload: dict = {"status": self.status.value}
+        if self.status is QueryStatus.FINISHED:
+            payload.update(
+                {
+                    "columns": query.result_columns(),
+                    "rows": query.result_rows(),
+                    "pending_time_s": query.pending_time_s,
+                    "execution_time_s": query.execution_time_s,
+                    "monetary_cost": query.price,
+                }
+            )
+        return payload

@@ -1,0 +1,74 @@
+"""Time-ordered event heap for the simulation kernel.
+
+Events are ordered by ``(time, sequence)``: ties on time break in scheduling
+order, which makes runs deterministic without requiring callbacks to be
+comparable.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled callback.
+
+    Attributes:
+        time: Simulated time at which the callback fires.
+        seq: Monotonic tie-breaker assigned by the queue.
+        callback: Zero-argument callable invoked when the event fires
+            (bound arguments should be captured via ``functools.partial``
+            or a closure).
+        cancelled: Cancelled events stay in the heap but are skipped when
+            popped; :meth:`EventQueue.cancel` flips this flag in O(1).
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], Any] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark this event so the queue skips it when it reaches the top."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A min-heap of :class:`Event` objects with lazy cancellation."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def push(self, time: float, callback: Callable[[], Any]) -> Event:
+        """Schedule ``callback`` at absolute simulated ``time``."""
+        event = Event(time=time, seq=next(self._counter), callback=callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event | None:
+        """Remove and return the earliest live event, or None if empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> float | None:
+        """Return the time of the earliest live event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously pushed event (no-op if already fired)."""
+        event.cancel()

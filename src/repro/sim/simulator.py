@@ -1,0 +1,114 @@
+"""The simulation event loop.
+
+A :class:`Simulator` owns the clock and the event heap.  Components schedule
+work with :meth:`Simulator.schedule` (relative delay) or
+:meth:`Simulator.schedule_at` (absolute time) and the driver advances time
+with :meth:`run_until` / :meth:`run`.
+
+Time is a float in **seconds**.  The kernel never converts units; the Turbo
+configuration expresses scale-out lag, grace periods, etc. in seconds too.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.rng import RngRegistry
+
+
+class Simulator:
+    """Discrete-event simulator: a clock plus a time-ordered event heap.
+
+    Example:
+        >>> sim = Simulator()
+        >>> fired = []
+        >>> _ = sim.schedule(5.0, lambda: fired.append(sim.now))
+        >>> sim.run()
+        >>> fired
+        [5.0]
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._now = 0.0
+        self._queue = EventQueue()
+        self._running = False
+        self.rng = RngRegistry(seed)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live (non-cancelled) events still scheduled."""
+        return len(self._queue)
+
+    def schedule(self, delay: float, callback: Callable[[], Any]) -> Event:
+        """Schedule ``callback`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past: delay={delay}")
+        return self._queue.push(self._now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], Any]) -> Event:
+        """Schedule ``callback`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule in the past: time={time} < now={self._now}"
+            )
+        return self._queue.push(time, callback)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a scheduled event (no-op if it already fired)."""
+        self._queue.cancel(event)
+
+    def run(self, max_events: int = 10_000_000) -> None:
+        """Run until the event heap is empty.
+
+        Args:
+            max_events: Safety valve against runaway feedback loops; a
+                simulation that fires this many events raises RuntimeError.
+        """
+        self._run(until=None, max_events=max_events)
+
+    def run_until(self, time: float, max_events: int = 10_000_000) -> None:
+        """Run all events with ``event.time <= time`` then set now = time."""
+        if time < self._now:
+            raise ValueError(f"cannot run backwards: {time} < {self._now}")
+        self._run(until=time, max_events=max_events)
+        self._now = max(self._now, time)
+
+    def step(self) -> bool:
+        """Fire the single earliest event.  Returns False if none remain."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        self._now = event.time
+        event.callback()
+        return True
+
+    def _run(self, until: float | None, max_events: int) -> None:
+        if self._running:
+            raise RuntimeError("simulator is not reentrant")
+        self._running = True
+        try:
+            fired = 0
+            while True:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    return
+                if until is not None and next_time > until:
+                    return
+                event = self._queue.pop()
+                assert event is not None
+                self._now = event.time
+                event.callback()
+                fired += 1
+                if fired >= max_events:
+                    raise RuntimeError(
+                        f"simulation exceeded {max_events} events; "
+                        "likely a feedback loop"
+                    )
+        finally:
+            self._running = False

@@ -1,0 +1,190 @@
+"""Column data types and the in-memory column vector.
+
+The engine is vectorized: every operator consumes and produces
+:class:`ColumnVector` objects (a numpy array plus an optional null mask).
+``DataType`` is the logical type system shared by the catalog, the SQL
+binder, and the columnar file format.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class DataType(enum.Enum):
+    """Logical column types supported by the reproduction.
+
+    The set matches what the TPC-H-style workloads need; DECIMAL is carried
+    as float64 (sufficient for the scheduling/pricing experiments, which do
+    not depend on exact decimal arithmetic).
+    """
+
+    BOOLEAN = "boolean"
+    INT = "int"
+    BIGINT = "bigint"
+    DOUBLE = "double"
+    VARCHAR = "varchar"
+    DATE = "date"  # days since 1970-01-01, stored as int32
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        """The physical numpy dtype backing this logical type."""
+        return _NUMPY_DTYPES[self]
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (DataType.INT, DataType.BIGINT, DataType.DOUBLE)
+
+    @property
+    def is_orderable(self) -> bool:
+        """Whether <, >, BETWEEN, MIN/MAX make sense for this type."""
+        return self is not DataType.BOOLEAN
+
+    @staticmethod
+    def from_string(name: str) -> "DataType":
+        """Parse a type name as written in SQL/DDL (case-insensitive)."""
+        normalized = name.strip().lower()
+        aliases = {
+            "integer": "int",
+            "long": "bigint",
+            "float": "double",
+            "real": "double",
+            "decimal": "double",
+            "string": "varchar",
+            "text": "varchar",
+            "char": "varchar",
+            "bool": "boolean",
+        }
+        normalized = aliases.get(normalized, normalized)
+        try:
+            return DataType(normalized)
+        except ValueError:
+            raise ValueError(f"unknown data type: {name!r}") from None
+
+
+_NUMPY_DTYPES: dict[DataType, np.dtype] = {
+    DataType.BOOLEAN: np.dtype(np.bool_),
+    DataType.INT: np.dtype(np.int32),
+    DataType.BIGINT: np.dtype(np.int64),
+    DataType.DOUBLE: np.dtype(np.float64),
+    DataType.VARCHAR: np.dtype(object),
+    DataType.DATE: np.dtype(np.int32),
+}
+
+
+@dataclass
+class ColumnVector:
+    """A typed column of values with an optional validity mask.
+
+    Attributes:
+        dtype: Logical type of the column.
+        data: Backing numpy array (``object`` dtype for VARCHAR).
+        nulls: Boolean array, True where the value is NULL; ``None`` means
+            no nulls anywhere (the common fast path).
+    """
+
+    dtype: DataType
+    data: np.ndarray
+    nulls: np.ndarray | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.nulls is not None and len(self.nulls) != len(self.data):
+            raise ValueError("null mask length must match data length")
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    @property
+    def null_count(self) -> int:
+        return 0 if self.nulls is None else int(self.nulls.sum())
+
+    def has_nulls(self) -> bool:
+        return self.nulls is not None and bool(self.nulls.any())
+
+    @staticmethod
+    def from_values(dtype: DataType, values: list) -> "ColumnVector":
+        """Build a vector from a Python list; ``None`` entries become NULLs."""
+        null_flags = np.array([value is None for value in values], dtype=bool)
+        if dtype is DataType.VARCHAR:
+            data = np.array(
+                ["" if value is None else str(value) for value in values],
+                dtype=object,
+            )
+        else:
+            filler: object = False if dtype is DataType.BOOLEAN else 0
+            data = np.array(
+                [filler if value is None else value for value in values],
+                dtype=dtype.numpy_dtype,
+            )
+        nulls = null_flags if null_flags.any() else None
+        return ColumnVector(dtype, data, nulls)
+
+    def to_values(self) -> list:
+        """Convert back to a Python list with ``None`` for NULLs."""
+        raw = self.data.tolist()
+        if self.nulls is None:
+            return raw
+        return [None if null else value for value, null in zip(raw, self.nulls)]
+
+    def take(self, indices: np.ndarray) -> "ColumnVector":
+        """Gather rows by integer index (the join/sort building block)."""
+        nulls = None if self.nulls is None else self.nulls[indices]
+        return ColumnVector(self.dtype, self.data[indices], nulls)
+
+    def filter(self, mask: np.ndarray) -> "ColumnVector":
+        """Keep rows where ``mask`` is True."""
+        nulls = None if self.nulls is None else self.nulls[mask]
+        return ColumnVector(self.dtype, self.data[mask], nulls)
+
+    def slice(self, start: int, stop: int) -> "ColumnVector":
+        nulls = None if self.nulls is None else self.nulls[start:stop]
+        return ColumnVector(self.dtype, self.data[start:stop], nulls)
+
+    def concat(self, other: "ColumnVector") -> "ColumnVector":
+        """Append ``other`` below this vector (dtypes must match)."""
+        if other.dtype is not self.dtype:
+            raise ValueError(f"dtype mismatch: {self.dtype} vs {other.dtype}")
+        data = np.concatenate([self.data, other.data])
+        if self.nulls is None and other.nulls is None:
+            nulls = None
+        else:
+            left = (
+                self.nulls
+                if self.nulls is not None
+                else np.zeros(len(self.data), dtype=bool)
+            )
+            right = (
+                other.nulls
+                if other.nulls is not None
+                else np.zeros(len(other.data), dtype=bool)
+            )
+            nulls = np.concatenate([left, right])
+        return ColumnVector(self.dtype, data, nulls)
+
+    def nbytes(self) -> int:
+        """Approximate in-memory size; VARCHAR counts UTF-8 payload."""
+        if self.dtype is DataType.VARCHAR:
+            payload = sum(len(str(value).encode("utf-8")) for value in self.data)
+            return payload + 4 * len(self.data)  # offsets
+        size = int(self.data.nbytes)
+        if self.nulls is not None:
+            size += int(self.nulls.nbytes)
+        return size
+
+
+def date_to_days(iso_date: str) -> int:
+    """Convert 'YYYY-MM-DD' to days since the Unix epoch."""
+    import datetime as _dt
+
+    delta = _dt.date.fromisoformat(iso_date) - _dt.date(1970, 1, 1)
+    return delta.days
+
+
+def days_to_date(days: int) -> str:
+    """Convert days since the Unix epoch back to 'YYYY-MM-DD'."""
+    import datetime as _dt
+
+    return (_dt.date(1970, 1, 1) + _dt.timedelta(days=int(days))).isoformat()

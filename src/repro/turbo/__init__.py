@@ -1,0 +1,34 @@
+"""Pixels-Turbo: the hybrid serverless query runtime (paper §2–§3.1).
+
+Components map one-to-one onto Figure 1:
+
+* :class:`~repro.turbo.coordinator.Coordinator` — the only long-running
+  component: metadata, query planning/tracking, concurrency accounting,
+  and the decision of where each query runs.
+* :class:`~repro.turbo.vm_cluster.VmCluster` — the auto-scaled VM pool:
+  cost-efficient, but scale-out takes 1–2 minutes (watermark autoscaling
+  with lazy scale-in, §3.1).
+* :class:`~repro.turbo.cf_service.CfService` — the cloud-function pool:
+  workers in ~1 second, 9–24× higher unit price.
+* :mod:`~repro.turbo.plan_split` — pushes expensive operators into a CF
+  sub-plan whose result returns as a materialized view.
+* :class:`~repro.turbo.cost.CostModel` — execution-time and dollar-cost
+  model calibrated to the paper's published ratios.
+"""
+
+from repro.turbo.config import TurboConfig
+from repro.turbo.coordinator import Coordinator, QueryExecution
+from repro.turbo.cost import CostModel
+from repro.turbo.cf_service import CfService
+from repro.turbo.plan_split import split_plan
+from repro.turbo.vm_cluster import VmCluster
+
+__all__ = [
+    "CfService",
+    "Coordinator",
+    "CostModel",
+    "QueryExecution",
+    "TurboConfig",
+    "VmCluster",
+    "split_plan",
+]

@@ -1,0 +1,505 @@
+"""The Coordinator: Pixels-Turbo's only long-running component (paper §2).
+
+It manages metadata, parses/plans queries, coordinates execution tasks,
+and collects results and statistics (execution time, resource
+consumption).  This reproduction adds the two interfaces the paper
+contributes (§2, §3.1): the query server can
+
+* check the system's load status (query concurrency vs the watermarks) and
+* specify per query whether CF acceleration is enabled.
+
+Execution paths:
+
+* a free VM slot → run the whole plan on that VM;
+* no free slot and CF enabled → split the plan, fan the expensive
+  sub-plan out to CF workers, feed the result to the cheap top-level plan
+  as a materialized view (the query never loads the VM cluster further);
+* no free slot and CF disabled → wait in the VM queue (cheaper, slower).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import NoSuchQueryError, PixelsError
+from repro.engine.executor import QueryExecutor, QueryResult, QueryStats
+from repro.engine.optimizer import Optimizer
+from repro.engine.planner import Planner
+from repro.engine.source import ObjectStoreSource
+from repro.sim import Simulator, Trace
+from repro.storage.catalog import Catalog
+from repro.storage.object_store import ObjectStore
+from repro.turbo.cf_service import CfService
+from repro.turbo.config import TurboConfig
+from repro.turbo.cost import CostModel
+from repro.turbo.faults import FaultConfig, FaultInjector
+from repro.turbo.plan_split import split_plan
+from repro.turbo.vm_cluster import VmCluster, VmTask, VmWorker
+
+
+class ExecutionVenue(enum.Enum):
+    """Where a query's heavy work ran."""
+
+    VM = "vm"
+    CF = "cf"
+
+
+@dataclass
+class QueryExecution:
+    """The Coordinator's record of one query (status + statistics)."""
+
+    query_id: str
+    sql: str
+    submitted_at: float
+    cf_enabled: bool
+    started_at: float | None = None
+    finished_at: float | None = None
+    venue: ExecutionVenue | None = None
+    result: QueryResult | None = None
+    error: str | None = None
+    provider_cost: float = 0.0
+    cf_workers: int = 0
+    retries: int = 0
+    on_complete: Callable[["QueryExecution"], None] | None = field(
+        default=None, repr=False
+    )
+
+    @property
+    def succeeded(self) -> bool:
+        return self.finished_at is not None and self.error is None
+
+    @property
+    def pending_time_s(self) -> float | None:
+        if self.started_at is None:
+            return None
+        return self.started_at - self.submitted_at
+
+    @property
+    def execution_time_s(self) -> float | None:
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    @property
+    def bytes_scanned(self) -> int:
+        return self.result.stats.bytes_scanned if self.result else 0
+
+
+class Coordinator:
+    """Metadata + scheduling brain of Pixels-Turbo."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: TurboConfig,
+        catalog: Catalog,
+        store: ObjectStore,
+        default_schema: str,
+        trace: Trace | None = None,
+        faults: FaultConfig | None = None,
+    ) -> None:
+        self._sim = sim
+        self._config = config
+        self.catalog = catalog
+        self._store = store
+        self._default_schema = default_schema
+        self.trace = trace if trace is not None else Trace()
+        self.vm_cluster = VmCluster(sim, config.vm, self.trace)
+        self.cf_service = CfService(sim, config.cf, config.vm, self.trace)
+        self.cost_model = CostModel(config)
+        self._optimizer = Optimizer()
+        self._executions: dict[str, QueryExecution] = {}
+        self._query_counter = 0
+        # query_id -> (pending completion/crash event, worker) for queries
+        # currently occupying a VM slot; used by cancel().
+        self._vm_running: dict[str, tuple[object, VmWorker]] = {}
+        self.fault_injector = (
+            FaultInjector(faults, sim.rng.stream("faults"))
+            if faults is not None
+            else None
+        )
+
+    @property
+    def config(self) -> TurboConfig:
+        return self._config
+
+    # -- load-status API (paper §2: "check the system's load status") -----------
+
+    @property
+    def concurrency(self) -> int:
+        return self.vm_cluster.concurrency
+
+    @property
+    def concurrency_per_worker(self) -> float:
+        return self.vm_cluster.concurrency_per_worker
+
+    def below_high_watermark(self) -> bool:
+        """Whether a new VM-only query would not overload the cluster."""
+        return self.concurrency_per_worker < self._config.vm.high_watermark
+
+    def below_low_watermark(self) -> bool:
+        """Whether the cluster is idle enough that it would otherwise
+        scale in (the best-of-effort admission condition)."""
+        return self.concurrency_per_worker < self._config.vm.low_watermark
+
+    # -- queries -------------------------------------------------------------------
+
+    def execution(self, query_id: str) -> QueryExecution:
+        try:
+            return self._executions[query_id]
+        except KeyError:
+            raise NoSuchQueryError(f"no query {query_id!r}") from None
+
+    @property
+    def executions(self) -> list[QueryExecution]:
+        return list(self._executions.values())
+
+    def submit(
+        self,
+        sql: str,
+        cf_enabled: bool,
+        query_id: str | None = None,
+        on_complete: Callable[[QueryExecution], None] | None = None,
+    ) -> QueryExecution:
+        """Accept a query for execution at the current simulated time.
+
+        ``cf_enabled`` is the per-query switch this paper adds to
+        Pixels-Turbo (§3.1): enabled → the query may be accelerated with
+        CFs when the VM cluster is overloaded (immediate execution);
+        disabled → the query waits for VM capacity.
+        """
+        if query_id is None:
+            self._query_counter += 1
+            query_id = f"q-{self._query_counter}"
+        if query_id in self._executions:
+            raise PixelsError(f"duplicate query id {query_id!r}")
+        execution = QueryExecution(
+            query_id=query_id,
+            sql=sql,
+            submitted_at=self._sim.now,
+            cf_enabled=cf_enabled,
+            on_complete=on_complete,
+        )
+        self._executions[query_id] = execution
+        try:
+            plan = self._plan(sql)
+        except PixelsError as error:
+            self._fail(execution, str(error))
+            return execution
+        if self._choose_cf(cf_enabled):
+            self._run_on_cf(execution, plan)
+        else:
+            self._run_on_vm(execution, plan)
+        return execution
+
+    def _choose_cf(self, cf_enabled: bool) -> bool:
+        """The adaptive-acceleration decision (§3.1): CF only when the
+        query allows it *and* the VM cluster has no free slot.  Baselines
+        override this to force one venue."""
+        return cf_enabled and not self.vm_cluster.has_free_slot()
+
+    def _plan(self, sql: str):
+        planner = Planner(self.catalog, self._default_schema)
+        return self._optimizer.optimize(planner.plan_sql(sql))
+
+    def execute_ddl(self, sql: str) -> str:
+        """Run a DDL statement against the coordinator's metadata.
+
+        ``CREATE TABLE`` registers the table (with a storage location under
+        the warehouse bucket) and writes an empty columnar file so the table
+        is immediately scannable; ``DROP TABLE`` removes the catalog entry
+        and deletes its files.  Returns a human-readable confirmation.
+        """
+        from repro.engine.sql import ast as sql_ast
+        from repro.engine.sql.parser import parse_sql
+        from repro.storage.catalog import ColumnMeta
+        from repro.storage.table import TableData, TableWriter
+        from repro.storage.types import DataType
+
+        statement = parse_sql(sql)
+        if isinstance(statement, sql_ast.CreateTable):
+            try:
+                columns = [
+                    ColumnMeta(name, DataType.from_string(type_name))
+                    for name, type_name in statement.columns
+                ]
+            except ValueError as exc:
+                raise PixelsError(str(exc)) from exc
+            bucket = "warehouse"
+            prefix = f"{self._default_schema}/{statement.name}"
+            self._store.create_bucket(bucket)
+            self.catalog.create_table(
+                self._default_schema,
+                statement.name,
+                columns,
+                bucket=bucket,
+                prefix=prefix,
+            )
+            schema = [(c.name, c.dtype) for c in columns]
+            TableWriter(self._store, bucket, prefix).write(TableData.empty(schema))
+            return f"created table {statement.name}"
+        if isinstance(statement, sql_ast.DropTable):
+            table = self.catalog.table(self._default_schema, statement.name)
+            if table.bucket and table.prefix:
+                for key in self._store.list_keys(
+                    table.bucket, table.prefix + "/"
+                ):
+                    self._store.delete(table.bucket, key)
+            self.catalog.drop_table(self._default_schema, statement.name)
+            return f"dropped table {statement.name}"
+        raise PixelsError("execute_ddl expects CREATE TABLE or DROP TABLE")
+
+    def explain(self, sql: str) -> str:
+        """The optimized physical plan as text (push-downs, join order,
+        zone-map ranges) — what an operator would look at before choosing
+        a service level for an expensive query."""
+        return self._plan(sql).explain()
+
+    # -- VM path ---------------------------------------------------------------------
+
+    def _run_on_vm(self, execution: QueryExecution, plan) -> None:
+        task = VmTask(
+            task_id=execution.query_id,
+            on_start=lambda worker: self._vm_started(execution, plan, worker),
+        )
+        self.vm_cluster.submit(task)
+
+    def _vm_started(
+        self, execution: QueryExecution, plan, worker: VmWorker
+    ) -> None:
+        if execution.started_at is None:
+            execution.started_at = self._sim.now
+        execution.venue = ExecutionVenue.VM
+        try:
+            executor = QueryExecutor(ObjectStoreSource(self._store))
+            result = executor.execute(plan)
+        except PixelsError as error:
+            self.vm_cluster.release(worker)
+            self._fail(execution, str(error))
+            return
+        estimate = self.cost_model.vm_execution(result.stats)
+        if self.fault_injector is not None and self.fault_injector.vm_task_fails():
+            # The worker crashes partway through; the partial work is still
+            # paid for, the worker is retired, and the query retries on the
+            # remaining capacity.
+            fraction = self.fault_injector.failure_point()
+            execution.provider_cost += estimate.provider_cost * fraction
+
+            def crash() -> None:
+                self._vm_running.pop(execution.query_id, None)
+                self.vm_cluster.release(worker)
+                self.vm_cluster.fail_worker(worker)
+                self._retry(execution, plan, reason="VM worker crashed")
+
+            event = self._sim.schedule(estimate.duration_s * fraction, crash)
+            self._vm_running[execution.query_id] = (event, worker)
+            return
+        execution.provider_cost += estimate.provider_cost
+
+        def finish() -> None:
+            self._vm_running.pop(execution.query_id, None)
+            self.vm_cluster.release(worker)
+            self._succeed(execution, result)
+
+        event = self._sim.schedule(estimate.duration_s, finish)
+        self._vm_running[execution.query_id] = (event, worker)
+
+    def _retry(self, execution: QueryExecution, plan, reason: str) -> None:
+        assert self.fault_injector is not None
+        if execution.retries >= self.fault_injector.config.max_retries:
+            self._fail(
+                execution,
+                f"{reason}; gave up after {execution.retries} retries",
+            )
+            return
+        execution.retries += 1
+        self._run_on_vm(execution, plan)
+
+    # -- CF path ---------------------------------------------------------------------
+
+    def _run_on_cf(self, execution: QueryExecution, plan) -> None:
+        execution.started_at = self._sim.now
+        execution.venue = ExecutionVenue.CF
+        split = split_plan(plan)
+        try:
+            executor = QueryExecutor(ObjectStoreSource(self._store))
+            sub_result = executor.execute(split.sub)
+            split.attach(sub_result.data)
+            top_result = executor.execute(split.top)
+        except PixelsError as error:
+            self._fail(execution, str(error))
+            return
+        # The top-level plan consumes the materialized view; the heavy
+        # statistics (bytes scanned) come from the CF sub-plan.
+        merged_stats = QueryStats(
+            bytes_scanned=sub_result.stats.bytes_scanned,
+            scan_latency_s=sub_result.stats.scan_latency_s,
+            rows_scanned=sub_result.stats.rows_scanned,
+            rows_produced=top_result.stats.rows_produced,
+            operators=sub_result.stats.operators + top_result.stats.operators,
+        )
+        result = QueryResult(top_result.data, merged_stats)
+        estimate = self.cost_model.cf_execution(sub_result.stats)
+        execution.cf_workers = estimate.num_workers
+        self._launch_cf(execution, result, estimate)
+
+    def _launch_cf(self, execution: QueryExecution, result, estimate) -> None:
+        if (
+            self.fault_injector is not None
+            and self.fault_injector.cf_invocation_fails()
+        ):
+            # Failed function time is still billed; retry the fan-out.
+            fraction = self.fault_injector.failure_point()
+            partial = estimate.duration_s * fraction
+            execution.provider_cost += (
+                estimate.provider_cost * fraction
+            )
+
+            def retry() -> None:
+                if execution.retries >= self.fault_injector.config.max_retries:
+                    self._fail(
+                        execution,
+                        "CF invocation failed; gave up after "
+                        f"{execution.retries} retries",
+                    )
+                    return
+                execution.retries += 1
+                self._launch_cf(execution, result, estimate)
+
+            self.cf_service.invoke(
+                execution.query_id, estimate.num_workers, partial,
+                on_complete=retry,
+            )
+            return
+        execution.provider_cost += estimate.provider_cost
+        self.cf_service.invoke(
+            execution.query_id,
+            estimate.num_workers,
+            estimate.duration_s,
+            on_complete=lambda: self._succeed(execution, result),
+        )
+
+    # -- batch optimization (paper §5: "opportunities for batch query
+    #    optimization") -----------------------------------------------------------------
+
+    def submit_shared_batch(
+        self,
+        sqls: list[str],
+        query_ids: list[str] | None = None,
+        on_complete: Callable[[QueryExecution], None] | None = None,
+    ) -> list[QueryExecution]:
+        """Execute several non-urgent queries as one shared-scan batch.
+
+        The batch occupies a single VM slot; base tables referenced by
+        more than one member are fetched once (see
+        :mod:`repro.turbo.batching`).  Every member gets its own
+        QueryExecution with its own result and bill; the shared fetch
+        shows up as a lower combined provider cost, split evenly.
+        """
+        from repro.turbo.batching import execute_shared_batch
+
+        if query_ids is None:
+            query_ids = []
+            for _ in sqls:
+                self._query_counter += 1
+                query_ids.append(f"q-{self._query_counter}")
+        executions = []
+        plans = []
+        members: list[QueryExecution] = []
+        for sql, query_id in zip(sqls, query_ids):
+            execution = QueryExecution(
+                query_id=query_id,
+                sql=sql,
+                submitted_at=self._sim.now,
+                cf_enabled=False,
+                on_complete=on_complete,
+            )
+            self._executions[query_id] = execution
+            executions.append(execution)
+            try:
+                plans.append(self._plan(sql))
+                members.append(execution)
+            except PixelsError as error:
+                self._fail(execution, str(error))
+        if not members:
+            return executions
+        batch = execute_shared_batch(
+            plans, self._store, ObjectStoreSource(self._store)
+        )
+        estimate = self.cost_model.vm_execution(batch.combined)
+        per_member_cost = estimate.provider_cost / len(members)
+        self.trace.record(
+            "batch.bytes_saved", self._sim.now, batch.shared_stats.bytes_saved
+        )
+
+        def started(worker: VmWorker) -> None:
+            for execution in members:
+                execution.started_at = self._sim.now
+                execution.venue = ExecutionVenue.VM
+                execution.provider_cost += per_member_cost
+
+            def finish() -> None:
+                self.vm_cluster.release(worker)
+                for execution, result in zip(members, batch.results):
+                    self._succeed(execution, result)
+
+            self._sim.schedule(estimate.duration_s, finish)
+
+        self.vm_cluster.submit(
+            VmTask(task_id=f"batch-{members[0].query_id}", on_start=started)
+        )
+        return executions
+
+    # -- cancellation --------------------------------------------------------------------
+
+    def cancel(self, query_id: str) -> bool:
+        """Cancel a pending or running query.
+
+        Pending VM-queued queries are removed from the queue; running VM
+        queries have their slot freed at once; CF-accelerated queries are
+        marked failed immediately but their invocations run (and bill) to
+        completion — functions cannot be recalled once launched.  Returns
+        False if the query had already finished.
+        """
+        execution = self.execution(query_id)
+        if execution.finished_at is not None:
+            return False
+        running = self._vm_running.pop(query_id, None)
+        if running is not None:
+            event, worker = running
+            self._sim.cancel(event)  # type: ignore[arg-type]
+            self.vm_cluster.release(worker)
+        else:
+            self.vm_cluster.cancel_task(query_id)
+        self._fail(execution, "cancelled by user")
+        return True
+
+    # -- completion --------------------------------------------------------------------
+
+    def _succeed(self, execution: QueryExecution, result: QueryResult) -> None:
+        if execution.finished_at is not None:
+            return  # e.g. cancelled while a CF invocation was in flight
+        execution.finished_at = self._sim.now
+        execution.result = result
+        self.trace.record(
+            "query.finished", self._sim.now, 1, tag=execution.query_id
+        )
+        if execution.on_complete is not None:
+            execution.on_complete(execution)
+
+    def _fail(self, execution: QueryExecution, message: str) -> None:
+        execution.finished_at = self._sim.now
+        if execution.started_at is None:
+            execution.started_at = self._sim.now
+        execution.error = message
+        self.trace.record("query.failed", self._sim.now, 1, tag=execution.query_id)
+        if execution.on_complete is not None:
+            execution.on_complete(execution)
+
+    # -- aggregate accounting -------------------------------------------------------------
+
+    def total_provider_cost(self) -> float:
+        """Infrastructure cost so far: VM uptime + CF invocations."""
+        return self.vm_cluster.provider_cost() + self.cf_service.provider_cost()

@@ -1,0 +1,124 @@
+"""Execution-time and dollar-cost model.
+
+Queries are *really executed* (the result rows are exact); what the
+simulation models is how long that execution takes on each resource type
+and what it costs.  Durations are derived from the executor's statistics
+(bytes scanned, rows processed), so selective queries are cheap and wide
+scans are slow — the same first-order behaviour the paper's engine has.
+
+Two kinds of money appear, deliberately separate:
+
+* **provider cost** — worker-seconds × unit price; what the operator pays
+  AWS.  The CF/VM unit-price ratio (§2: 9–24×) and VM amortization live
+  here; experiment C2 measures it.
+* **user price** — $/TB-scan per service level (§3.2: $5 / $1 / $0.5);
+  what the user is billed.  Experiment C1 measures it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.engine.executor import QueryStats
+from repro.turbo.config import TurboConfig
+
+TB = 1024**4
+
+
+@dataclass(frozen=True)
+class VmEstimate:
+    """Modelled single-VM execution of one query."""
+
+    duration_s: float
+    worker_seconds: float
+    provider_cost: float
+
+
+@dataclass(frozen=True)
+class CfEstimate:
+    """Modelled CF fan-out execution of one query's sub-plan."""
+
+    num_workers: int
+    duration_s: float
+    worker_seconds: float
+    provider_cost: float
+
+
+class CostModel:
+    """Turns executor statistics into durations and dollars."""
+
+    def __init__(self, config: TurboConfig) -> None:
+        self._config = config
+
+    def _inflated(self, stats: QueryStats) -> tuple[float, float]:
+        """(bytes, rows) after applying the workload inflation factor."""
+        factor = self._config.data_inflation
+        return stats.bytes_scanned * factor, stats.rows_scanned * factor
+
+    # -- durations -------------------------------------------------------------
+
+    def vm_execution(self, stats: QueryStats) -> VmEstimate:
+        """One query on one VM slot."""
+        vm = self._config.vm
+        num_bytes, num_rows = self._inflated(stats)
+        duration = (
+            vm.startup_overhead_s
+            + num_bytes / vm.scan_throughput_bytes_per_s
+            + num_rows / vm.row_throughput_rows_per_s
+        )
+        worker_seconds = duration / vm.slots_per_worker
+        return VmEstimate(
+            duration_s=duration,
+            worker_seconds=worker_seconds,
+            provider_cost=worker_seconds * vm.price_per_worker_s,
+        )
+
+    def cf_execution(self, stats: QueryStats) -> CfEstimate:
+        """One query fanned out across CF workers.
+
+        Parallelism follows the scan size (one worker per
+        ``bytes_per_worker``); every worker is billed for the whole
+        invocation including startup, which is why small queries on CF
+        carry a fixed-cost penalty.
+        """
+        cf = self._config.cf
+        num_bytes, num_rows = self._inflated(stats)
+        num_workers = max(
+            1,
+            min(
+                cf.max_workers_per_query,
+                math.ceil(num_bytes / cf.bytes_per_worker),
+            ),
+        )
+        work = (
+            num_bytes / cf.scan_throughput_bytes_per_s
+            + num_rows / cf.row_throughput_rows_per_s
+        )
+        duration = cf.startup_s + work / num_workers + cf.merge_overhead_s
+        worker_seconds = duration * num_workers
+        return CfEstimate(
+            num_workers=num_workers,
+            duration_s=duration,
+            worker_seconds=worker_seconds,
+            provider_cost=worker_seconds
+            * cf.price_per_worker_s(self._config.vm),
+        )
+
+    # -- user-facing prices ------------------------------------------------------
+
+    def price_per_tb(self, level: "ServiceLevel") -> float:  # noqa: F821
+        from repro.core.service_levels import ServiceLevel
+
+        prices = self._config.prices
+        return {
+            ServiceLevel.IMMEDIATE: prices.immediate_per_tb,
+            ServiceLevel.RELAXED: prices.relaxed_per_tb,
+            ServiceLevel.BEST_EFFORT: prices.best_effort_per_tb,
+        }[level]
+
+    def user_price(self, stats: QueryStats, level: "ServiceLevel") -> float:  # noqa: F821
+        """The bill for one query: TB scanned × the level's rate (§3.2).
+        Billing uses the same inflated byte count the durations use."""
+        num_bytes, _ = self._inflated(stats)
+        return (num_bytes / TB) * self.price_per_tb(level)

@@ -1,0 +1,63 @@
+"""Fault injection for the Turbo runtime.
+
+Cloud workers fail: Lambda invocations get killed, spot VMs disappear.
+The production Pixels-Turbo retries; this module gives the reproduction
+the same resilience surface so it can be tested.
+
+The model is task-scoped: with probability ``vm_crash_rate`` the worker
+executing a VM query crashes partway through (the worker is retired and
+the query retried on remaining capacity); with probability
+``cf_failure_rate`` a CF fan-out fails partway (the invocation is billed —
+clouds charge for failed function time — and retried).  After
+``max_retries`` failed attempts the query fails with an error the client
+can display (§4.3's *failed* status).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Failure probabilities and the retry budget."""
+
+    vm_crash_rate: float = 0.0
+    cf_failure_rate: float = 0.0
+    max_retries: int = 3
+
+    def __post_init__(self) -> None:
+        for name in ("vm_crash_rate", "cf_failure_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+
+
+class FaultInjector:
+    """Draws fault decisions from a dedicated deterministic RNG stream."""
+
+    def __init__(self, config: FaultConfig, rng: np.random.Generator) -> None:
+        self.config = config
+        self._rng = rng
+        self.vm_crashes_injected = 0
+        self.cf_failures_injected = 0
+
+    def vm_task_fails(self) -> bool:
+        if self._rng.uniform() < self.config.vm_crash_rate:
+            self.vm_crashes_injected += 1
+            return True
+        return False
+
+    def cf_invocation_fails(self) -> bool:
+        if self._rng.uniform() < self.config.cf_failure_rate:
+            self.cf_failures_injected += 1
+            return True
+        return False
+
+    def failure_point(self) -> float:
+        """Fraction of the attempt's duration elapsed before it dies."""
+        return float(self._rng.uniform(0.1, 0.9))

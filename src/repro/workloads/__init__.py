@@ -1,0 +1,38 @@
+"""Workloads: schema/data generators, query templates, arrival processes.
+
+The paper evaluates Pixels-Turbo's auto-scaling on "typical analytical
+workloads such as TPC-H and Internet log analysis" (§3.1).  This package
+provides both:
+
+* :mod:`~repro.workloads.tpch` — a TPC-H-style decision-support dataset
+  (8 tables, FK graph, skew-free uniform data, scale-factor driven) and a
+  set of query templates within the engine's SQL subset.
+* :mod:`~repro.workloads.logs` — a web-log analytics dataset and queries.
+* :mod:`~repro.workloads.arrivals` — arrival processes (steady Poisson,
+  bursty on/off, spike step, diurnal sine) used by the scheduling and
+  autoscaling experiments.
+* :mod:`~repro.workloads.loader` — writes a generated dataset through the
+  columnar format into the object store and registers it in a catalog.
+"""
+
+from repro.workloads.arrivals import (
+    bursty_arrivals,
+    diurnal_arrivals,
+    spike_arrivals,
+    steady_arrivals,
+)
+from repro.workloads.loader import load_dataset
+from repro.workloads.logs import LogsGenerator, LOGS_QUERIES
+from repro.workloads.tpch import TpchGenerator, TPCH_QUERIES
+
+__all__ = [
+    "LOGS_QUERIES",
+    "LogsGenerator",
+    "TPCH_QUERIES",
+    "TpchGenerator",
+    "bursty_arrivals",
+    "diurnal_arrivals",
+    "load_dataset",
+    "spike_arrivals",
+    "steady_arrivals",
+]

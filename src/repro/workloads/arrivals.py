@@ -1,0 +1,84 @@
+"""Arrival processes for the scheduling and autoscaling experiments.
+
+Every generator returns a sorted list of arrival times (seconds) within
+``[0, duration_s)`` and is deterministic given its RNG.  The four shapes
+cover the paper's workload narrative: steady sustained load (where VM
+clusters shine), bursts and spikes (where CF elasticity shines), and a
+diurnal cycle (where lazy scale-in matters).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def steady_arrivals(
+    rng: np.random.Generator, duration_s: float, rate_per_s: float
+) -> list[float]:
+    """Homogeneous Poisson arrivals at ``rate_per_s``."""
+    if rate_per_s <= 0:
+        return []
+    count = rng.poisson(rate_per_s * duration_s)
+    times = np.sort(rng.uniform(0, duration_s, count))
+    return times.tolist()
+
+
+def bursty_arrivals(
+    rng: np.random.Generator,
+    duration_s: float,
+    base_rate_per_s: float,
+    burst_rate_per_s: float,
+    burst_every_s: float,
+    burst_length_s: float,
+) -> list[float]:
+    """On/off process: a low base rate with periodic high-rate bursts."""
+    times: list[float] = []
+    times.extend(steady_arrivals(rng, duration_s, base_rate_per_s))
+    burst_start = burst_every_s
+    while burst_start < duration_s:
+        length = min(burst_length_s, duration_s - burst_start)
+        burst = steady_arrivals(rng, length, burst_rate_per_s)
+        times.extend(burst_start + t for t in burst)
+        burst_start += burst_every_s
+    return sorted(times)
+
+
+def spike_arrivals(
+    rng: np.random.Generator,
+    duration_s: float,
+    base_rate_per_s: float,
+    spike_at_s: float,
+    spike_queries: int,
+    spike_spread_s: float = 1.0,
+) -> list[float]:
+    """A steady trickle plus one near-instant spike of ``spike_queries``.
+
+    This is the workload shape the paper's CF acceleration exists for:
+    the spike lands before the VM cluster can possibly scale out.
+    """
+    times = steady_arrivals(rng, duration_s, base_rate_per_s)
+    spike = spike_at_s + rng.uniform(0, spike_spread_s, spike_queries)
+    times.extend(float(t) for t in spike if t < duration_s)
+    return sorted(times)
+
+
+def diurnal_arrivals(
+    rng: np.random.Generator,
+    duration_s: float,
+    peak_rate_per_s: float,
+    period_s: float = 86400.0,
+    trough_fraction: float = 0.1,
+) -> list[float]:
+    """Sinusoidal day/night cycle via thinning of a Poisson process."""
+    if peak_rate_per_s <= 0:
+        return []
+    candidates = np.sort(
+        rng.uniform(0, duration_s, rng.poisson(peak_rate_per_s * duration_s))
+    )
+    phase = 2 * np.pi * (candidates / period_s)
+    # Intensity swings between trough_fraction and 1.0 of the peak.
+    intensity = trough_fraction + (1 - trough_fraction) * (
+        0.5 - 0.5 * np.cos(phase)
+    )
+    keep = rng.uniform(0, 1, len(candidates)) < intensity
+    return candidates[keep].tolist()

@@ -1,0 +1,63 @@
+"""Dataset loading: generated tables → columnar files + catalog entries.
+
+This is the ingest path a PixelsDB operator would run once per dataset:
+write every table through the Pixels writer into object storage, register
+schemas/tables/columns/FKs in the catalog, and record statistics so the
+optimizer's build-side selection has real row counts.
+"""
+
+from __future__ import annotations
+
+from repro.storage.catalog import Catalog
+from repro.storage.object_store import ObjectStore
+from repro.storage.table import TableWriter
+from repro.workloads.tpch import TpchTable
+
+
+def load_dataset(
+    store: ObjectStore,
+    catalog: Catalog,
+    schema_name: str,
+    tables: list[TpchTable],
+    bucket: str = "warehouse",
+    rows_per_file: int = 65536,
+    rows_per_group: int = 8192,
+    schema_comment: str = "",
+) -> None:
+    """Write ``tables`` into ``store`` and register them under
+    ``schema_name`` in ``catalog``.
+
+    Foreign keys are registered after all tables exist so edges can point
+    forward or backward in the list.
+    """
+    store.create_bucket(bucket)
+    if not catalog.has_schema(schema_name):
+        catalog.create_schema(schema_name, comment=schema_comment)
+    for table in tables:
+        prefix = f"{schema_name}/{table.name}"
+        catalog.create_table(
+            schema_name,
+            table.name,
+            table.columns,
+            bucket=bucket,
+            prefix=prefix,
+            comment=table.comment,
+        )
+        TableWriter(
+            store,
+            bucket,
+            prefix,
+            rows_per_file=rows_per_file,
+            rows_per_group=rows_per_group,
+        ).write(table.data)
+        catalog.update_statistics(
+            schema_name,
+            table.name,
+            row_count=table.data.num_rows,
+            size_bytes=store.total_bytes(bucket, prefix + "/"),
+        )
+    for table in tables:
+        for column, ref_table, ref_column in table.foreign_keys:
+            catalog.add_foreign_key(
+                schema_name, table.name, column, ref_table, ref_column
+            )

@@ -1,0 +1,127 @@
+"""Internet log-analysis workload (the paper's second workload class).
+
+A single wide ``web_logs`` fact table with the usual access-log columns
+and a set of analytic queries (error rates, top URLs, traffic by hour,
+latency per endpoint).  Timestamps are seconds since midnight of day 0 so
+hour-of-day grouping is plain integer arithmetic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.rng import RngRegistry
+from repro.storage.catalog import ColumnMeta
+from repro.storage.table import TableData
+from repro.storage.types import ColumnVector, DataType
+from repro.workloads.tpch import TpchTable
+
+URL_PATHS = [
+    "/", "/index.html", "/login", "/logout", "/search", "/cart",
+    "/checkout", "/api/v1/items", "/api/v1/users", "/api/v1/orders",
+    "/static/app.js", "/static/style.css", "/img/logo.png", "/admin",
+]
+HTTP_METHODS = ["GET", "POST", "PUT", "DELETE"]
+STATUS_CODES = [200, 200, 200, 200, 200, 200, 301, 304, 400, 403, 404, 500, 503]
+USER_AGENTS = ["curl", "chrome", "firefox", "safari", "bot"]
+
+
+class LogsGenerator:
+    """Deterministic web-access-log generator.
+
+    Args:
+        num_rows: Log lines to generate.
+        seed: Root seed for reproducibility.
+        days: Time span the log covers.
+    """
+
+    def __init__(self, num_rows: int = 20000, seed: int = 7, days: int = 7) -> None:
+        if num_rows <= 0:
+            raise ValueError("num_rows must be positive")
+        self.num_rows = num_rows
+        self.days = days
+        self._rng = RngRegistry(seed)
+
+    def table(self) -> TpchTable:
+        rng = self._rng.stream("web_logs")
+        n = self.num_rows
+        timestamps = np.sort(
+            rng.integers(0, self.days * 86400, n).astype(np.int64)
+        )
+        status = np.array(STATUS_CODES, dtype=np.int32)[
+            rng.integers(0, len(STATUS_CODES), n)
+        ]
+        latency = np.round(rng.lognormal(3.0, 1.0, n), 1)  # milliseconds
+        data = TableData(
+            {
+                "ts": ColumnVector(DataType.BIGINT, timestamps),
+                "ip": ColumnVector.from_values(
+                    DataType.VARCHAR,
+                    [
+                        f"10.{a}.{b}.{c}"
+                        for a, b, c in zip(
+                            rng.integers(0, 16, n),
+                            rng.integers(0, 256, n),
+                            rng.integers(0, 256, n),
+                        )
+                    ],
+                ),
+                "method": ColumnVector.from_values(
+                    DataType.VARCHAR,
+                    [HTTP_METHODS[i] for i in rng.integers(0, len(HTTP_METHODS), n)],
+                ),
+                "url": ColumnVector.from_values(
+                    DataType.VARCHAR,
+                    [URL_PATHS[i] for i in rng.integers(0, len(URL_PATHS), n)],
+                ),
+                "status": ColumnVector(DataType.INT, status),
+                "bytes_sent": ColumnVector(
+                    DataType.BIGINT, rng.integers(100, 1_000_000, n).astype(np.int64)
+                ),
+                "latency_ms": ColumnVector(DataType.DOUBLE, latency),
+                "agent": ColumnVector.from_values(
+                    DataType.VARCHAR,
+                    [USER_AGENTS[i] for i in rng.integers(0, len(USER_AGENTS), n)],
+                ),
+            }
+        )
+        columns = [
+            ColumnMeta("ts", DataType.BIGINT, "unix-style timestamp in seconds"),
+            ColumnMeta("ip", DataType.VARCHAR, "client ip address"),
+            ColumnMeta("method", DataType.VARCHAR, "http method"),
+            ColumnMeta("url", DataType.VARCHAR, "request path"),
+            ColumnMeta("status", DataType.INT, "http status code"),
+            ColumnMeta("bytes_sent", DataType.BIGINT, "response size in bytes"),
+            ColumnMeta("latency_ms", DataType.DOUBLE, "request latency in ms"),
+            ColumnMeta("agent", DataType.VARCHAR, "user agent family"),
+        ]
+        return TpchTable("web_logs", columns, data, [], "web server access log")
+
+
+LOGS_QUERIES: dict[str, str] = {
+    "error_rate_by_url": (
+        "SELECT url, count(*) AS errors FROM web_logs "
+        "WHERE status >= 500 GROUP BY url ORDER BY errors DESC"
+    ),
+    "top_urls_by_traffic": (
+        "SELECT url, sum(bytes_sent) AS total_bytes, count(*) AS hits "
+        "FROM web_logs GROUP BY url ORDER BY total_bytes DESC LIMIT 10"
+    ),
+    "status_distribution": (
+        "SELECT status, count(*) AS n FROM web_logs "
+        "GROUP BY status ORDER BY status"
+    ),
+    "slow_requests": (
+        "SELECT url, avg(latency_ms) AS avg_latency, max(latency_ms) AS worst "
+        "FROM web_logs GROUP BY url HAVING avg(latency_ms) > 20 "
+        "ORDER BY avg_latency DESC"
+    ),
+    "hourly_traffic": (
+        "SELECT CAST(ts / 3600 AS int) % 24 AS hour_of_day, count(*) AS hits "
+        "FROM web_logs GROUP BY CAST(ts / 3600 AS int) % 24 ORDER BY hour_of_day"
+    ),
+    "bot_share": (
+        "SELECT agent, count(*) AS hits, count(DISTINCT ip) AS clients "
+        "FROM web_logs GROUP BY agent ORDER BY hits DESC"
+    ),
+}

@@ -1,0 +1,463 @@
+"""TPC-H-style dataset generator and query templates.
+
+The generator produces the eight TPC-H tables with the standard
+cardinality ratios (scaled by a ``scale`` factor: scale 1.0 ≈ the row
+counts of TPC-H SF 0.01, keeping in-memory runs fast) and uniform value
+distributions.  Dates span 1992-01-01 .. 1998-12-01 like the real
+benchmark, so the classic date-window predicates are meaningful.
+
+``TPCH_QUERIES`` holds named query templates covering the engine's SQL
+subset: scans, multi-way joins, group-bys, CASE aggregation, and top-N —
+the operator mix the paper's engine pushes down to CF workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.rng import RngRegistry
+from repro.storage.catalog import ColumnMeta
+from repro.storage.table import TableData
+from repro.storage.types import ColumnVector, DataType, date_to_days
+
+START_DATE = date_to_days("1992-01-01")
+END_DATE = date_to_days("1998-12-01")
+
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+]
+MARKET_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"]
+ORDER_PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+SHIP_MODES = ["AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"]
+PART_TYPES = [
+    "ECONOMY ANODIZED STEEL", "ECONOMY BRUSHED COPPER", "LARGE POLISHED TIN",
+    "MEDIUM BURNISHED BRASS", "PROMO PLATED NICKEL", "PROMO BURNISHED STEEL",
+    "SMALL ANODIZED COPPER", "STANDARD POLISHED BRASS",
+]
+PART_BRANDS = [f"Brand#{i}{j}" for i in range(1, 6) for j in range(1, 6)]
+RETURN_FLAGS = ["A", "N", "R"]
+LINE_STATUSES = ["F", "O"]
+ORDER_STATUSES = ["F", "O", "P"]
+
+
+@dataclass(frozen=True)
+class TpchTable:
+    """One generated table with its catalog description."""
+
+    name: str
+    columns: list[ColumnMeta]
+    data: TableData
+    foreign_keys: list[tuple[str, str, str]]  # (column, ref table, ref col)
+    comment: str = ""
+
+
+class TpchGenerator:
+    """Deterministic TPC-H-style data generator.
+
+    Args:
+        scale: Multiplier on the base row counts (scale 1.0: 1 500
+            customers, 15 000 orders, ~60 000 lineitems).
+        seed: Root seed; the same (scale, seed) always produces identical
+            bytes.
+    """
+
+    def __init__(self, scale: float = 1.0, seed: int = 42) -> None:
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.scale = scale
+        self._rng = RngRegistry(seed)
+        self.num_customers = max(3, int(1500 * scale))
+        self.num_orders = self.num_customers * 10
+        self.num_parts = max(4, int(200 * scale))
+        self.num_suppliers = max(2, int(10 * scale))
+
+    def tables(self) -> list[TpchTable]:
+        """Generate all eight tables (orders referenced by lineitem, etc.)."""
+        region = self._region()
+        nation = self._nation()
+        supplier = self._supplier()
+        customer = self._customer()
+        part = self._part()
+        partsupp = self._partsupp()
+        orders = self._orders()
+        lineitem = self._lineitem(orders.data)
+        return [region, nation, supplier, customer, part, partsupp, orders, lineitem]
+
+    # -- individual tables ------------------------------------------------------
+
+    def _region(self) -> TpchTable:
+        data = TableData(
+            {
+                "r_regionkey": ColumnVector.from_values(
+                    DataType.INT, list(range(len(REGIONS)))
+                ),
+                "r_name": ColumnVector.from_values(DataType.VARCHAR, REGIONS),
+            }
+        )
+        columns = [
+            ColumnMeta("r_regionkey", DataType.INT, "region id"),
+            ColumnMeta("r_name", DataType.VARCHAR, "region name"),
+        ]
+        return TpchTable("region", columns, data, [], "world regions")
+
+    def _nation(self) -> TpchTable:
+        data = TableData(
+            {
+                "n_nationkey": ColumnVector.from_values(
+                    DataType.INT, list(range(len(NATIONS)))
+                ),
+                "n_name": ColumnVector.from_values(
+                    DataType.VARCHAR, [name for name, _ in NATIONS]
+                ),
+                "n_regionkey": ColumnVector.from_values(
+                    DataType.INT, [region for _, region in NATIONS]
+                ),
+            }
+        )
+        columns = [
+            ColumnMeta("n_nationkey", DataType.INT, "nation id"),
+            ColumnMeta("n_name", DataType.VARCHAR, "nation name"),
+            ColumnMeta("n_regionkey", DataType.INT, "region of the nation"),
+        ]
+        return TpchTable(
+            "nation", columns, data,
+            [("n_regionkey", "region", "r_regionkey")], "countries",
+        )
+
+    def _supplier(self) -> TpchTable:
+        rng = self._rng.stream("supplier")
+        n = self.num_suppliers
+        data = TableData(
+            {
+                "s_suppkey": ColumnVector(
+                    DataType.BIGINT, np.arange(1, n + 1, dtype=np.int64)
+                ),
+                "s_name": ColumnVector.from_values(
+                    DataType.VARCHAR, [f"Supplier#{i:09d}" for i in range(1, n + 1)]
+                ),
+                "s_nationkey": ColumnVector(
+                    DataType.INT,
+                    rng.integers(0, len(NATIONS), n).astype(np.int32),
+                ),
+                "s_acctbal": ColumnVector(
+                    DataType.DOUBLE, np.round(rng.uniform(-999, 9999, n), 2)
+                ),
+            }
+        )
+        columns = [
+            ColumnMeta("s_suppkey", DataType.BIGINT, "supplier id"),
+            ColumnMeta("s_name", DataType.VARCHAR, "supplier name"),
+            ColumnMeta("s_nationkey", DataType.INT, "nation of the supplier"),
+            ColumnMeta("s_acctbal", DataType.DOUBLE, "account balance"),
+        ]
+        return TpchTable(
+            "supplier", columns, data,
+            [("s_nationkey", "nation", "n_nationkey")], "parts suppliers",
+        )
+
+    def _customer(self) -> TpchTable:
+        rng = self._rng.stream("customer")
+        n = self.num_customers
+        data = TableData(
+            {
+                "c_custkey": ColumnVector(
+                    DataType.BIGINT, np.arange(1, n + 1, dtype=np.int64)
+                ),
+                "c_name": ColumnVector.from_values(
+                    DataType.VARCHAR, [f"Customer#{i:09d}" for i in range(1, n + 1)]
+                ),
+                "c_nationkey": ColumnVector(
+                    DataType.INT,
+                    rng.integers(0, len(NATIONS), n).astype(np.int32),
+                ),
+                "c_acctbal": ColumnVector(
+                    DataType.DOUBLE, np.round(rng.uniform(-999, 9999, n), 2)
+                ),
+                "c_mktsegment": ColumnVector.from_values(
+                    DataType.VARCHAR,
+                    [
+                        MARKET_SEGMENTS[i]
+                        for i in rng.integers(0, len(MARKET_SEGMENTS), n)
+                    ],
+                ),
+            }
+        )
+        columns = [
+            ColumnMeta("c_custkey", DataType.BIGINT, "customer id"),
+            ColumnMeta("c_name", DataType.VARCHAR, "customer name"),
+            ColumnMeta("c_nationkey", DataType.INT, "nation of the customer"),
+            ColumnMeta("c_acctbal", DataType.DOUBLE, "account balance"),
+            ColumnMeta("c_mktsegment", DataType.VARCHAR, "market segment"),
+        ]
+        return TpchTable(
+            "customer", columns, data,
+            [("c_nationkey", "nation", "n_nationkey")], "customers",
+        )
+
+    def _part(self) -> TpchTable:
+        rng = self._rng.stream("part")
+        n = self.num_parts
+        data = TableData(
+            {
+                "p_partkey": ColumnVector(
+                    DataType.BIGINT, np.arange(1, n + 1, dtype=np.int64)
+                ),
+                "p_name": ColumnVector.from_values(
+                    DataType.VARCHAR, [f"part {i} burnished" for i in range(1, n + 1)]
+                ),
+                "p_brand": ColumnVector.from_values(
+                    DataType.VARCHAR,
+                    [PART_BRANDS[i] for i in rng.integers(0, len(PART_BRANDS), n)],
+                ),
+                "p_type": ColumnVector.from_values(
+                    DataType.VARCHAR,
+                    [PART_TYPES[i] for i in rng.integers(0, len(PART_TYPES), n)],
+                ),
+                "p_size": ColumnVector(
+                    DataType.INT, rng.integers(1, 51, n).astype(np.int32)
+                ),
+                "p_retailprice": ColumnVector(
+                    DataType.DOUBLE, np.round(rng.uniform(900, 2000, n), 2)
+                ),
+            }
+        )
+        columns = [
+            ColumnMeta("p_partkey", DataType.BIGINT, "part id"),
+            ColumnMeta("p_name", DataType.VARCHAR, "part name"),
+            ColumnMeta("p_brand", DataType.VARCHAR, "brand"),
+            ColumnMeta("p_type", DataType.VARCHAR, "part type"),
+            ColumnMeta("p_size", DataType.INT, "size"),
+            ColumnMeta("p_retailprice", DataType.DOUBLE, "retail price"),
+        ]
+        return TpchTable("part", columns, data, [], "parts catalog")
+
+    def _partsupp(self) -> TpchTable:
+        rng = self._rng.stream("partsupp")
+        rows_per_part = 2
+        part_keys = np.repeat(
+            np.arange(1, self.num_parts + 1, dtype=np.int64), rows_per_part
+        )
+        n = len(part_keys)
+        supp_keys = rng.integers(1, self.num_suppliers + 1, n).astype(np.int64)
+        data = TableData(
+            {
+                "ps_partkey": ColumnVector(DataType.BIGINT, part_keys),
+                "ps_suppkey": ColumnVector(DataType.BIGINT, supp_keys),
+                "ps_availqty": ColumnVector(
+                    DataType.INT, rng.integers(1, 10000, n).astype(np.int32)
+                ),
+                "ps_supplycost": ColumnVector(
+                    DataType.DOUBLE, np.round(rng.uniform(1, 1000, n), 2)
+                ),
+            }
+        )
+        columns = [
+            ColumnMeta("ps_partkey", DataType.BIGINT, "part id"),
+            ColumnMeta("ps_suppkey", DataType.BIGINT, "supplier id"),
+            ColumnMeta("ps_availqty", DataType.INT, "available quantity"),
+            ColumnMeta("ps_supplycost", DataType.DOUBLE, "supply cost"),
+        ]
+        return TpchTable(
+            "partsupp", columns, data,
+            [
+                ("ps_partkey", "part", "p_partkey"),
+                ("ps_suppkey", "supplier", "s_suppkey"),
+            ],
+            "part-supplier offers",
+        )
+
+    def _orders(self) -> TpchTable:
+        rng = self._rng.stream("orders")
+        n = self.num_orders
+        data = TableData(
+            {
+                "o_orderkey": ColumnVector(
+                    DataType.BIGINT, np.arange(1, n + 1, dtype=np.int64)
+                ),
+                "o_custkey": ColumnVector(
+                    DataType.BIGINT,
+                    rng.integers(1, self.num_customers + 1, n).astype(np.int64),
+                ),
+                "o_orderstatus": ColumnVector.from_values(
+                    DataType.VARCHAR,
+                    [ORDER_STATUSES[i] for i in rng.integers(0, 3, n)],
+                ),
+                "o_totalprice": ColumnVector(
+                    DataType.DOUBLE, np.round(rng.uniform(800, 500000, n), 2)
+                ),
+                "o_orderdate": ColumnVector(
+                    DataType.DATE,
+                    rng.integers(START_DATE, END_DATE, n).astype(np.int32),
+                ),
+                "o_orderpriority": ColumnVector.from_values(
+                    DataType.VARCHAR,
+                    [
+                        ORDER_PRIORITIES[i]
+                        for i in rng.integers(0, len(ORDER_PRIORITIES), n)
+                    ],
+                ),
+            }
+        )
+        columns = [
+            ColumnMeta("o_orderkey", DataType.BIGINT, "order id"),
+            ColumnMeta("o_custkey", DataType.BIGINT, "ordering customer"),
+            ColumnMeta("o_orderstatus", DataType.VARCHAR, "order status"),
+            ColumnMeta("o_totalprice", DataType.DOUBLE, "total price"),
+            ColumnMeta("o_orderdate", DataType.DATE, "order date"),
+            ColumnMeta("o_orderpriority", DataType.VARCHAR, "priority"),
+        ]
+        return TpchTable(
+            "orders", columns, data,
+            [("o_custkey", "customer", "c_custkey")], "sales orders",
+        )
+
+    def _lineitem(self, orders: TableData) -> TpchTable:
+        rng = self._rng.stream("lineitem")
+        lines_per_order = rng.integers(1, 8, self.num_orders)
+        order_keys = np.repeat(
+            orders.column("o_orderkey").data, lines_per_order
+        ).astype(np.int64)
+        order_dates = np.repeat(orders.column("o_orderdate").data, lines_per_order)
+        n = len(order_keys)
+        quantity = rng.integers(1, 51, n).astype(np.float64)
+        extended_price = np.round(quantity * rng.uniform(900, 2000, n), 2)
+        ship_delay = rng.integers(1, 122, n)
+        data = TableData(
+            {
+                "l_orderkey": ColumnVector(DataType.BIGINT, order_keys),
+                "l_partkey": ColumnVector(
+                    DataType.BIGINT,
+                    rng.integers(1, self.num_parts + 1, n).astype(np.int64),
+                ),
+                "l_suppkey": ColumnVector(
+                    DataType.BIGINT,
+                    rng.integers(1, self.num_suppliers + 1, n).astype(np.int64),
+                ),
+                "l_quantity": ColumnVector(DataType.DOUBLE, quantity),
+                "l_extendedprice": ColumnVector(DataType.DOUBLE, extended_price),
+                "l_discount": ColumnVector(
+                    DataType.DOUBLE, np.round(rng.uniform(0.0, 0.1, n), 2)
+                ),
+                "l_tax": ColumnVector(
+                    DataType.DOUBLE, np.round(rng.uniform(0.0, 0.08, n), 2)
+                ),
+                "l_returnflag": ColumnVector.from_values(
+                    DataType.VARCHAR, [RETURN_FLAGS[i] for i in rng.integers(0, 3, n)]
+                ),
+                "l_linestatus": ColumnVector.from_values(
+                    DataType.VARCHAR, [LINE_STATUSES[i] for i in rng.integers(0, 2, n)]
+                ),
+                "l_shipdate": ColumnVector(
+                    DataType.DATE, (order_dates + ship_delay).astype(np.int32)
+                ),
+                "l_shipmode": ColumnVector.from_values(
+                    DataType.VARCHAR,
+                    [SHIP_MODES[i] for i in rng.integers(0, len(SHIP_MODES), n)],
+                ),
+            }
+        )
+        columns = [
+            ColumnMeta("l_orderkey", DataType.BIGINT, "order id"),
+            ColumnMeta("l_partkey", DataType.BIGINT, "part id"),
+            ColumnMeta("l_suppkey", DataType.BIGINT, "supplier id"),
+            ColumnMeta("l_quantity", DataType.DOUBLE, "quantity"),
+            ColumnMeta("l_extendedprice", DataType.DOUBLE, "extended price"),
+            ColumnMeta("l_discount", DataType.DOUBLE, "discount fraction"),
+            ColumnMeta("l_tax", DataType.DOUBLE, "tax fraction"),
+            ColumnMeta("l_returnflag", DataType.VARCHAR, "return flag"),
+            ColumnMeta("l_linestatus", DataType.VARCHAR, "line status"),
+            ColumnMeta("l_shipdate", DataType.DATE, "ship date"),
+            ColumnMeta("l_shipmode", DataType.VARCHAR, "ship mode"),
+        ]
+        return TpchTable(
+            "lineitem", columns, data,
+            [
+                ("l_orderkey", "orders", "o_orderkey"),
+                ("l_partkey", "part", "p_partkey"),
+                ("l_suppkey", "supplier", "s_suppkey"),
+            ],
+            "order line items",
+        )
+
+
+TPCH_QUERIES: dict[str, str] = {
+    # Q1-style pricing summary report.
+    "q1_pricing_summary": (
+        "SELECT l_returnflag, l_linestatus, sum(l_quantity) AS sum_qty, "
+        "sum(l_extendedprice) AS sum_base_price, "
+        "sum(l_extendedprice * (1 - l_discount)) AS sum_disc_price, "
+        "avg(l_quantity) AS avg_qty, count(*) AS count_order "
+        "FROM lineitem WHERE l_shipdate <= DATE '1998-09-02' "
+        "GROUP BY l_returnflag, l_linestatus "
+        "ORDER BY l_returnflag, l_linestatus"
+    ),
+    # Q3-style shipping-priority top-N.
+    "q3_shipping_priority": (
+        "SELECT o.o_orderkey, sum(l.l_extendedprice * (1 - l.l_discount)) AS revenue, "
+        "o.o_orderdate "
+        "FROM customer c, orders o, lineitem l "
+        "WHERE c.c_mktsegment = 'BUILDING' AND c.c_custkey = o.o_custkey "
+        "AND l.l_orderkey = o.o_orderkey AND o.o_orderdate < DATE '1995-03-15' "
+        "GROUP BY o.o_orderkey, o.o_orderdate "
+        "ORDER BY revenue DESC, o_orderdate LIMIT 10"
+    ),
+    # Q5-style local-supplier revenue by nation.
+    "q5_local_supplier": (
+        "SELECT n_name, sum(l_extendedprice * (1 - l_discount)) AS revenue "
+        "FROM customer c, orders o, lineitem l, supplier s, nation n, region r "
+        "WHERE c.c_custkey = o.o_custkey AND l.l_orderkey = o.o_orderkey "
+        "AND l.l_suppkey = s.s_suppkey AND c.c_nationkey = s.s_nationkey "
+        "AND s.s_nationkey = n.n_nationkey AND n.n_regionkey = r.r_regionkey "
+        "AND r.r_name = 'ASIA' AND o.o_orderdate >= DATE '1994-01-01' "
+        "AND o.o_orderdate < DATE '1995-01-01' "
+        "GROUP BY n_name ORDER BY revenue DESC"
+    ),
+    # Q6-style forecast revenue change (highly selective scan).
+    "q6_forecast_revenue": (
+        "SELECT sum(l_extendedprice * l_discount) AS revenue FROM lineitem "
+        "WHERE l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01' "
+        "AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24"
+    ),
+    # Q12-style shipmode/priority with CASE aggregation.
+    "q12_shipmode": (
+        "SELECT l.l_shipmode, "
+        "sum(CASE WHEN o.o_orderpriority = '1-URGENT' "
+        "OR o.o_orderpriority = '2-HIGH' THEN 1 ELSE 0 END) AS high_line_count, "
+        "sum(CASE WHEN o.o_orderpriority <> '1-URGENT' "
+        "AND o.o_orderpriority <> '2-HIGH' THEN 1 ELSE 0 END) AS low_line_count "
+        "FROM orders o JOIN lineitem l ON o.o_orderkey = l.l_orderkey "
+        "WHERE l.l_shipmode IN ('MAIL', 'SHIP') "
+        "AND l.l_shipdate >= DATE '1994-01-01' "
+        "AND l.l_shipdate < DATE '1995-01-01' "
+        "GROUP BY l.l_shipmode ORDER BY l.l_shipmode"
+    ),
+    # Q14-style promotion effect.
+    "q14_promo_effect": (
+        "SELECT 100.00 * sum(CASE WHEN p.p_type LIKE 'PROMO%' "
+        "THEN l.l_extendedprice * (1 - l.l_discount) ELSE 0 END) / "
+        "sum(l.l_extendedprice * (1 - l.l_discount)) AS promo_revenue "
+        "FROM lineitem l JOIN part p ON l.l_partkey = p.p_partkey "
+        "WHERE l.l_shipdate >= DATE '1995-09-01' "
+        "AND l.l_shipdate < DATE '1995-10-01'"
+    ),
+    # Point lookup: the interactive end of the workload mix.
+    "point_lookup": (
+        "SELECT o_orderkey, o_totalprice, o_orderdate FROM orders "
+        "WHERE o_orderkey = 42"
+    ),
+    # Wide scan: the expensive end of the workload mix.
+    "top_customers": (
+        "SELECT c.c_name, sum(o.o_totalprice) AS total_spent, count(*) AS orders "
+        "FROM customer c JOIN orders o ON c.c_custkey = o.o_custkey "
+        "GROUP BY c.c_name ORDER BY total_spent DESC LIMIT 20"
+    ),
+}

@@ -1,0 +1,157 @@
+"""Shared fixtures: a small two-table analytic dataset (in-memory and
+object-store backed) used by engine and integration tests."""
+
+import pytest
+
+from repro.engine.executor import QueryExecutor
+from repro.engine.optimizer import Optimizer
+from repro.engine.planner import Planner
+from repro.engine.source import InMemorySource, ObjectStoreSource
+from repro.storage.catalog import Catalog, ColumnMeta
+from repro.storage.object_store import ObjectStore
+from repro.storage.table import TableData, TableWriter
+from repro.storage.types import DataType
+
+ORDERS_SCHEMA = [
+    ("o_orderkey", DataType.BIGINT),
+    ("o_custkey", DataType.BIGINT),
+    ("o_totalprice", DataType.DOUBLE),
+    ("o_orderstatus", DataType.VARCHAR),
+    ("o_orderdate", DataType.DATE),
+]
+
+CUSTOMER_SCHEMA = [
+    ("c_custkey", DataType.BIGINT),
+    ("c_name", DataType.VARCHAR),
+    ("c_nationkey", DataType.INT),
+]
+
+ORDERS_ROWS = [
+    (1, 1, 100.0, "O", 9131),   # 1995-01-01
+    (2, 1, 200.0, "F", 9496),   # 1996-01-01
+    (3, 2, 300.0, "O", 9131),
+    (4, 2, None, "F", 9862),    # 1997-01-01
+    (5, 3, 500.0, "O", 9131),
+    (6, 9, 600.0, "P", 9131),   # customer 9 does not exist
+]
+
+CUSTOMER_ROWS = [
+    (1, "alice", 10),
+    (2, "bob", 10),
+    (3, "carol", 20),
+]
+
+
+def build_catalog(bucket="", orders_prefix="", customer_prefix=""):
+    catalog = Catalog()
+    catalog.create_schema("mini", comment="mini TPC-H-like dataset")
+    catalog.create_table(
+        "mini",
+        "orders",
+        [
+            ColumnMeta("o_orderkey", DataType.BIGINT, "order id"),
+            ColumnMeta("o_custkey", DataType.BIGINT, "customer id"),
+            ColumnMeta("o_totalprice", DataType.DOUBLE, "total price"),
+            ColumnMeta("o_orderstatus", DataType.VARCHAR, "order status"),
+            ColumnMeta("o_orderdate", DataType.DATE, "order date"),
+        ],
+        bucket=bucket,
+        prefix=orders_prefix,
+    )
+    catalog.create_table(
+        "mini",
+        "customer",
+        [
+            ColumnMeta("c_custkey", DataType.BIGINT, "customer id"),
+            ColumnMeta("c_name", DataType.VARCHAR, "customer name"),
+            ColumnMeta("c_nationkey", DataType.INT, "nation id"),
+        ],
+        bucket=bucket,
+        prefix=customer_prefix,
+    )
+    catalog.add_foreign_key("mini", "orders", "o_custkey", "customer", "c_custkey")
+    catalog.update_statistics("mini", "orders", len(ORDERS_ROWS), 1000)
+    catalog.update_statistics("mini", "customer", len(CUSTOMER_ROWS), 300)
+    return catalog
+
+
+@pytest.fixture
+def mini_catalog():
+    return build_catalog()
+
+
+@pytest.fixture
+def mini_tables():
+    return {
+        ("mini", "orders"): TableData.from_rows(ORDERS_SCHEMA, ORDERS_ROWS),
+        ("mini", "customer"): TableData.from_rows(CUSTOMER_SCHEMA, CUSTOMER_ROWS),
+    }
+
+
+@pytest.fixture
+def mini_source(mini_tables):
+    return InMemorySource(mini_tables)
+
+
+@pytest.fixture
+def mini_engine(mini_catalog, mini_source):
+    """(planner, optimizer, executor) over the in-memory mini dataset."""
+    return (
+        Planner(mini_catalog, "mini"),
+        Optimizer(),
+        QueryExecutor(mini_source),
+    )
+
+
+def run_query(engine, sql):
+    planner, optimizer, executor = engine
+    return executor.execute(optimizer.optimize(planner.plan_sql(sql)))
+
+
+@pytest.fixture
+def turbo_env():
+    """A complete small Turbo stack: sim + loaded TPC-H + coordinator +
+    query server, with the fast test config (short lags, same ratios)."""
+    from repro.core import QueryServer
+    from repro.sim import Simulator
+    from repro.turbo import Coordinator, TurboConfig
+    from repro.workloads import TpchGenerator, load_dataset
+
+    sim = Simulator(seed=11)
+    store = ObjectStore()
+    catalog = Catalog()
+    load_dataset(store, catalog, "tpch", TpchGenerator(scale=0.05).tables())
+    config = TurboConfig.fast()
+    coordinator = Coordinator(sim, config, catalog, store, "tpch")
+    server = QueryServer(sim, coordinator, config)
+    return sim, store, catalog, config, coordinator, server
+
+
+@pytest.fixture
+def mini_object_store():
+    """The same dataset written through the columnar format into an
+    object store, with a matching catalog."""
+    store = ObjectStore()
+    store.create_bucket("warehouse")
+    catalog = build_catalog(
+        bucket="warehouse",
+        orders_prefix="mini/orders",
+        customer_prefix="mini/customer",
+    )
+    TableWriter(store, "warehouse", "mini/orders", rows_per_group=2).write(
+        TableData.from_rows(ORDERS_SCHEMA, ORDERS_ROWS)
+    )
+    TableWriter(store, "warehouse", "mini/customer").write(
+        TableData.from_rows(CUSTOMER_SCHEMA, CUSTOMER_ROWS)
+    )
+    return store, catalog
+
+
+@pytest.fixture
+def mini_store_engine(mini_object_store):
+    store, catalog = mini_object_store
+    return (
+        Planner(catalog, "mini"),
+        Optimizer(),
+        QueryExecutor(ObjectStoreSource(store)),
+    )

@@ -1,0 +1,140 @@
+"""Tests for baseline engines and the workload runner."""
+
+import pytest
+
+from repro.baselines import (
+    PureCfCoordinator,
+    PureVmCoordinator,
+    SingleLevelServer,
+    run_workload,
+)
+from repro.baselines.runner import Submission
+from repro.core import QueryServer, QueryStatus, ServiceLevel
+from repro.sim import Simulator
+from repro.storage.catalog import Catalog
+from repro.storage.object_store import ObjectStore
+from repro.turbo import TurboConfig
+from repro.turbo.coordinator import ExecutionVenue
+from repro.workloads import TpchGenerator, load_dataset
+
+HEAVY = "SELECT l_returnflag, count(*) FROM lineitem GROUP BY l_returnflag"
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    store = ObjectStore()
+    catalog = Catalog()
+    load_dataset(store, catalog, "tpch", TpchGenerator(scale=0.05).tables())
+    return store, catalog
+
+
+class TestPureCf:
+    def test_everything_runs_on_cf(self, dataset):
+        store, catalog = dataset
+        result = run_workload(
+            [Submission(1.0, HEAVY, ServiceLevel.IMMEDIATE) for _ in range(4)],
+            store, catalog, "tpch", TurboConfig.fast(),
+            coordinator_cls=PureCfCoordinator,
+        )
+        assert all(
+            q.execution.venue is ExecutionVenue.CF for q in result.queries
+        )
+        assert result.coordinator.cf_service.invocations
+
+
+class TestPureVm:
+    def test_never_uses_cf(self, dataset):
+        store, catalog = dataset
+        result = run_workload(
+            [Submission(1.0, HEAVY, ServiceLevel.IMMEDIATE) for _ in range(4)],
+            store, catalog, "tpch", TurboConfig.fast(),
+            coordinator_cls=PureVmCoordinator,
+        )
+        assert all(
+            q.execution.venue is ExecutionVenue.VM for q in result.queries
+        )
+        assert result.coordinator.cf_service.invocations == []
+
+    def test_fixed_size_never_scales(self, dataset):
+        store, catalog = dataset
+        result = run_workload(
+            [Submission(1.0, HEAVY, ServiceLevel.IMMEDIATE) for _ in range(12)],
+            store, catalog, "tpch", TurboConfig.fast(),
+            coordinator_cls=PureVmCoordinator,
+            coordinator_kwargs={"fixed_size": True},
+        )
+        assert result.coordinator.vm_cluster.scale_out_events == 0
+        assert result.coordinator.vm_cluster.num_workers == 1
+
+
+class TestSingleLevel:
+    def test_everything_billed_at_immediate_rate(self, dataset):
+        store, catalog = dataset
+        sim = Simulator()
+        config = TurboConfig.fast()
+        from repro.turbo import Coordinator
+
+        coordinator = Coordinator(sim, config, catalog, store, "tpch")
+        server = SingleLevelServer(QueryServer(sim, coordinator, config))
+        records = [server.submit(HEAVY) for _ in range(3)]
+        sim.run_until(600)
+        assert all(r.level is ServiceLevel.IMMEDIATE for r in records)
+        assert all(r.status is QueryStatus.FINISHED for r in records)
+        assert server.total_billed() == pytest.approx(
+            sum(r.price for r in records)
+        )
+
+
+class TestRunner:
+    def test_runs_to_quiescence(self, dataset):
+        store, catalog = dataset
+        result = run_workload(
+            [
+                Submission(0.0, HEAVY, ServiceLevel.IMMEDIATE),
+                Submission(5.0, HEAVY, ServiceLevel.RELAXED),
+                Submission(10.0, HEAVY, ServiceLevel.BEST_EFFORT),
+            ],
+            store, catalog, "tpch", TurboConfig.fast(),
+        )
+        assert len(result.finished()) == 3
+
+    def test_horizon_stops_early(self, dataset):
+        store, catalog = dataset
+        result = run_workload(
+            [Submission(1.0, HEAVY, ServiceLevel.IMMEDIATE)],
+            store, catalog, "tpch", TurboConfig.fast(),
+            horizon_s=1.5,
+        )
+        assert result.sim.now == 1.5
+
+    def test_level_summaries(self, dataset):
+        store, catalog = dataset
+        result = run_workload(
+            [
+                Submission(0.0, HEAVY, ServiceLevel.IMMEDIATE),
+                Submission(0.0, HEAVY, ServiceLevel.RELAXED),
+            ],
+            store, catalog, "tpch", TurboConfig.fast(),
+        )
+        assert len(result.of_level(ServiceLevel.IMMEDIATE)) == 1
+        assert result.billed() == pytest.approx(
+            result.billed(ServiceLevel.IMMEDIATE)
+            + result.billed(ServiceLevel.RELAXED)
+        )
+        assert result.mean_pending(ServiceLevel.IMMEDIATE) == 0.0
+
+    def test_billed_per_tb_matches_rate(self, dataset):
+        store, catalog = dataset
+        result = run_workload(
+            [Submission(0.0, HEAVY, ServiceLevel.RELAXED)],
+            store, catalog, "tpch", TurboConfig.fast(),
+        )
+        assert result.billed_per_tb(ServiceLevel.RELAXED) == pytest.approx(1.0)
+
+    def test_provider_cost_positive(self, dataset):
+        store, catalog = dataset
+        result = run_workload(
+            [Submission(0.0, HEAVY, ServiceLevel.IMMEDIATE)],
+            store, catalog, "tpch", TurboConfig.fast(),
+        )
+        assert result.provider_cost() > 0

@@ -1,0 +1,198 @@
+"""Unit tests for name/type resolution and binder error reporting."""
+
+import pytest
+
+from repro.errors import BindError
+from repro.engine.binder import Binder
+from repro.engine.sql.parser import parse_sql
+from repro.engine.planner import Planner
+from repro.storage.types import DataType
+
+
+@pytest.fixture
+def binder(mini_catalog):
+    return Binder(mini_catalog, "mini")
+
+
+@pytest.fixture
+def planner(mini_catalog):
+    return Planner(mini_catalog, "mini")
+
+
+def bind_where(binder, sql):
+    stmt = parse_sql(sql)
+    scope = binder.build_scope(stmt.from_clause)
+    return binder.bind_scalar(stmt.where, scope)
+
+
+class TestResolution:
+    def test_unqualified_unique_column(self, binder):
+        expr = bind_where(binder, "SELECT 1 FROM orders WHERE o_orderkey = 1")
+        assert "orders.o_orderkey" in expr.to_sql()
+
+    def test_qualified_via_alias(self, binder):
+        expr = bind_where(binder, "SELECT 1 FROM orders o WHERE o.o_orderkey = 1")
+        assert "o.o_orderkey" in expr.to_sql()
+
+    def test_unknown_column(self, binder):
+        with pytest.raises(BindError, match="unknown column"):
+            bind_where(binder, "SELECT 1 FROM orders WHERE ghost = 1")
+
+    def test_unknown_alias(self, binder):
+        with pytest.raises(BindError, match="unknown table alias"):
+            bind_where(binder, "SELECT 1 FROM orders WHERE x.o_orderkey = 1")
+
+    def test_ambiguous_column(self, binder):
+        with pytest.raises(BindError, match="ambiguous"):
+            bind_where(
+                binder,
+                "SELECT 1 FROM orders a, orders b WHERE o_orderkey = 1",
+            )
+
+    def test_duplicate_binding(self, binder):
+        with pytest.raises(BindError, match="duplicate table binding"):
+            binder.build_scope(parse_sql("SELECT 1 FROM orders, orders").from_clause)
+
+    def test_column_from_wrong_alias(self, binder):
+        with pytest.raises(BindError, match="no column"):
+            bind_where(
+                binder,
+                "SELECT 1 FROM orders o, customer c WHERE o.c_name = 'x'",
+            )
+
+
+class TestTypes:
+    def test_comparison_type_mismatch(self, binder):
+        with pytest.raises(BindError, match="cannot compare"):
+            bind_where(binder, "SELECT 1 FROM orders WHERE o_orderstatus = 5")
+
+    def test_numeric_promotion_ok(self, binder):
+        # BIGINT column compared against INT literal is fine.
+        bind_where(binder, "SELECT 1 FROM orders WHERE o_orderkey = 1")
+
+    def test_date_literal_coercion(self, binder):
+        expr = bind_where(
+            binder, "SELECT 1 FROM orders WHERE o_orderdate = DATE '1995-01-01'"
+        )
+        assert "9131" in expr.to_sql()
+
+    def test_plain_string_coerced_against_date(self, binder):
+        expr = bind_where(
+            binder, "SELECT 1 FROM orders WHERE o_orderdate >= '1995-01-01'"
+        )
+        assert "9131" in expr.to_sql()
+
+    def test_bad_date_literal(self, binder):
+        with pytest.raises(BindError, match="bad DATE literal"):
+            bind_where(
+                binder, "SELECT 1 FROM orders WHERE o_orderdate = DATE 'nonsense'"
+            )
+
+    def test_arithmetic_on_varchar_rejected(self, binder):
+        with pytest.raises(BindError):
+            bind_where(binder, "SELECT 1 FROM orders WHERE o_orderstatus + 1 = 2")
+
+    def test_and_requires_boolean(self, binder):
+        with pytest.raises(BindError, match="BOOLEAN"):
+            bind_where(binder, "SELECT 1 FROM orders WHERE o_orderkey AND TRUE")
+
+    def test_like_requires_varchar(self, binder):
+        with pytest.raises(BindError, match="VARCHAR"):
+            bind_where(binder, "SELECT 1 FROM orders WHERE o_orderkey LIKE 'x%'")
+
+    def test_like_pattern_must_be_literal(self, binder):
+        with pytest.raises(BindError, match="pattern"):
+            bind_where(
+                binder,
+                "SELECT 1 FROM orders WHERE o_orderstatus LIKE o_orderstatus",
+            )
+
+    def test_in_list_type_checked(self, binder):
+        with pytest.raises(BindError, match="IN list"):
+            bind_where(binder, "SELECT 1 FROM orders WHERE o_orderkey IN ('x')")
+
+    def test_unknown_function(self, binder):
+        with pytest.raises(BindError, match="unknown function"):
+            bind_where(binder, "SELECT 1 FROM orders WHERE frobnicate(1) = 1")
+
+    def test_case_incompatible_branches(self, binder):
+        with pytest.raises(BindError, match="incompatible"):
+            bind_where(
+                binder,
+                "SELECT 1 FROM orders WHERE "
+                "CASE WHEN TRUE THEN 1 ELSE 'x' END = 1",
+            )
+
+
+class TestAggregateRules:
+    def test_aggregate_in_where_rejected(self, planner):
+        with pytest.raises(BindError, match="not allowed here"):
+            planner.plan_sql("SELECT 1 FROM orders WHERE sum(o_totalprice) > 10")
+
+    def test_bare_column_outside_group_by(self, planner):
+        with pytest.raises(BindError, match="GROUP BY"):
+            planner.plan_sql(
+                "SELECT o_orderstatus, count(*) FROM orders GROUP BY o_custkey"
+            )
+
+    def test_group_by_expression_match(self, planner):
+        # The same expression in SELECT and GROUP BY must bind.
+        planner.plan_sql(
+            "SELECT o_totalprice * 2, count(*) FROM orders GROUP BY o_totalprice * 2"
+        )
+
+    def test_nested_aggregate_rejected(self, planner):
+        with pytest.raises(BindError):
+            planner.plan_sql("SELECT sum(count(*)) FROM orders GROUP BY o_custkey")
+
+    def test_sum_of_varchar_rejected(self, planner):
+        with pytest.raises(BindError, match="numeric"):
+            planner.plan_sql("SELECT sum(o_orderstatus) FROM orders")
+
+    def test_distinct_only_for_count(self, planner):
+        with pytest.raises(BindError, match="DISTINCT"):
+            planner.plan_sql("SELECT sum(DISTINCT o_totalprice) FROM orders")
+
+    def test_star_in_aggregate_query_rejected(self, planner):
+        with pytest.raises(BindError, match="aggregate"):
+            planner.plan_sql("SELECT * FROM orders GROUP BY o_custkey")
+
+    def test_count_star_ok(self, planner):
+        planner.plan_sql("SELECT count(*) FROM orders")
+
+    def test_duplicate_aggregates_deduplicated(self, planner):
+        from repro.engine.plan import Aggregate, walk_plan
+
+        plan = planner.plan_sql(
+            "SELECT sum(o_totalprice), sum(o_totalprice) * 2 FROM orders"
+        )
+        agg = next(n for n in walk_plan(plan) if isinstance(n, Aggregate))
+        assert len(agg.aggregates) == 1
+
+
+class TestJoinConditionSplit:
+    def test_equi_keys_extracted(self, planner):
+        from repro.engine.plan import HashJoin, walk_plan
+
+        plan = planner.plan_sql(
+            "SELECT 1 FROM orders o JOIN customer c ON o.o_custkey = c.c_custkey"
+        )
+        join = next(n for n in walk_plan(plan) if isinstance(n, HashJoin))
+        assert join.left_keys == ["o.o_custkey"]
+        assert join.right_keys == ["c.c_custkey"]
+
+    def test_non_equi_becomes_residual(self, planner):
+        from repro.engine.plan import HashJoin, walk_plan
+
+        plan = planner.plan_sql(
+            "SELECT 1 FROM orders o JOIN customer c "
+            "ON o.o_custkey = c.c_custkey AND o.o_totalprice > 100"
+        )
+        join = next(n for n in walk_plan(plan) if isinstance(n, HashJoin))
+        assert join.residual is not None
+
+    def test_incomparable_join_keys_rejected(self, planner):
+        with pytest.raises(BindError, match="not comparable"):
+            planner.plan_sql(
+                "SELECT 1 FROM orders o JOIN customer c ON o.o_orderstatus = c.c_custkey"
+            )

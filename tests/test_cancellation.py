@@ -1,0 +1,141 @@
+"""Cancellation tests: server queues, VM queue, running queries, CF."""
+
+import pytest
+
+from repro.core import QueryStatus, ServiceLevel
+from repro.turbo.coordinator import ExecutionVenue
+
+HEAVY = "SELECT l_returnflag, count(*) FROM lineitem GROUP BY l_returnflag"
+
+
+class TestServerQueueCancellation:
+    def test_cancel_held_relaxed_query(self, turbo_env):
+        sim, _, _, _, _, server = turbo_env
+        for _ in range(12):  # push over the high watermark
+            server.submit(HEAVY, ServiceLevel.RELAXED)
+        held = server.submit(HEAVY, ServiceLevel.RELAXED)
+        assert held.dispatched_at is None
+        queued_before = server.queued_relaxed
+        assert server.cancel(held.query_id) is True
+        assert held.status is QueryStatus.FAILED
+        assert held.error == "cancelled by user"
+        assert server.queued_relaxed == queued_before - 1
+        sim.run_until(900)
+        assert held.status is QueryStatus.FAILED  # never resurrected
+
+    def test_cancel_held_best_effort_query(self, turbo_env):
+        sim, _, _, _, _, server = turbo_env
+        for _ in range(3):
+            server.submit(HEAVY, ServiceLevel.RELAXED)
+        held = server.submit(HEAVY, ServiceLevel.BEST_EFFORT)
+        assert held.dispatched_at is None
+        assert server.cancel(held.query_id) is True
+        assert server.queued_best_effort == 0
+        sim.run_until(900)
+        assert held.status is QueryStatus.FAILED
+
+    def test_cancel_fires_on_finish_callback(self, turbo_env):
+        sim, _, _, _, _, server = turbo_env
+        for _ in range(12):
+            server.submit(HEAVY, ServiceLevel.RELAXED)
+        finished = []
+        held = server.submit(
+            HEAVY, ServiceLevel.RELAXED, on_finish=lambda r: finished.append(r)
+        )
+        server.cancel(held.query_id)
+        assert finished == [held]
+
+
+class TestVmCancellation:
+    def test_cancel_vm_queued_query(self, turbo_env):
+        sim, _, _, _, coordinator, server = turbo_env
+        records = [server.submit(HEAVY, ServiceLevel.RELAXED) for _ in range(4)]
+        victim = records[-1]
+        assert victim.status is QueryStatus.PENDING  # waiting in VM queue
+        queue_before = coordinator.vm_cluster.queue_length
+        assert server.cancel(victim.query_id) is True
+        assert coordinator.vm_cluster.queue_length == queue_before - 1
+        assert victim.status is QueryStatus.FAILED
+        sim.run_until(900)
+        others = [r for r in records if r is not victim]
+        assert all(r.status is QueryStatus.FINISHED for r in others)
+
+    def test_cancel_running_query_frees_slot(self, turbo_env):
+        sim, _, _, _, coordinator, server = turbo_env
+        record = server.submit(HEAVY, ServiceLevel.RELAXED)
+        sim.run_until(0.001)
+        assert record.status is QueryStatus.RUNNING
+        running_before = coordinator.vm_cluster.running_tasks
+        assert server.cancel(record.query_id) is True
+        assert coordinator.vm_cluster.running_tasks == running_before - 1
+        assert record.status is QueryStatus.FAILED
+        # The freed slot is immediately usable.
+        follow_up = server.submit(HEAVY, ServiceLevel.RELAXED)
+        sim.run_until(900)
+        assert follow_up.status is QueryStatus.FINISHED
+
+    def test_cancelled_query_never_completes(self, turbo_env):
+        sim, _, _, _, _, server = turbo_env
+        record = server.submit(HEAVY, ServiceLevel.RELAXED)
+        server.cancel(record.query_id)
+        sim.run_until(900)
+        assert record.status is QueryStatus.FAILED
+        assert record.result_rows() == []
+        assert record.price == 0.0
+
+
+class TestCfCancellation:
+    def test_cancel_cf_query_marks_failed_but_bills_invocation(self, turbo_env):
+        sim, _, _, _, coordinator, server = turbo_env
+        for _ in range(4):
+            server.submit(HEAVY, ServiceLevel.RELAXED)
+        record = server.submit(HEAVY, ServiceLevel.IMMEDIATE)
+        assert record.execution.venue is ExecutionVenue.CF
+        assert server.cancel(record.query_id) is True
+        assert record.status is QueryStatus.FAILED
+        sim.run_until(900)
+        # The function fan-out already launched: it runs and is billed.
+        assert record.status is QueryStatus.FAILED
+        assert coordinator.cf_service.provider_cost() > 0
+
+
+class TestCancellationEdges:
+    def test_cancel_finished_query_returns_false(self, turbo_env):
+        sim, _, _, _, _, server = turbo_env
+        record = server.submit("SELECT count(*) FROM orders", ServiceLevel.IMMEDIATE)
+        sim.run_until(120)
+        assert record.status is QueryStatus.FINISHED
+        assert server.cancel(record.query_id) is False
+        assert record.status is QueryStatus.FINISHED
+
+    def test_cancel_unknown_query_raises(self, turbo_env):
+        from repro.errors import NoSuchQueryError
+
+        _, _, _, _, _, server = turbo_env
+        with pytest.raises(NoSuchQueryError):
+            server.cancel("ghost")
+
+    def test_double_cancel_is_false(self, turbo_env):
+        sim, _, _, _, _, server = turbo_env
+        record = server.submit(HEAVY, ServiceLevel.RELAXED)
+        assert server.cancel(record.query_id) is True
+        assert server.cancel(record.query_id) is False
+
+
+class TestRoverCancellation:
+    def test_cancel_via_result_block(self, turbo_env):
+        from repro.nl2sql import CodesService
+        from repro.rover import RoverServer, UserStore
+
+        sim, store, catalog, config, coordinator, server = turbo_env
+        users = UserStore()
+        users.register("u", "p", {"tpch"})
+        rover = RoverServer(users, catalog, CodesService(), server)
+        token = rover.login("u", "p")
+        rover.select_database(token, "tpch")
+        block = rover.ask(token, "How many orders are there?")
+        result = rover.submit_query(token, block.block_id, ServiceLevel.RELAXED)
+        assert rover.cancel_query(token, result.result_id) is True
+        expanded = rover.expand_result(token, result.result_id)
+        assert expanded["status"] == "failed"
+        assert "cancelled" in expanded["error"]

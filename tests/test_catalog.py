@@ -1,0 +1,182 @@
+"""Unit tests for the metadata catalog."""
+
+import pytest
+
+from repro.errors import (
+    DuplicateObjectError,
+    NoSuchColumnError,
+    NoSuchSchemaError,
+    NoSuchTableError,
+)
+from repro.storage.catalog import Catalog, ColumnMeta
+from repro.storage.types import DataType
+
+
+@pytest.fixture
+def catalog():
+    c = Catalog()
+    c.create_schema("tpch", comment="decision support")
+    c.create_table(
+        "tpch",
+        "orders",
+        [
+            ColumnMeta("o_orderkey", DataType.BIGINT, "order id"),
+            ColumnMeta("o_custkey", DataType.BIGINT, "customer id"),
+            ColumnMeta("o_totalprice", DataType.DOUBLE, "total price"),
+        ],
+        bucket="warehouse",
+        prefix="tpch/orders",
+    )
+    c.create_table(
+        "tpch",
+        "customer",
+        [ColumnMeta("c_custkey", DataType.BIGINT, "customer id")],
+    )
+    return c
+
+
+class TestSchemas:
+    def test_create_and_lookup(self, catalog):
+        assert catalog.schema("tpch").name == "tpch"
+        assert catalog.has_schema("tpch")
+        assert catalog.schema_names == ["tpch"]
+
+    def test_duplicate_schema_rejected(self, catalog):
+        with pytest.raises(DuplicateObjectError):
+            catalog.create_schema("tpch")
+
+    def test_missing_schema_raises(self, catalog):
+        with pytest.raises(NoSuchSchemaError):
+            catalog.schema("nope")
+
+    def test_drop_schema(self, catalog):
+        catalog.drop_schema("tpch")
+        assert not catalog.has_schema("tpch")
+        with pytest.raises(NoSuchSchemaError):
+            catalog.drop_schema("tpch")
+
+
+class TestTables:
+    def test_lookup(self, catalog):
+        table = catalog.table("tpch", "orders")
+        assert table.column_names == ["o_orderkey", "o_custkey", "o_totalprice"]
+        assert table.bucket == "warehouse"
+
+    def test_missing_table(self, catalog):
+        with pytest.raises(NoSuchTableError):
+            catalog.table("tpch", "ghost")
+
+    def test_duplicate_table_rejected(self, catalog):
+        with pytest.raises(DuplicateObjectError):
+            catalog.create_table("tpch", "orders", [ColumnMeta("x", DataType.INT)])
+
+    def test_empty_columns_rejected(self, catalog):
+        with pytest.raises(ValueError):
+            catalog.create_table("tpch", "empty", [])
+
+    def test_duplicate_column_names_rejected(self, catalog):
+        with pytest.raises(DuplicateObjectError):
+            catalog.create_table(
+                "tpch",
+                "dup",
+                [ColumnMeta("a", DataType.INT), ColumnMeta("a", DataType.INT)],
+            )
+
+    def test_drop_table(self, catalog):
+        catalog.drop_table("tpch", "orders")
+        with pytest.raises(NoSuchTableError):
+            catalog.table("tpch", "orders")
+
+    def test_column_lookup(self, catalog):
+        column = catalog.table("tpch", "orders").column("o_totalprice")
+        assert column.dtype is DataType.DOUBLE
+        with pytest.raises(NoSuchColumnError):
+            catalog.table("tpch", "orders").column("ghost")
+
+    def test_has_column(self, catalog):
+        table = catalog.table("tpch", "orders")
+        assert table.has_column("o_custkey")
+        assert not table.has_column("nope")
+
+
+class TestForeignKeysAndStats:
+    def test_add_foreign_key(self, catalog):
+        catalog.add_foreign_key("tpch", "orders", "o_custkey", "customer", "c_custkey")
+        fks = catalog.table("tpch", "orders").foreign_keys
+        assert len(fks) == 1
+        assert fks[0].ref_table == "customer"
+
+    def test_foreign_key_validates_columns(self, catalog):
+        with pytest.raises(NoSuchColumnError):
+            catalog.add_foreign_key("tpch", "orders", "ghost", "customer", "c_custkey")
+        with pytest.raises(NoSuchTableError):
+            catalog.add_foreign_key("tpch", "orders", "o_custkey", "ghost", "x")
+
+    def test_update_statistics(self, catalog):
+        catalog.update_statistics("tpch", "orders", 1500, 12345)
+        table = catalog.table("tpch", "orders")
+        assert table.row_count == 1500
+        assert table.size_bytes == 12345
+
+
+class TestDescribeSchema:
+    def test_shape_matches_protocol(self, catalog):
+        catalog.add_foreign_key("tpch", "orders", "o_custkey", "customer", "c_custkey")
+        payload = catalog.describe_schema("tpch")
+        assert payload["schema"] == "tpch"
+        names = {t["name"] for t in payload["tables"]}
+        assert names == {"orders", "customer"}
+        orders = next(t for t in payload["tables"] if t["name"] == "orders")
+        assert orders["columns"][0] == {
+            "name": "o_orderkey",
+            "type": "bigint",
+            "comment": "order id",
+        }
+        assert orders["foreign_keys"] == [
+            {"column": "o_custkey", "ref_table": "customer", "ref_column": "c_custkey"}
+        ]
+
+
+class TestPersistence:
+    def test_json_roundtrip(self, catalog):
+        catalog.add_foreign_key("tpch", "orders", "o_custkey", "customer", "c_custkey")
+        catalog.update_statistics("tpch", "orders", 42, 1000)
+        restored = Catalog.from_json(catalog.to_json())
+        assert restored.schema_names == catalog.schema_names
+        orders = restored.table("tpch", "orders")
+        assert orders.column_names == ["o_orderkey", "o_custkey", "o_totalprice"]
+        assert orders.row_count == 42
+        assert orders.bucket == "warehouse"
+        assert orders.foreign_keys[0].ref_table == "customer"
+        assert orders.column("o_totalprice").comment == "total price"
+
+    def test_save_load_through_object_store(self, catalog):
+        from repro.storage.object_store import ObjectStore
+
+        store = ObjectStore()
+        catalog.save(store, "meta")
+        restored = Catalog.load(store, "meta")
+        assert restored.table("tpch", "orders").column_names == (
+            catalog.table("tpch", "orders").column_names
+        )
+
+    def test_restored_catalog_plans_queries(self):
+        """A catalog restored from the store still drives the engine."""
+        from repro.engine.executor import QueryExecutor
+        from repro.engine.optimizer import Optimizer
+        from repro.engine.planner import Planner
+        from repro.engine.source import ObjectStoreSource
+        from repro.storage.object_store import ObjectStore
+        from repro.workloads import TpchGenerator, load_dataset
+
+        store = ObjectStore()
+        catalog = Catalog()
+        load_dataset(store, catalog, "tpch", TpchGenerator(scale=0.01).tables())
+        catalog.save(store, "warehouse")
+        restored = Catalog.load(store, "warehouse")
+        planner = Planner(restored, "tpch")
+        executor = QueryExecutor(ObjectStoreSource(store))
+        result = executor.execute(
+            Optimizer().optimize(planner.plan_sql("SELECT count(*) FROM orders"))
+        )
+        assert result.rows()[0][0] > 0

@@ -1,0 +1,73 @@
+"""Unit tests for the cloud-function service."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.turbo.cf_service import CfService
+from repro.turbo.config import CfConfig, VmConfig
+
+
+@pytest.fixture
+def service():
+    sim = Simulator()
+    return sim, CfService(sim, CfConfig(), VmConfig())
+
+
+class TestInvocations:
+    def test_invoke_completes_after_duration(self, service):
+        sim, cf = service
+        done = []
+        cf.invoke("q1", num_workers=4, duration_s=2.5, on_complete=lambda: done.append(sim.now))
+        assert cf.active_workers == 4
+        sim.run()
+        assert done == [2.5]
+        assert cf.active_workers == 0
+
+    def test_rejects_nonpositive_workers(self, service):
+        _, cf = service
+        with pytest.raises(ValueError):
+            cf.invoke("q1", 0, 1.0, lambda: None)
+
+    def test_worker_seconds_and_cost(self, service):
+        sim, cf = service
+        cf.invoke("q1", num_workers=10, duration_s=3.0, on_complete=lambda: None)
+        sim.run()
+        assert cf.total_worker_seconds() == pytest.approx(30.0)
+        expected = 30.0 * CfConfig().price_per_worker_s(VmConfig())
+        assert cf.provider_cost() == pytest.approx(expected)
+
+    def test_concurrent_invocations_tracked(self, service):
+        sim, cf = service
+        cf.invoke("q1", 5, 10.0, lambda: None)
+        cf.invoke("q2", 7, 10.0, lambda: None)
+        assert cf.active_workers == 12
+        sim.run()
+        assert cf.active_workers == 0
+        assert len(cf.invocations) == 2
+
+    def test_invocation_records_query_id(self, service):
+        sim, cf = service
+        cf.invoke("my-query", 1, 1.0, lambda: None)
+        assert cf.invocations[0].query_id == "my-query"
+
+    def test_trace_gauge(self, service):
+        sim, cf = service
+        cf.invoke("q1", 3, 1.0, lambda: None)
+        sim.run()
+        values = cf.trace.values("cf.active_workers")
+        assert values == [3, 0]
+
+
+class TestElasticityContract:
+    def test_hundreds_of_workers_within_a_second(self):
+        """The paper's §2 claim: CF can create hundreds of workers in ~1 s.
+        In the model, availability is bounded by startup_s alone."""
+        curve = CfService(
+            Simulator(), CfConfig(), VmConfig()
+        ).provisioning_curve(demand=300)
+        time_to_full = next(t for t, n in curve if n == 300)
+        assert time_to_full <= 1.0
+
+    def test_vm_cluster_needs_minutes_for_same_demand(self):
+        """Contrast: the default VM scale-out lag is 1-2 minutes."""
+        assert 60 <= VmConfig().scale_out_lag_s <= 120

@@ -1,0 +1,199 @@
+"""Unit + property tests for column-chunk encodings and zone-map stats."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.columnar import (
+    ColumnChunkStats,
+    Encoding,
+    choose_encoding,
+    compute_stats,
+    decode_chunk,
+    encode_chunk,
+)
+from repro.storage.types import ColumnVector, DataType
+
+
+def roundtrip(vector: ColumnVector, encoding: Encoding) -> ColumnVector:
+    return decode_chunk(encode_chunk(vector, encoding), vector.dtype, encoding)
+
+
+class TestEncodingRoundtrips:
+    @pytest.mark.parametrize("encoding", [Encoding.PLAIN, Encoding.RLE])
+    def test_int_roundtrip(self, encoding):
+        vector = ColumnVector.from_values(DataType.INT, [1, 1, 1, 5, -3, 5])
+        assert roundtrip(vector, encoding).to_values() == vector.to_values()
+
+    @pytest.mark.parametrize("encoding", [Encoding.PLAIN, Encoding.RLE])
+    def test_bigint_roundtrip(self, encoding):
+        values = [2**40, 2**40, -(2**41), 0]
+        vector = ColumnVector.from_values(DataType.BIGINT, values)
+        assert roundtrip(vector, encoding).to_values() == values
+
+    def test_double_plain_roundtrip(self):
+        values = [1.5, -2.25, 0.0, 1e300]
+        vector = ColumnVector.from_values(DataType.DOUBLE, values)
+        assert roundtrip(vector, Encoding.PLAIN).to_values() == values
+
+    def test_boolean_plain_roundtrip(self):
+        values = [True, False, True]
+        vector = ColumnVector.from_values(DataType.BOOLEAN, values)
+        assert roundtrip(vector, Encoding.PLAIN).to_values() == values
+
+    @pytest.mark.parametrize("encoding", [Encoding.PLAIN, Encoding.DICT])
+    def test_varchar_roundtrip(self, encoding):
+        values = ["apple", "banana", "apple", "", "ünïcødé"]
+        vector = ColumnVector.from_values(DataType.VARCHAR, values)
+        assert roundtrip(vector, encoding).to_values() == values
+
+    def test_nulls_roundtrip_all_encodings(self):
+        int_vector = ColumnVector.from_values(DataType.INT, [1, None, 1, 1, None])
+        for encoding in (Encoding.PLAIN, Encoding.RLE):
+            assert roundtrip(int_vector, encoding).to_values() == [1, None, 1, 1, None]
+        str_vector = ColumnVector.from_values(DataType.VARCHAR, ["a", None, "a"])
+        for encoding in (Encoding.PLAIN, Encoding.DICT):
+            assert roundtrip(str_vector, encoding).to_values() == ["a", None, "a"]
+
+    def test_empty_roundtrip(self):
+        vector = ColumnVector(DataType.INT, np.empty(0, dtype=np.int32))
+        for encoding in (Encoding.PLAIN, Encoding.RLE):
+            assert len(roundtrip(vector, encoding)) == 0
+
+    def test_date_roundtrip(self):
+        vector = ColumnVector.from_values(DataType.DATE, [0, 9000, 9000, -10])
+        assert roundtrip(vector, Encoding.RLE).to_values() == [0, 9000, 9000, -10]
+
+
+class TestPropertyRoundtrips:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.one_of(st.integers(-(2**31), 2**31 - 1), st.none()), max_size=200
+        )
+    )
+    def test_int_plain(self, values):
+        vector = ColumnVector.from_values(DataType.INT, values)
+        assert roundtrip(vector, Encoding.PLAIN).to_values() == values
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.one_of(st.integers(-100, 100), st.none()), max_size=200)
+    )
+    def test_int_rle(self, values):
+        vector = ColumnVector.from_values(DataType.INT, values)
+        assert roundtrip(vector, Encoding.RLE).to_values() == values
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.one_of(st.text(max_size=20), st.none()), max_size=100))
+    def test_varchar_dict(self, values):
+        vector = ColumnVector.from_values(DataType.VARCHAR, values)
+        result = roundtrip(vector, Encoding.DICT).to_values()
+        expected = ["" if v is None else v for v in values]
+        got = ["" if v is None else v for v in result]
+        assert got == expected
+        # Null positions preserved exactly.
+        assert [v is None for v in result] == [v is None for v in values]
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.one_of(
+                st.floats(allow_nan=False, allow_infinity=False), st.none()
+            ),
+            max_size=100,
+        )
+    )
+    def test_double_plain(self, values):
+        vector = ColumnVector.from_values(DataType.DOUBLE, values)
+        assert roundtrip(vector, Encoding.PLAIN).to_values() == values
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(-5, 5), min_size=1, max_size=300))
+    def test_stats_bound_all_values(self, values):
+        vector = ColumnVector.from_values(DataType.INT, values)
+        stats = compute_stats(vector)
+        assert stats.min_value == min(values)
+        assert stats.max_value == max(values)
+        assert stats.num_rows == len(values)
+
+
+class TestChooseEncoding:
+    def test_long_runs_pick_rle(self):
+        vector = ColumnVector.from_values(DataType.INT, [7] * 100)
+        assert choose_encoding(vector) is Encoding.RLE
+
+    def test_random_ints_pick_plain(self):
+        vector = ColumnVector.from_values(DataType.INT, list(range(100)))
+        assert choose_encoding(vector) is Encoding.PLAIN
+
+    def test_low_cardinality_strings_pick_dict(self):
+        vector = ColumnVector.from_values(DataType.VARCHAR, ["x", "y"] * 50)
+        assert choose_encoding(vector) is Encoding.DICT
+
+    def test_unique_strings_pick_plain(self):
+        vector = ColumnVector.from_values(
+            DataType.VARCHAR, [f"s{i}" for i in range(100)]
+        )
+        assert choose_encoding(vector) is Encoding.PLAIN
+
+    def test_doubles_pick_plain(self):
+        vector = ColumnVector.from_values(DataType.DOUBLE, [1.0] * 100)
+        assert choose_encoding(vector) is Encoding.PLAIN
+
+    def test_empty_picks_plain(self):
+        vector = ColumnVector(DataType.INT, np.empty(0, dtype=np.int32))
+        assert choose_encoding(vector) is Encoding.PLAIN
+
+    def test_rle_actually_smaller_on_runs(self):
+        vector = ColumnVector.from_values(DataType.INT, [3] * 1000)
+        rle = encode_chunk(vector, Encoding.RLE)
+        plain = encode_chunk(vector, Encoding.PLAIN)
+        assert len(rle) < len(plain) / 10
+
+    def test_dict_actually_smaller_on_repeats(self):
+        vector = ColumnVector.from_values(
+            DataType.VARCHAR, ["a-fairly-long-country-name"] * 500
+        )
+        dict_blob = encode_chunk(vector, Encoding.DICT)
+        plain_blob = encode_chunk(vector, Encoding.PLAIN)
+        assert len(dict_blob) < len(plain_blob) / 2
+
+
+class TestStats:
+    def test_all_null_column(self):
+        vector = ColumnVector.from_values(DataType.INT, [None, None])
+        stats = compute_stats(vector)
+        assert stats.min_value is None and stats.max_value is None
+        assert stats.null_count == 2
+
+    def test_varchar_stats(self):
+        vector = ColumnVector.from_values(DataType.VARCHAR, ["pear", "apple"])
+        stats = compute_stats(vector)
+        assert stats.min_value == "apple"
+        assert stats.max_value == "pear"
+
+    def test_boolean_has_no_minmax(self):
+        vector = ColumnVector.from_values(DataType.BOOLEAN, [True, False])
+        stats = compute_stats(vector)
+        assert stats.min_value is None
+
+    def test_nulls_excluded_from_minmax(self):
+        vector = ColumnVector.from_values(DataType.INT, [None, 5, 2])
+        stats = compute_stats(vector)
+        assert stats.min_value == 2
+        assert stats.max_value == 5
+
+    def test_might_contain_range(self):
+        stats = ColumnChunkStats(num_rows=10, null_count=0, min_value=5, max_value=10)
+        assert stats.might_contain_range(None, None)
+        assert stats.might_contain_range(7, 8)
+        assert stats.might_contain_range(10, 20)
+        assert stats.might_contain_range(0, 5)
+        assert not stats.might_contain_range(11, None)
+        assert not stats.might_contain_range(None, 4)
+
+    def test_might_contain_range_all_nulls(self):
+        stats = ColumnChunkStats(num_rows=5, null_count=5, min_value=None, max_value=None)
+        assert not stats.might_contain_range(1, 2)

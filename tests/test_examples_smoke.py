@@ -1,0 +1,57 @@
+"""Smoke tests for the shipped examples.
+
+Importing each example catches syntax/import rot cheaply; the quickstart's
+``main()`` also runs end-to-end at a reduced scale as the one full-path
+check (the longer examples are exercised by the benchmarks already).
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(path.stem for path in EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(name):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_expected_examples_present(self):
+        assert {
+            "quickstart",
+            "nl_analytics_session",
+            "service_levels_under_load",
+            "log_analysis",
+            "sql_features_tour",
+            "resilience_and_batching",
+        } <= set(EXAMPLES)
+
+    @pytest.mark.parametrize("name", EXAMPLES)
+    def test_example_imports_cleanly(self, name):
+        module = load_example(name)
+        assert callable(module.main)
+        assert module.__doc__  # every example documents itself
+
+    def test_quickstart_runs(self, capsys, monkeypatch):
+        from repro import PixelsDB
+
+        module = load_example("quickstart")
+        original_init = PixelsDB.load_tpch
+
+        def small_tpch(self, schema, scale=0.1, seed=42):
+            return original_init(self, schema, scale=0.01, seed=seed)
+
+        monkeypatch.setattr(PixelsDB, "load_tpch", small_tpch)
+        module.main()
+        out = capsys.readouterr().out
+        assert "immediate" in out and "relaxed" in out and "best_effort" in out
+        assert "Result rows" in out

@@ -1,0 +1,376 @@
+"""Unit + property tests for vectorized expression evaluation and
+three-valued logic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import expr as bound
+from repro.storage.table import TableData
+from repro.storage.types import ColumnVector, DataType
+
+
+def table_of(**columns):
+    built = {}
+    for name, (dtype, values) in columns.items():
+        built[name] = ColumnVector.from_values(dtype, values)
+    return TableData(built)
+
+
+def col(name, dtype):
+    return bound.BoundColumn(name, dtype)
+
+
+def lit(value, dtype):
+    return bound.BoundLiteral(value, dtype)
+
+
+class TestArithmetic:
+    def test_add_promotes(self):
+        table = table_of(a=(DataType.INT, [1, 2]), b=(DataType.DOUBLE, [0.5, 1.5]))
+        expr = bound.BoundArithmetic.bind(
+            "+", col("a", DataType.INT), col("b", DataType.DOUBLE)
+        )
+        assert expr.dtype is DataType.DOUBLE
+        assert expr.evaluate(table).to_values() == [1.5, 3.5]
+
+    def test_division_always_double(self):
+        table = table_of(a=(DataType.INT, [7]))
+        expr = bound.BoundArithmetic.bind(
+            "/", col("a", DataType.INT), lit(2, DataType.INT)
+        )
+        assert expr.dtype is DataType.DOUBLE
+        assert expr.evaluate(table).to_values() == [3.5]
+
+    def test_division_by_zero_is_null(self):
+        table = table_of(a=(DataType.INT, [1, 2]), b=(DataType.INT, [0, 1]))
+        expr = bound.BoundArithmetic.bind(
+            "/", col("a", DataType.INT), col("b", DataType.INT)
+        )
+        assert expr.evaluate(table).to_values() == [None, 2.0]
+
+    def test_modulo_by_zero_is_null(self):
+        table = table_of(a=(DataType.INT, [5]), b=(DataType.INT, [0]))
+        expr = bound.BoundArithmetic.bind(
+            "%", col("a", DataType.INT), col("b", DataType.INT)
+        )
+        assert expr.evaluate(table).to_values() == [None]
+
+    def test_null_propagates(self):
+        table = table_of(a=(DataType.INT, [1, None]))
+        expr = bound.BoundArithmetic.bind(
+            "+", col("a", DataType.INT), lit(1, DataType.INT)
+        )
+        assert expr.evaluate(table).to_values() == [2, None]
+
+    def test_date_plus_days(self):
+        expr = bound.BoundArithmetic.bind(
+            "+", lit(100, DataType.DATE), lit(5, DataType.INT)
+        )
+        assert expr.dtype is DataType.DATE
+
+    def test_date_multiply_rejected(self):
+        from repro.errors import BindError
+
+        with pytest.raises(BindError):
+            bound.BoundArithmetic.bind(
+                "*", lit(100, DataType.DATE), lit(5, DataType.INT)
+            )
+
+    def test_negate(self):
+        table = table_of(a=(DataType.INT, [1, -2, None]))
+        expr = bound.BoundNegate.bind(col("a", DataType.INT))
+        assert expr.evaluate(table).to_values() == [-1, 2, None]
+
+
+class TestComparisons:
+    def test_null_comparison_is_null(self):
+        table = table_of(a=(DataType.INT, [1, None]))
+        expr = bound.BoundComparison.bind(
+            "=", col("a", DataType.INT), lit(1, DataType.INT)
+        )
+        assert expr.evaluate(table).to_values() == [True, None]
+
+    def test_varchar_comparison(self):
+        table = table_of(s=(DataType.VARCHAR, ["a", "b"]))
+        expr = bound.BoundComparison.bind(
+            "<", col("s", DataType.VARCHAR), lit("b", DataType.VARCHAR)
+        )
+        assert expr.evaluate(table).to_values() == [True, False]
+
+    @pytest.mark.parametrize(
+        "op,expected",
+        [
+            ("=", [False, True, False]),
+            ("<>", [True, False, True]),
+            ("<", [True, False, False]),
+            ("<=", [True, True, False]),
+            (">", [False, False, True]),
+            (">=", [False, True, True]),
+        ],
+    )
+    def test_all_operators(self, op, expected):
+        table = table_of(a=(DataType.INT, [1, 2, 3]))
+        expr = bound.BoundComparison.bind(
+            op, col("a", DataType.INT), lit(2, DataType.INT)
+        )
+        assert expr.evaluate(table).to_values() == expected
+
+
+class TestKleeneLogic:
+    """Truth tables for three-valued AND/OR."""
+
+    CASES = [
+        (True, True), (True, False), (True, None),
+        (False, True), (False, False), (False, None),
+        (None, True), (None, False), (None, None),
+    ]
+
+    def _eval(self, op, left_value, right_value):
+        table = table_of(
+            l=(DataType.BOOLEAN, [left_value]), r=(DataType.BOOLEAN, [right_value])
+        )
+        expr = bound.BoundLogical.bind(
+            op, col("l", DataType.BOOLEAN), col("r", DataType.BOOLEAN)
+        )
+        return expr.evaluate(table).to_values()[0]
+
+    def test_and_truth_table(self):
+        def expected(l, r):
+            if l is False or r is False:
+                return False
+            if l is None or r is None:
+                return None
+            return True
+
+        for l, r in self.CASES:
+            assert self._eval("and", l, r) == expected(l, r), (l, r)
+
+    def test_or_truth_table(self):
+        def expected(l, r):
+            if l is True or r is True:
+                return True
+            if l is None or r is None:
+                return None
+            return False
+
+        for l, r in self.CASES:
+            assert self._eval("or", l, r) == expected(l, r), (l, r)
+
+    def test_not_propagates_null(self):
+        table = table_of(b=(DataType.BOOLEAN, [True, False, None]))
+        expr = bound.BoundNot.bind(col("b", DataType.BOOLEAN))
+        assert expr.evaluate(table).to_values() == [False, True, None]
+
+
+class TestPredicates:
+    def test_is_null(self):
+        table = table_of(a=(DataType.INT, [1, None]))
+        assert bound.BoundIsNull(col("a", DataType.INT)).evaluate(
+            table
+        ).to_values() == [False, True]
+        assert bound.BoundIsNull(col("a", DataType.INT), negated=True).evaluate(
+            table
+        ).to_values() == [True, False]
+
+    def test_in_list_numeric(self):
+        table = table_of(a=(DataType.INT, [1, 2, 3, None]))
+        expr = bound.BoundInList(col("a", DataType.INT), (1, 3))
+        assert expr.evaluate(table).to_values() == [True, False, True, None]
+
+    def test_in_list_varchar(self):
+        table = table_of(s=(DataType.VARCHAR, ["x", "y"]))
+        expr = bound.BoundInList(col("s", DataType.VARCHAR), ("x",), negated=True)
+        assert expr.evaluate(table).to_values() == [False, True]
+
+    @pytest.mark.parametrize(
+        "pattern,value,matches",
+        [
+            ("abc", "abc", True),
+            ("abc", "abd", False),
+            ("%bc", "aaabc", True),
+            ("a%", "a", True),
+            ("a_c", "abc", True),
+            ("a_c", "ac", False),
+            ("%b%", "abc", True),
+            ("", "", True),
+            ("%", "anything", True),
+            ("a.c", "abc", False),  # dot is literal, not regex
+        ],
+    )
+    def test_like_patterns(self, pattern, value, matches):
+        table = table_of(s=(DataType.VARCHAR, [value]))
+        expr = bound.BoundLike(col("s", DataType.VARCHAR), pattern)
+        assert expr.evaluate(table).to_values() == [matches]
+
+    def test_like_null(self):
+        table = table_of(s=(DataType.VARCHAR, [None]))
+        expr = bound.BoundLike(col("s", DataType.VARCHAR), "%")
+        assert expr.evaluate(table).to_values() == [None]
+
+
+class TestCaseAndCast:
+    def test_case_first_match_wins(self):
+        table = table_of(a=(DataType.INT, [1, 2, 3]))
+        expr = bound.BoundCase(
+            whens=(
+                (
+                    bound.BoundComparison.bind(
+                        ">", col("a", DataType.INT), lit(2, DataType.INT)
+                    ),
+                    lit("big", DataType.VARCHAR),
+                ),
+                (
+                    bound.BoundComparison.bind(
+                        ">", col("a", DataType.INT), lit(1, DataType.INT)
+                    ),
+                    lit("mid", DataType.VARCHAR),
+                ),
+            ),
+            else_=lit("small", DataType.VARCHAR),
+            dtype=DataType.VARCHAR,
+        )
+        assert expr.evaluate(table).to_values() == ["small", "mid", "big"]
+
+    def test_case_without_else_yields_null(self):
+        table = table_of(a=(DataType.INT, [1, 5]))
+        expr = bound.BoundCase(
+            whens=(
+                (
+                    bound.BoundComparison.bind(
+                        ">", col("a", DataType.INT), lit(2, DataType.INT)
+                    ),
+                    lit(1, DataType.INT),
+                ),
+            ),
+            else_=None,
+            dtype=DataType.INT,
+        )
+        assert expr.evaluate(table).to_values() == [None, 1]
+
+    def test_cast_int_to_varchar(self):
+        table = table_of(a=(DataType.INT, [42]))
+        expr = bound.BoundCast(col("a", DataType.INT), DataType.VARCHAR)
+        assert expr.evaluate(table).to_values() == ["42"]
+
+    def test_cast_varchar_to_double(self):
+        table = table_of(s=(DataType.VARCHAR, ["2.5"]))
+        expr = bound.BoundCast(col("s", DataType.VARCHAR), DataType.DOUBLE)
+        assert expr.evaluate(table).to_values() == [2.5]
+
+
+class TestScalarFunctions:
+    def test_upper_lower_length(self):
+        table = table_of(s=(DataType.VARCHAR, ["aBc"]))
+        assert bound.BoundScalarFunction.bind(
+            "upper", (col("s", DataType.VARCHAR),)
+        ).evaluate(table).to_values() == ["ABC"]
+        assert bound.BoundScalarFunction.bind(
+            "lower", (col("s", DataType.VARCHAR),)
+        ).evaluate(table).to_values() == ["abc"]
+        assert bound.BoundScalarFunction.bind(
+            "length", (col("s", DataType.VARCHAR),)
+        ).evaluate(table).to_values() == [3]
+
+    def test_year_month(self):
+        table = table_of(d=(DataType.DATE, [9131]))  # 1995-01-01
+        assert bound.BoundScalarFunction.bind(
+            "year", (col("d", DataType.DATE),)
+        ).evaluate(table).to_values() == [1995]
+        assert bound.BoundScalarFunction.bind(
+            "month", (col("d", DataType.DATE),)
+        ).evaluate(table).to_values() == [1]
+
+    def test_coalesce(self):
+        table = table_of(
+            a=(DataType.INT, [None, 1, None]), b=(DataType.INT, [2, 3, None])
+        )
+        expr = bound.BoundScalarFunction.bind(
+            "coalesce", (col("a", DataType.INT), col("b", DataType.INT))
+        )
+        assert expr.evaluate(table).to_values() == [2, 1, None]
+
+    def test_abs(self):
+        table = table_of(a=(DataType.INT, [-5, 5]))
+        expr = bound.BoundScalarFunction.bind("abs", (col("a", DataType.INT),))
+        assert expr.evaluate(table).to_values() == [5, 5]
+
+    def test_substring(self):
+        table = table_of(s=(DataType.VARCHAR, ["hello"]))
+        expr = bound.BoundScalarFunction.bind(
+            "substring",
+            (
+                col("s", DataType.VARCHAR),
+                lit(2, DataType.INT),
+                lit(3, DataType.INT),
+            ),
+        )
+        assert expr.evaluate(table).to_values() == ["ell"]
+
+    def test_concat(self):
+        table = table_of(s=(DataType.VARCHAR, ["a", None]))
+        expr = bound.BoundConcat.bind(
+            col("s", DataType.VARCHAR), lit("x", DataType.VARCHAR)
+        )
+        assert expr.evaluate(table).to_values() == ["ax", None]
+
+
+class TestWherePredicateSemantics:
+    def test_null_rows_dropped(self):
+        vector = ColumnVector.from_values(DataType.BOOLEAN, [True, False, None])
+        mask = bound.mask_from_predicate(vector)
+        assert mask.tolist() == [True, False, False]
+
+    def test_non_boolean_rejected(self):
+        from repro.errors import ExecutionError
+
+        vector = ColumnVector.from_values(DataType.INT, [1])
+        with pytest.raises(ExecutionError):
+            bound.mask_from_predicate(vector)
+
+
+class TestPropertyComparisons:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.one_of(st.integers(-100, 100), st.none()), min_size=1, max_size=60),
+        st.integers(-100, 100),
+        st.sampled_from(["=", "<>", "<", "<=", ">", ">="]),
+    )
+    def test_matches_python_reference(self, values, threshold, op):
+        import operator
+
+        python_ops = {
+            "=": operator.eq,
+            "<>": operator.ne,
+            "<": operator.lt,
+            "<=": operator.le,
+            ">": operator.gt,
+            ">=": operator.ge,
+        }
+        table = table_of(a=(DataType.INT, values))
+        expr = bound.BoundComparison.bind(
+            op, col("a", DataType.INT), lit(threshold, DataType.INT)
+        )
+        got = expr.evaluate(table).to_values()
+        expected = [
+            None if value is None else python_ops[op](value, threshold)
+            for value in values
+        ]
+        assert got == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.text(max_size=10), min_size=1, max_size=40),
+        # Exclude LIKE wildcards from the prefix: '%'/'_' would make the
+        # startswith reference model wrong, not the implementation.
+        st.text(
+            alphabet=st.characters(exclude_characters="%_"), max_size=5
+        ),
+    )
+    def test_like_prefix_property(self, values, prefix):
+        table = table_of(s=(DataType.VARCHAR, values))
+        expr = bound.BoundLike(col("s", DataType.VARCHAR), prefix + "%")
+        got = expr.evaluate(table).to_values()
+        expected = [value.startswith(prefix) for value in values]
+        assert got == expected

@@ -1,0 +1,242 @@
+"""Unit tests for the Pixels file format (writer/reader/footer)."""
+
+import pytest
+
+from repro.errors import CorruptFileError, NoSuchColumnError
+from repro.storage.file_format import FORMAT_VERSION, FileFooter, PixelsReader, PixelsWriter
+from repro.storage.object_store import ObjectStore
+from repro.storage.types import ColumnVector, DataType
+
+SCHEMA = [("id", DataType.BIGINT), ("name", DataType.VARCHAR), ("price", DataType.DOUBLE)]
+
+
+@pytest.fixture
+def store():
+    s = ObjectStore()
+    s.create_bucket("b")
+    return s
+
+
+def write_sample(store, key="t/part-0.pxl", groups=2, rows=4):
+    writer = PixelsWriter(store, "b", key, SCHEMA)
+    for g in range(groups):
+        base = g * rows
+        writer.write_row_group(
+            {
+                "id": ColumnVector.from_values(
+                    DataType.BIGINT, [base + i for i in range(rows)]
+                ),
+                "name": ColumnVector.from_values(
+                    DataType.VARCHAR, [f"n{base + i}" for i in range(rows)]
+                ),
+                "price": ColumnVector.from_values(
+                    DataType.DOUBLE, [float(base + i) * 1.5 for i in range(rows)]
+                ),
+            }
+        )
+    writer.close()
+    return key
+
+
+class TestWriter:
+    def test_requires_schema(self, store):
+        with pytest.raises(ValueError):
+            PixelsWriter(store, "b", "k", [])
+
+    def test_rejects_wrong_columns(self, store):
+        writer = PixelsWriter(store, "b", "k", SCHEMA)
+        with pytest.raises(ValueError, match="row group columns"):
+            writer.write_row_group(
+                {"id": ColumnVector.from_values(DataType.BIGINT, [1])}
+            )
+
+    def test_rejects_ragged_group(self, store):
+        writer = PixelsWriter(store, "b", "k", SCHEMA)
+        with pytest.raises(ValueError, match="ragged"):
+            writer.write_row_group(
+                {
+                    "id": ColumnVector.from_values(DataType.BIGINT, [1, 2]),
+                    "name": ColumnVector.from_values(DataType.VARCHAR, ["a"]),
+                    "price": ColumnVector.from_values(DataType.DOUBLE, [1.0, 2.0]),
+                }
+            )
+
+    def test_rejects_wrong_dtype(self, store):
+        writer = PixelsWriter(store, "b", "k", SCHEMA)
+        with pytest.raises(ValueError, match="expected"):
+            writer.write_row_group(
+                {
+                    "id": ColumnVector.from_values(DataType.INT, [1]),
+                    "name": ColumnVector.from_values(DataType.VARCHAR, ["a"]),
+                    "price": ColumnVector.from_values(DataType.DOUBLE, [1.0]),
+                }
+            )
+
+    def test_double_close_rejected(self, store):
+        writer = PixelsWriter(store, "b", "k", SCHEMA)
+        writer.close()
+        with pytest.raises(ValueError):
+            writer.close()
+
+    def test_write_after_close_rejected(self, store):
+        writer = PixelsWriter(store, "b", "k", SCHEMA)
+        writer.close()
+        with pytest.raises(ValueError):
+            writer.write_row_group({})
+
+
+class TestReader:
+    def test_full_roundtrip(self, store):
+        key = write_sample(store)
+        reader = PixelsReader(store, "b", key)
+        assert reader.num_rows == 8
+        data = reader.read()
+        assert data["id"].to_values() == list(range(8))
+        assert data["name"].to_values() == [f"n{i}" for i in range(8)]
+        assert data["price"].to_values() == [i * 1.5 for i in range(8)]
+
+    def test_schema_exposed(self, store):
+        key = write_sample(store)
+        reader = PixelsReader(store, "b", key)
+        assert reader.schema == SCHEMA
+        assert reader.column_type("price") is DataType.DOUBLE
+        with pytest.raises(NoSuchColumnError):
+            reader.column_type("nope")
+
+    def test_projection_reads_fewer_bytes(self, store):
+        key = write_sample(store, groups=4, rows=100)
+        before = store.metrics.snapshot()
+        PixelsReader(store, "b", key).read(columns=["id"])
+        only_id = store.metrics.delta(before).bytes_read
+        before = store.metrics.snapshot()
+        PixelsReader(store, "b", key).read()
+        all_columns = store.metrics.delta(before).bytes_read
+        assert only_id < all_columns
+
+    def test_projection_unknown_column(self, store):
+        key = write_sample(store)
+        with pytest.raises(NoSuchColumnError):
+            PixelsReader(store, "b", key).read(columns=["ghost"])
+
+    def test_zone_map_pruning_skips_groups(self, store):
+        key = write_sample(store, groups=4, rows=10)  # ids 0..39, 10 per group
+        reader = PixelsReader(store, "b", key)
+        data = reader.read(columns=["id"], ranges={"id": (35, None)})
+        # Only the last group (ids 30..39) can contain ids >= 35.
+        assert data["id"].to_values() == list(range(30, 40))
+
+    def test_pruning_reads_fewer_bytes(self, store):
+        key = write_sample(store, groups=8, rows=50)
+        before = store.metrics.snapshot()
+        PixelsReader(store, "b", key).read(columns=["id"], ranges={"id": (390, None)})
+        pruned = store.metrics.delta(before).bytes_read
+        before = store.metrics.snapshot()
+        PixelsReader(store, "b", key).read(columns=["id"])
+        full = store.metrics.delta(before).bytes_read
+        assert pruned < full
+
+    def test_all_groups_pruned_returns_empty(self, store):
+        key = write_sample(store)
+        data = PixelsReader(store, "b", key).read(
+            columns=["id"], ranges={"id": (1000, None)}
+        )
+        assert len(data["id"]) == 0
+
+    def test_range_on_unstated_column_is_ignored(self, store):
+        key = write_sample(store)
+        data = PixelsReader(store, "b", key).read(
+            columns=["id"], ranges={"ghost": (0, 1)}
+        )
+        assert len(data["id"]) == 8
+
+
+class TestCorruption:
+    def test_truncated_file(self, store):
+        store.put("b", "bad", b"PI")
+        with pytest.raises(CorruptFileError):
+            PixelsReader(store, "b", "bad")
+
+    def test_bad_trailing_magic(self, store):
+        key = write_sample(store)
+        blob = store.get("b", key).data
+        store.put("b", "bad", blob[:-4] + b"XXXX")
+        with pytest.raises(CorruptFileError, match="magic"):
+            PixelsReader(store, "b", "bad")
+
+    def test_garbage_footer(self, store):
+        key = write_sample(store)
+        blob = bytearray(store.get("b", key).data)
+        # Corrupt bytes inside the footer region.
+        blob[-30:-10] = b"\xff" * 20
+        store.put("b", "bad", bytes(blob))
+        with pytest.raises(CorruptFileError):
+            PixelsReader(store, "b", "bad")
+
+    def test_footer_version_check(self):
+        footer = FileFooter(0, [("a", DataType.INT)], [])
+        blob = footer.to_bytes().replace(
+            f'"version":{FORMAT_VERSION}'.encode(), b'"version":99'
+        )
+        with pytest.raises(CorruptFileError, match="version"):
+            FileFooter.from_bytes(blob)
+
+
+class TestPropertyRoundtripThroughFiles:
+    """Whole-table round trips through the file format, hypothesis-driven."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    ROWS = st.lists(
+        st.tuples(
+            st.one_of(st.integers(-(2**40), 2**40), st.none()),
+            st.one_of(st.text(max_size=12), st.none()),
+            st.one_of(
+                st.floats(allow_nan=False, allow_infinity=False, width=32),
+                st.none(),
+            ),
+            st.one_of(st.booleans(), st.none()),
+            st.one_of(st.integers(-10000, 20000), st.none()),  # DATE days
+        ),
+        max_size=80,
+    )
+
+    @settings(max_examples=40, deadline=None)
+    @given(rows=ROWS)
+    def test_any_table_roundtrips(self, rows):
+        from repro.storage.table import TableData, TableReader, TableWriter
+
+        schema = [
+            ("big", DataType.BIGINT),
+            ("text", DataType.VARCHAR),
+            ("real", DataType.DOUBLE),
+            ("flag", DataType.BOOLEAN),
+            ("day", DataType.DATE),
+        ]
+        store = ObjectStore()
+        store.create_bucket("b")
+        table = TableData.from_rows(schema, rows)
+        TableWriter(store, "b", "t", rows_per_group=16).write(table)
+        result = TableReader(store, "b", "t").scan()
+        assert result.data.to_rows() == table.to_rows()
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        rows=ROWS,
+        low=st.integers(-(2**40), 2**40),
+    )
+    def test_pruned_scan_is_exact_superset_of_matches(self, rows, low):
+        """Zone-map pruning may keep extra rows (groups are coarse) but
+        must never lose a matching one."""
+        from repro.storage.table import TableData, TableReader, TableWriter
+
+        schema = [("big", DataType.BIGINT), ("text", DataType.VARCHAR)]
+        store = ObjectStore()
+        store.create_bucket("b")
+        table = TableData.from_rows(schema, [(r[0], r[1]) for r in rows])
+        TableWriter(store, "b", "t", rows_per_group=8).write(table)
+        result = TableReader(store, "b", "t").scan(ranges={"big": (low, None)})
+        kept = result.data.column("big").to_values()
+        expected = [v for v, _ in [(r[0], r[1]) for r in rows] if v is not None and v >= low]
+        for value in expected:
+            assert value in kept

@@ -1,0 +1,162 @@
+"""Cross-cutting invariants: session isolation, simulation determinism,
+and error-path coverage in the execution stack."""
+
+import pytest
+
+from repro.core import ServiceLevel
+from repro.errors import ExecutionError
+from repro.nl2sql import CodesService
+from repro.rover import RoverServer, UserStore
+
+
+class TestRoverSessionIsolation:
+    @pytest.fixture
+    def rover(self, turbo_env):
+        sim, store, catalog, config, coordinator, server = turbo_env
+        users = UserStore()
+        users.register("alice", "a", {"tpch"})
+        users.register("bob", "b", {"tpch"})
+        return sim, RoverServer(users, catalog, CodesService(), server)
+
+    def test_blocks_invisible_across_sessions(self, rover):
+        _, server = rover
+        alice = server.login("alice", "a")
+        bob = server.login("bob", "b")
+        server.select_database(alice, "tpch")
+        block = server.ask(alice, "How many orders are there?")
+        from repro.errors import NoSuchQueryError
+
+        with pytest.raises(NoSuchQueryError):
+            server.block(bob, block.block_id)
+
+    def test_result_blocks_scoped_to_session(self, rover):
+        sim, server = rover
+        alice = server.login("alice", "a")
+        bob = server.login("bob", "b")
+        for token in (alice, bob):
+            server.select_database(token, "tpch")
+        block = server.ask(alice, "How many orders are there?")
+        server.submit_query(token=alice, block_id=block.block_id, level="immediate")
+        assert len(server.result_blocks(alice)) == 1
+        assert server.result_blocks(bob) == []
+
+    def test_same_user_two_sessions_are_distinct(self, rover):
+        _, server = rover
+        first = server.login("alice", "a")
+        second = server.login("alice", "a")
+        assert first != second
+        server.select_database(first, "tpch")
+        block = server.ask(first, "How many orders are there?")
+        assert server.result_blocks(second) == []
+        from repro.errors import NoSuchQueryError
+
+        with pytest.raises(NoSuchQueryError):
+            server.block(second, block.block_id)
+
+    def test_database_selection_is_per_session(self, rover):
+        _, server = rover
+        alice = server.login("alice", "a")
+        bob = server.login("bob", "b")
+        server.select_database(alice, "tpch")
+        from repro.errors import RoverError
+
+        with pytest.raises(RoverError, match="select a database"):
+            server.ask(bob, "How many orders are there?")
+
+
+class TestSimulationDeterminism:
+    def _run_once(self):
+        from repro.baselines import run_workload
+        from repro.baselines.runner import Submission
+        from repro.storage.catalog import Catalog
+        from repro.storage.object_store import ObjectStore
+        from repro.turbo import TurboConfig
+        from repro.workloads import TpchGenerator, load_dataset
+
+        store = ObjectStore()
+        catalog = Catalog()
+        load_dataset(store, catalog, "tpch", TpchGenerator(scale=0.02).tables())
+        submissions = [
+            Submission(
+                float(i),
+                "SELECT l_returnflag, count(*) FROM lineitem "
+                "GROUP BY l_returnflag",
+                list(ServiceLevel)[i % 3],
+            )
+            for i in range(9)
+        ]
+        result = run_workload(
+            submissions, store, catalog, "tpch", TurboConfig.fast(), seed=4
+        )
+        return [
+            (
+                q.query_id,
+                q.status.value,
+                q.pending_time_s,
+                q.execution_time_s,
+                q.price,
+            )
+            for q in result.queries
+        ], result.provider_cost()
+
+    def test_identical_runs_bit_identical(self):
+        first = self._run_once()
+        second = self._run_once()
+        assert first == second
+
+    def test_fault_runs_deterministic(self):
+        from repro.turbo.faults import FaultConfig
+        from tests.test_faults import make_stack, SQL
+
+        def run():
+            sim, coordinator, server = make_stack(
+                FaultConfig(vm_crash_rate=0.5, max_retries=10), seed=3
+            )
+            records = [server.submit(SQL, ServiceLevel.RELAXED) for _ in range(5)]
+            sim.run_until(1800)
+            return [
+                (r.status.value, r.execution.retries, r.price) for r in records
+            ]
+
+        assert run() == run()
+
+
+class TestErrorPaths:
+    def test_unknown_plan_node_rejected(self, mini_engine):
+        from repro.engine.plan import PlanNode
+
+        class Mystery(PlanNode):
+            def output_schema(self):
+                return []
+
+        _, _, executor = mini_engine
+        with pytest.raises(ExecutionError, match="unknown plan node"):
+            executor.execute(Mystery())
+
+    def test_scan_without_location_rejected(self, mini_catalog):
+        from repro.engine.executor import QueryExecutor
+        from repro.engine.planner import Planner
+        from repro.engine.source import ObjectStoreSource
+        from repro.storage.object_store import ObjectStore
+
+        # mini_catalog tables carry no bucket/prefix.
+        planner = Planner(mini_catalog, "mini")
+        executor = QueryExecutor(ObjectStoreSource(ObjectStore()))
+        with pytest.raises(ExecutionError, match="storage location"):
+            executor.execute(planner.plan_sql("SELECT c_name FROM customer"))
+
+    def test_in_memory_source_missing_table(self, mini_catalog):
+        from repro.engine.executor import QueryExecutor
+        from repro.engine.planner import Planner
+        from repro.engine.source import InMemorySource
+
+        planner = Planner(mini_catalog, "mini")
+        executor = QueryExecutor(InMemorySource())
+        with pytest.raises(ExecutionError, match="no in-memory table"):
+            executor.execute(planner.plan_sql("SELECT c_name FROM customer"))
+
+    def test_failed_query_price_is_zero(self, turbo_env):
+        sim, _, _, _, _, server = turbo_env
+        record = server.submit("SELECT ghost FROM orders", ServiceLevel.IMMEDIATE)
+        sim.run_until(10)
+        assert record.price == 0.0

@@ -1,0 +1,113 @@
+"""Tests for the text-to-SQL JSON protocol and pluggability."""
+
+import json
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.nl2sql import CodesService
+from repro.nl2sql.protocol import TranslationRequest
+from repro.nl2sql.translator import Translation
+from repro.nl2sql.schema_pruning import PrunedSchema
+from tests.conftest import build_catalog
+
+
+@pytest.fixture
+def payload():
+    return {
+        "question": "how many orders are there",
+        "schema": build_catalog().describe_schema("mini"),
+    }
+
+
+class TestRequestParsing:
+    def test_valid_request(self, payload):
+        request = TranslationRequest.from_json(payload)
+        assert request.question.startswith("how many")
+        assert set(request.schema.tables) == {"orders", "customer"}
+        orders = request.schema.tables["orders"]
+        assert orders.column("o_totalprice").comment == "total price"
+        assert orders.foreign_keys[0].ref_table == "customer"
+
+    def test_missing_question(self, payload):
+        del payload["question"]
+        with pytest.raises(ProtocolError, match="question"):
+            TranslationRequest.from_json(payload)
+
+    def test_blank_question(self, payload):
+        payload["question"] = "   "
+        with pytest.raises(ProtocolError):
+            TranslationRequest.from_json(payload)
+
+    def test_missing_schema(self, payload):
+        del payload["schema"]
+        with pytest.raises(ProtocolError, match="schema"):
+            TranslationRequest.from_json(payload)
+
+    def test_malformed_schema(self, payload):
+        payload["schema"] = {"tables": [{"oops": True}]}
+        with pytest.raises(ProtocolError, match="malformed"):
+            TranslationRequest.from_json(payload)
+
+    def test_non_object_request(self):
+        with pytest.raises(ProtocolError):
+            TranslationRequest.from_json(["not", "a", "dict"])
+
+
+class TestService:
+    def test_round_trip(self, payload):
+        response = CodesService().handle(payload)
+        assert response["sql"] == "SELECT count(*) FROM orders"
+        assert response["confidence"] > 0
+        assert "orders(" in response["pruned_schema"]
+        assert "error" not in response
+
+    def test_single_turn(self, payload):
+        """One request → one SQL; no dialogue state between calls (§3.3)."""
+        service = CodesService()
+        first = service.handle(payload)
+        second = service.handle(payload)
+        assert first == second
+
+    def test_untranslatable_returns_error_field(self, payload):
+        from repro.errors import TranslationError
+
+        class FailingTranslator:
+            def translate(self, schema, question):
+                raise TranslationError("cannot parse this question")
+
+        response = CodesService(translator=FailingTranslator()).handle(payload)
+        assert response["sql"] == ""
+        assert "cannot parse" in response["error"]
+
+    def test_vague_question_still_yields_sql(self, payload):
+        """The rule translator degrades to a low-confidence default query
+        rather than failing outright (the user can edit the block)."""
+        payload["question"] = "orders stuff"
+        response = CodesService().handle(payload)
+        assert response["sql"].startswith("SELECT")
+        assert response["confidence"] < 1.0
+
+    def test_text_framing(self, payload):
+        body = json.dumps(payload)
+        response = json.loads(CodesService().handle_text(body))
+        assert response["sql"] == "SELECT count(*) FROM orders"
+
+    def test_text_framing_rejects_bad_json(self):
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            CodesService().handle_text("{nope")
+
+    def test_pluggable_translator(self, payload):
+        """§2(3): the service is pluggable — swap in another translator."""
+
+        class CannedTranslator:
+            def translate(self, schema, question):
+                return Translation(
+                    sql="SELECT 1 FROM orders",
+                    confidence=0.42,
+                    pruned_schema=PrunedSchema(),
+                )
+
+        response = CodesService(translator=CannedTranslator()).handle(payload)
+        assert response["sql"] == "SELECT 1 FROM orders"
+        assert response["confidence"] == 0.42

@@ -1,0 +1,138 @@
+"""Unit tests for the accounted object store."""
+
+import pytest
+
+from repro.errors import NoSuchBucketError, NoSuchObjectError
+from repro.storage.object_store import ObjectStore, StorageMetrics, StorageProfile
+
+
+@pytest.fixture
+def store():
+    s = ObjectStore()
+    s.create_bucket("b")
+    return s
+
+
+class TestBuckets:
+    def test_create_and_exists(self, store):
+        assert store.bucket_exists("b")
+        assert not store.bucket_exists("other")
+
+    def test_create_is_idempotent(self, store):
+        store.put("b", "k", b"data")
+        store.create_bucket("b")  # must not wipe contents
+        assert store.get("b", "k").data == b"data"
+
+    def test_missing_bucket_raises(self, store):
+        with pytest.raises(NoSuchBucketError):
+            store.get("nope", "k")
+        with pytest.raises(NoSuchBucketError):
+            store.put("nope", "k", b"")
+
+
+class TestObjects:
+    def test_put_get_roundtrip(self, store):
+        store.put("b", "k", b"hello")
+        assert store.get("b", "k").data == b"hello"
+
+    def test_get_missing_raises(self, store):
+        with pytest.raises(NoSuchObjectError):
+            store.get("b", "nope")
+
+    def test_range_get(self, store):
+        store.put("b", "k", b"0123456789")
+        assert store.get("b", "k", start=2, length=3).data == b"234"
+
+    def test_range_get_clamps_to_size(self, store):
+        store.put("b", "k", b"0123")
+        assert store.get("b", "k", start=2, length=100).data == b"23"
+
+    def test_head(self, store):
+        store.put("b", "k", b"abc")
+        assert store.head("b", "k") == 3
+        with pytest.raises(NoSuchObjectError):
+            store.head("b", "nope")
+
+    def test_exists(self, store):
+        assert not store.exists("b", "k")
+        store.put("b", "k", b"")
+        assert store.exists("b", "k")
+        assert not store.exists("nobucket", "k")
+
+    def test_overwrite(self, store):
+        store.put("b", "k", b"v1")
+        store.put("b", "k", b"v2")
+        assert store.get("b", "k").data == b"v2"
+
+    def test_delete_idempotent(self, store):
+        store.put("b", "k", b"x")
+        store.delete("b", "k")
+        assert not store.exists("b", "k")
+        store.delete("b", "k")  # no raise
+
+    def test_list_keys_prefix_sorted(self, store):
+        store.put("b", "t/part-1", b"")
+        store.put("b", "t/part-0", b"")
+        store.put("b", "other", b"")
+        assert store.list_keys("b", "t/") == ["t/part-0", "t/part-1"]
+
+    def test_total_bytes(self, store):
+        store.put("b", "t/a", b"12345")
+        store.put("b", "t/b", b"123")
+        store.put("b", "u/c", b"1")
+        assert store.total_bytes("b", "t/") == 8
+
+
+class TestAccounting:
+    def test_bytes_and_requests_counted(self, store):
+        store.put("b", "k", b"x" * 100)
+        store.get("b", "k")
+        store.get("b", "k", start=0, length=10)
+        metrics = store.metrics
+        assert metrics.put_requests == 1
+        assert metrics.get_requests == 2
+        assert metrics.bytes_written == 100
+        assert metrics.bytes_read == 110
+
+    def test_latency_model(self):
+        profile = StorageProfile(
+            first_byte_latency_s=0.01, read_bandwidth_bytes_per_s=100.0
+        )
+        assert profile.get_latency(50) == pytest.approx(0.51)
+
+    def test_get_result_latency_matches_profile(self, store):
+        store.put("b", "k", b"x" * 1000)
+        result = store.get("b", "k")
+        assert result.latency_s == pytest.approx(store.profile.get_latency(1000))
+
+    def test_snapshot_delta(self, store):
+        store.put("b", "k", b"x" * 10)
+        before = store.metrics.snapshot()
+        store.get("b", "k")
+        delta = store.metrics.delta(before)
+        assert delta.get_requests == 1
+        assert delta.bytes_read == 10
+        assert delta.put_requests == 0
+
+    def test_request_cost(self):
+        metrics = StorageMetrics(get_requests=1000, put_requests=1000)
+        profile = StorageProfile()
+        assert metrics.request_cost(profile) == pytest.approx(
+            profile.get_price_per_1000 + profile.put_price_per_1000
+        )
+
+    def test_merge(self):
+        a = StorageMetrics(get_requests=1, bytes_read=10)
+        b = StorageMetrics(get_requests=2, bytes_read=5, read_time_s=1.0)
+        a.merge(b)
+        assert a.get_requests == 3
+        assert a.bytes_read == 15
+        assert a.read_time_s == 1.0
+
+    def test_list_requests_counted(self, store):
+        store.list_keys("b")
+        assert store.metrics.list_requests == 1
+
+    def test_delete_requests_counted(self, store):
+        store.delete("b", "k")
+        assert store.metrics.delete_requests == 1

@@ -1,0 +1,192 @@
+"""Unit tests for the plan optimizer passes."""
+
+import pytest
+
+from repro.engine.optimizer import Optimizer, estimate_rows
+from repro.engine.plan import Filter, HashJoin, Scan, walk_plan
+from repro.engine.planner import Planner
+from tests.conftest import run_query
+
+
+@pytest.fixture
+def planner(mini_catalog):
+    return Planner(mini_catalog, "mini")
+
+
+def optimized(planner, sql):
+    return Optimizer().optimize(planner.plan_sql(sql))
+
+
+def scans(plan):
+    return [n for n in walk_plan(plan) if isinstance(n, Scan)]
+
+
+def joins(plan):
+    return [n for n in walk_plan(plan) if isinstance(n, HashJoin)]
+
+
+class TestPredicatePushdown:
+    def test_range_pushed_into_scan(self, planner):
+        plan = optimized(
+            planner, "SELECT o_orderkey FROM orders WHERE o_orderkey > 3"
+        )
+        (scan,) = scans(plan)
+        assert scan.ranges == {"o_orderkey": (3, None)}
+        assert scan.residual is not None
+
+    def test_equality_becomes_point_range(self, planner):
+        plan = optimized(
+            planner, "SELECT o_orderkey FROM orders WHERE o_orderkey = 3"
+        )
+        (scan,) = scans(plan)
+        assert scan.ranges == {"o_orderkey": (3, 3)}
+
+    def test_reversed_comparison_normalized(self, planner):
+        plan = optimized(
+            planner, "SELECT o_orderkey FROM orders WHERE 3 < o_orderkey"
+        )
+        (scan,) = scans(plan)
+        assert scan.ranges == {"o_orderkey": (3, None)}
+
+    def test_ranges_intersect(self, planner):
+        plan = optimized(
+            planner,
+            "SELECT o_orderkey FROM orders "
+            "WHERE o_orderkey > 2 AND o_orderkey <= 5 AND o_orderkey > 1",
+        )
+        (scan,) = scans(plan)
+        assert scan.ranges == {"o_orderkey": (2, 5)}
+
+    def test_between_pushed(self, planner):
+        plan = optimized(
+            planner,
+            "SELECT o_orderkey FROM orders WHERE o_orderkey BETWEEN 2 AND 4",
+        )
+        (scan,) = scans(plan)
+        assert scan.ranges == {"o_orderkey": (2, 4)}
+
+    def test_filter_node_removed_when_fully_absorbed(self, planner):
+        plan = optimized(
+            planner, "SELECT o_orderkey FROM orders WHERE o_orderkey > 3"
+        )
+        assert not [n for n in walk_plan(plan) if isinstance(n, Filter)]
+
+    def test_non_range_predicate_stays_residual_only(self, planner):
+        plan = optimized(
+            planner,
+            "SELECT o_orderkey FROM orders WHERE o_orderstatus LIKE 'O%'",
+        )
+        (scan,) = scans(plan)
+        assert scan.ranges == {}
+        assert scan.residual is not None
+
+    def test_sided_predicates_pushed_below_join(self, planner):
+        plan = optimized(
+            planner,
+            "SELECT 1 FROM orders o JOIN customer c ON o.o_custkey = c.c_custkey "
+            "WHERE o.o_totalprice > 100 AND c.c_nationkey = 10",
+        )
+        for scan in scans(plan):
+            assert scan.residual is not None
+
+    def test_left_join_right_side_not_pushed(self, planner):
+        plan = optimized(
+            planner,
+            "SELECT 1 FROM orders o LEFT JOIN customer c "
+            "ON o.o_custkey = c.c_custkey WHERE c.c_nationkey = 10",
+        )
+        customer_scan = next(
+            s for s in scans(plan) if s.table.name == "customer"
+        )
+        assert customer_scan.residual is None
+        # The predicate must survive as a Filter above the join.
+        assert [n for n in walk_plan(plan) if isinstance(n, Filter)]
+
+
+class TestEquiExtraction:
+    def test_comma_join_where_becomes_keys(self, planner):
+        plan = optimized(
+            planner,
+            "SELECT 1 FROM orders o, customer c WHERE o.o_custkey = c.c_custkey",
+        )
+        (join,) = joins(plan)
+        assert len(join.left_keys) == 1
+        assert set(join.left_keys + join.right_keys) == {
+            "o.o_custkey", "c.c_custkey",
+        }
+
+
+class TestBuildSideSwap:
+    def test_smaller_table_on_build_side(self, planner):
+        # orders (6 rows) JOIN customer (3 rows): build (right) side should
+        # be the smaller customer table regardless of FROM order.
+        plan = optimized(
+            planner,
+            "SELECT 1 FROM customer c JOIN orders o ON c.c_custkey = o.o_custkey",
+        )
+        (join,) = joins(plan)
+        right_scan = next(n for n in walk_plan(join.right) if isinstance(n, Scan))
+        assert right_scan.table.name == "customer"
+
+
+class TestProjectionPruning:
+    def test_scan_reads_only_needed_columns(self, planner):
+        plan = optimized(planner, "SELECT o_orderkey FROM orders")
+        (scan,) = scans(plan)
+        assert [base for _, base in scan.columns] == ["o_orderkey"]
+
+    def test_residual_columns_kept(self, planner):
+        plan = optimized(
+            planner,
+            "SELECT o_orderkey FROM orders WHERE o_totalprice > 100",
+        )
+        (scan,) = scans(plan)
+        assert {base for _, base in scan.columns} == {
+            "o_orderkey", "o_totalprice",
+        }
+
+    def test_join_keys_kept(self, planner):
+        plan = optimized(
+            planner,
+            "SELECT c_name FROM customer c JOIN orders o "
+            "ON c.c_custkey = o.o_custkey",
+        )
+        orders_scan = next(s for s in scans(plan) if s.table.name == "orders")
+        assert {base for _, base in orders_scan.columns} == {"o_custkey"}
+
+    def test_count_star_keeps_one_column(self, planner):
+        plan = optimized(planner, "SELECT count(*) FROM orders")
+        (scan,) = scans(plan)
+        assert len(scan.columns) == 1
+
+
+class TestOptimizedPlansStillCorrect:
+    """The optimizer must never change results — spot-check a few shapes."""
+
+    QUERIES = [
+        "SELECT count(*) FROM orders WHERE o_orderkey > 3 AND o_orderkey < 6",
+        "SELECT c_name FROM customer c JOIN orders o ON c.c_custkey = o.o_custkey "
+        "WHERE o.o_totalprice >= 300 ORDER BY c_name",
+        "SELECT o_orderstatus, count(*) FROM orders WHERE o_orderdate >= "
+        "DATE '1995-06-01' GROUP BY o_orderstatus ORDER BY 1",
+    ]
+
+    @pytest.mark.parametrize("sql", QUERIES)
+    def test_same_rows_with_and_without_optimizer(self, mini_engine, sql):
+        planner, optimizer, executor = mini_engine
+        unoptimized = executor.execute(planner.plan_sql(sql)).rows()
+        assert run_query(mini_engine, sql).rows() == unoptimized
+
+
+class TestEstimates:
+    def test_scan_estimate_uses_statistics(self, planner):
+        plan = planner.plan_sql("SELECT o_orderkey FROM orders")
+        (scan,) = scans(plan)
+        assert estimate_rows(scan) == 6.0
+
+    def test_filter_reduces_estimate(self, planner):
+        plan = planner.plan_sql(
+            "SELECT o_orderkey FROM orders WHERE o_orderkey > 3"
+        )
+        filter_node = next(n for n in walk_plan(plan) if isinstance(n, Filter))
+        assert estimate_rows(filter_node) == 2.0

@@ -1,0 +1,103 @@
+"""Tests for plan rendering (EXPLAIN) across node types."""
+
+import pytest
+
+from repro.engine.optimizer import Optimizer
+from repro.engine.planner import Planner
+
+
+@pytest.fixture
+def planner(mini_catalog):
+    return Planner(mini_catalog, "mini")
+
+
+def explain(planner, sql, optimize=True):
+    plan = planner.plan_sql(sql)
+    if optimize:
+        plan = Optimizer().optimize(plan)
+    return plan.explain()
+
+
+class TestExplain:
+    def test_scan_shows_pushed_ranges_and_residual(self, planner):
+        text = explain(
+            planner, "SELECT o_orderkey FROM orders WHERE o_orderkey > 3"
+        )
+        assert "Scan mini.orders" in text
+        assert "ranges={'o_orderkey': (3, None)}" in text
+        assert "residual=" in text
+
+    def test_join_shows_keys_and_type(self, planner):
+        text = explain(
+            planner,
+            "SELECT 1 FROM orders o JOIN customer c ON o.o_custkey = c.c_custkey",
+        )
+        assert "HashJoin[inner]" in text
+        assert "o.o_custkey" in text and "c.c_custkey" in text
+
+    def test_semi_join_rendered(self, planner):
+        text = explain(
+            planner,
+            "SELECT c_name FROM customer WHERE c_custkey IN "
+            "(SELECT o_custkey FROM orders)",
+        )
+        assert "HashJoin[semi]" in text
+
+    def test_aggregate_shows_specs(self, planner):
+        text = explain(
+            planner,
+            "SELECT o_orderstatus, sum(o_totalprice) FROM orders "
+            "GROUP BY o_orderstatus",
+        )
+        assert "Aggregate keys=[key_0]" in text
+        assert "sum(aggarg_0)" in text
+
+    def test_sort_limit_distinct_rendered(self, planner):
+        text = explain(
+            planner,
+            "SELECT DISTINCT o_custkey FROM orders ORDER BY o_custkey LIMIT 3",
+        )
+        assert "Sort o_custkey ASC" in text
+        assert "Limit 3 OFFSET 0" in text
+        assert "Distinct" in text
+
+    def test_union_rendered(self, planner):
+        text = explain(
+            planner,
+            "SELECT o_custkey FROM orders UNION ALL "
+            "SELECT c_custkey FROM customer",
+        )
+        assert "UnionAll (2 branches)" in text
+
+    def test_indentation_reflects_tree(self, planner):
+        text = explain(
+            planner, "SELECT o_orderkey FROM orders WHERE o_orderkey > 3"
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("Project")
+        assert lines[1].startswith("  ")  # child indented
+
+    def test_unoptimized_plan_keeps_filter_node(self, planner):
+        text = explain(
+            planner,
+            "SELECT o_orderkey FROM orders WHERE o_orderkey > 3",
+            optimize=False,
+        )
+        assert "Filter" in text
+
+
+class TestCoordinatorExplain:
+    def test_explain_api(self, turbo_env):
+        _, _, _, _, coordinator, _ = turbo_env
+        text = coordinator.explain(
+            "SELECT l_returnflag, count(*) FROM lineitem GROUP BY l_returnflag"
+        )
+        assert "Scan tpch.lineitem" in text
+        assert "Aggregate" in text
+
+    def test_explain_rejects_bad_sql(self, turbo_env):
+        from repro.errors import PixelsError
+
+        _, _, _, _, coordinator, _ = turbo_env
+        with pytest.raises(PixelsError):
+            coordinator.explain("SELEKT")

@@ -1,0 +1,149 @@
+"""Unit tests for CF plan splitting (paper §3.1 push-down)."""
+
+import pytest
+
+from repro.engine.executor import QueryExecutor
+from repro.engine.optimizer import Optimizer
+from repro.engine.plan import (
+    Aggregate,
+    HashJoin,
+    Limit,
+    MaterializedView,
+    Project,
+    Scan,
+    Sort,
+    walk_plan,
+)
+from repro.engine.planner import Planner
+from repro.turbo.plan_split import split_plan
+from tests.conftest import run_query
+
+
+@pytest.fixture
+def planner(mini_catalog):
+    return Planner(mini_catalog, "mini")
+
+
+def plan_for(planner, sql):
+    return Optimizer().optimize(planner.plan_sql(sql))
+
+
+class TestSplitBoundary:
+    def test_aggregate_goes_to_subplan(self, planner):
+        plan = plan_for(
+            planner,
+            "SELECT o_orderstatus, count(*) AS n FROM orders "
+            "GROUP BY o_orderstatus ORDER BY n DESC LIMIT 2",
+        )
+        split = split_plan(plan)
+        # Expensive core (aggregate + scan) is in the sub-plan...
+        assert any(isinstance(n, Aggregate) for n in walk_plan(split.sub))
+        assert any(isinstance(n, Scan) for n in walk_plan(split.sub))
+        # ...and the top retains only cheap tail operators + the view.
+        top_types = {type(n) for n in walk_plan(split.top)}
+        assert Scan not in top_types
+        assert Aggregate not in top_types
+        assert MaterializedView in top_types
+        assert Sort in top_types and Limit in top_types
+
+    def test_join_goes_to_subplan(self, planner):
+        plan = plan_for(
+            planner,
+            "SELECT c_name FROM customer c JOIN orders o "
+            "ON c.c_custkey = o.o_custkey LIMIT 3",
+        )
+        split = split_plan(plan)
+        assert any(isinstance(n, HashJoin) for n in walk_plan(split.sub))
+        assert not any(isinstance(n, HashJoin) for n in walk_plan(split.top))
+
+    def test_root_expensive_degenerates_to_view(self, planner):
+        plan = planner.plan_sql("SELECT o_orderkey FROM orders").children()[0]
+        assert isinstance(plan, Scan)
+        split = split_plan(plan)
+        assert split.top is split.view
+        assert split.sub is plan
+
+    def test_view_schema_matches_cut(self, planner):
+        plan = plan_for(
+            planner,
+            "SELECT o_orderstatus, count(*) AS n FROM orders "
+            "GROUP BY o_orderstatus ORDER BY n",
+        )
+        split = split_plan(plan)
+        assert split.view.output_schema() == split.sub.output_schema()
+
+    def test_project_stays_on_top(self, planner):
+        plan = plan_for(planner, "SELECT o_orderkey FROM orders LIMIT 2")
+        split = split_plan(plan)
+        assert any(isinstance(n, Project) for n in walk_plan(split.top))
+
+
+class TestResultEquivalence:
+    """§3.1: CF execution 'is transparent to users' — same results."""
+
+    QUERIES = [
+        "SELECT count(*) FROM orders",
+        "SELECT o_orderstatus, count(*) AS n FROM orders "
+        "GROUP BY o_orderstatus ORDER BY o_orderstatus",
+        "SELECT c_name, sum(o_totalprice) AS t FROM customer c "
+        "JOIN orders o ON c.c_custkey = o.o_custkey "
+        "GROUP BY c_name ORDER BY t DESC LIMIT 2",
+        "SELECT o_orderkey FROM orders WHERE o_totalprice > 150 "
+        "ORDER BY o_orderkey",
+        "SELECT DISTINCT o_orderstatus FROM orders ORDER BY 1",
+    ]
+
+    @pytest.mark.parametrize("sql", QUERIES)
+    def test_split_execution_matches_direct(self, mini_engine, sql):
+        planner, optimizer, executor = mini_engine
+        direct = run_query(mini_engine, sql)
+        split = split_plan(optimizer.optimize(planner.plan_sql(sql)))
+        sub_result = executor.execute(split.sub)
+        split.attach(sub_result.data)
+        via_cf = executor.execute(split.top)
+        assert via_cf.rows() == direct.rows()
+        assert via_cf.column_names == direct.column_names
+
+    def test_unattached_view_raises(self, mini_engine, planner):
+        from repro.errors import ExecutionError
+
+        _, optimizer, executor = mini_engine
+        split = split_plan(plan_for(planner, "SELECT count(*) FROM orders LIMIT 1"))
+        with pytest.raises(ExecutionError, match="no data attached"):
+            executor.execute(split.top)
+
+
+class TestSplitWithExtendedPlans:
+    def test_union_root_goes_entirely_to_subplan(self, planner):
+        plan = plan_for(
+            planner,
+            "SELECT o_custkey FROM orders UNION ALL "
+            "SELECT c_custkey FROM customer",
+        )
+        split = split_plan(plan)
+        assert split.top is split.view  # nothing cheap to keep on top
+        from repro.engine.plan import UnionAllPlan
+
+        assert isinstance(split.sub, UnionAllPlan)
+
+    def test_union_with_limit_keeps_limit_on_top(self, planner):
+        plan = plan_for(
+            planner,
+            "SELECT o_custkey FROM orders UNION ALL "
+            "SELECT c_custkey FROM customer ORDER BY 1 LIMIT 2",
+        )
+        split = split_plan(plan)
+        top_types = {type(n) for n in walk_plan(split.top)}
+        assert Limit in top_types and Sort in top_types
+
+    def test_semi_join_pushed_to_subplan_and_equivalent(self, mini_engine):
+        planner, optimizer, executor = mini_engine
+        sql = (
+            "SELECT c_name FROM customer WHERE c_custkey IN "
+            "(SELECT o_custkey FROM orders) ORDER BY c_name"
+        )
+        direct = run_query(mini_engine, sql)
+        split = split_plan(optimizer.optimize(planner.plan_sql(sql)))
+        sub = executor.execute(split.sub)
+        split.attach(sub.data)
+        assert executor.execute(split.top).rows() == direct.rows()

@@ -1,0 +1,76 @@
+"""Integration tests for the PixelsDB public façade."""
+
+import pytest
+
+from repro import (
+    PixelsDB,
+    QueryStatus,
+    ServiceLevel,
+    TurboConfig,
+    UserStore,
+    __version__,
+)
+from repro.errors import TranslationError
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = PixelsDB(config=TurboConfig.fast(), seed=1)
+    database.load_tpch("tpch", scale=0.02)
+    database.load_logs("weblogs", num_rows=1000)
+    return database
+
+
+class TestFacade:
+    def test_version(self):
+        assert __version__
+
+    def test_ask_then_submit_then_result(self, db):
+        sql = db.ask("tpch", "How many orders are there?")
+        assert sql == "SELECT count(*) FROM orders"
+        query = db.submit("tpch", sql, ServiceLevel.IMMEDIATE)
+        db.run_to_completion()
+        assert query.status is QueryStatus.FINISHED
+        assert query.result_rows()[0][0] > 0
+
+    def test_multiple_schemas(self, db):
+        logs_query = db.submit(
+            "weblogs", "SELECT count(*) FROM web_logs", ServiceLevel.RELAXED
+        )
+        db.run_to_completion()
+        assert logs_query.result_rows()[0][0] == 1000
+
+    def test_pricing_differs_by_level(self, db):
+        sql = "SELECT l_returnflag, count(*) FROM lineitem GROUP BY l_returnflag"
+        immediate = db.submit("tpch", sql, ServiceLevel.IMMEDIATE)
+        db.run_to_completion()
+        best = db.submit("tpch", sql, ServiceLevel.BEST_EFFORT)
+        db.run_to_completion()
+        assert best.price == pytest.approx(immediate.price * 0.1)
+
+    def test_coordinator_reused_per_schema(self, db):
+        assert db.coordinator("tpch") is db.coordinator("tpch")
+        assert db.coordinator("tpch") is not db.coordinator("weblogs")
+
+    def test_ask_unknown_question_still_sql_or_error(self, db):
+        try:
+            sql = db.ask("tpch", "hmm")
+            assert sql.startswith("SELECT")
+        except TranslationError:
+            pass
+
+    def test_rover_integration(self, db):
+        users = UserStore()
+        users.register("demo", "demo", {"tpch"})
+        rover = db.rover(users, "tpch")
+        token = rover.login("demo", "demo")
+        rover.select_database(token, "tpch")
+        block = rover.ask(token, "How many customers are there?")
+        result = rover.submit_query(token, block.block_id, "relaxed")
+        db.run_to_completion()
+        assert result.status is QueryStatus.FINISHED
+
+    def test_simulated_clock(self, db):
+        before = db.now
+        db.run(30.0)
+        assert db.now == before + 30.0

@@ -1,0 +1,224 @@
+"""Tests for the Query Server: service-level semantics (paper §3.2)."""
+
+import pytest
+
+from repro.core import QueryStatus, ServiceLevel
+from repro.errors import InvalidServiceLevelError, NoSuchQueryError, QueryRejectedError
+from repro.turbo.coordinator import ExecutionVenue
+
+SIMPLE = "SELECT count(*) FROM orders"
+HEAVY = "SELECT l_returnflag, count(*) FROM lineitem GROUP BY l_returnflag"
+
+
+class TestServiceLevelEnum:
+    def test_cf_enablement(self):
+        assert ServiceLevel.IMMEDIATE.cf_enabled
+        assert not ServiceLevel.RELAXED.cf_enabled
+        assert not ServiceLevel.BEST_EFFORT.cf_enabled
+
+    def test_price_fractions(self):
+        assert ServiceLevel.IMMEDIATE.price_fraction == 1.0
+        assert ServiceLevel.RELAXED.price_fraction == 0.2
+        assert ServiceLevel.BEST_EFFORT.price_fraction == 0.1
+
+    @pytest.mark.parametrize(
+        "spelling,expected",
+        [
+            ("immediate", ServiceLevel.IMMEDIATE),
+            ("Relaxed", ServiceLevel.RELAXED),
+            ("best-of-effort", ServiceLevel.BEST_EFFORT),
+            ("BEST EFFORT", ServiceLevel.BEST_EFFORT),
+            ("best_effort", ServiceLevel.BEST_EFFORT),
+        ],
+    )
+    def test_parsing(self, spelling, expected):
+        assert ServiceLevel.from_string(spelling) is expected
+
+    def test_parsing_unknown(self):
+        with pytest.raises(InvalidServiceLevelError):
+            ServiceLevel.from_string("platinum")
+
+    def test_distinct_display_colors(self):
+        colors = {level.display_color for level in ServiceLevel}
+        assert len(colors) == 3
+
+    def test_status_terminality(self):
+        assert QueryStatus.FINISHED.is_terminal
+        assert QueryStatus.FAILED.is_terminal
+        assert not QueryStatus.PENDING.is_terminal
+        assert not QueryStatus.RUNNING.is_terminal
+
+
+class TestImmediateLevel:
+    def test_executes_immediately_even_under_load(self, turbo_env):
+        sim, _, _, _, coordinator, server = turbo_env
+        for _ in range(8):
+            server.submit(HEAVY, ServiceLevel.RELAXED)
+        record = server.submit(HEAVY, ServiceLevel.IMMEDIATE)
+        sim.run_until(0.001)
+        assert record.status in (QueryStatus.RUNNING, QueryStatus.FINISHED)
+        sim.run_until(300)
+        assert record.status is QueryStatus.FINISHED
+        assert record.pending_time_s == 0.0
+
+    def test_uses_cf_under_load(self, turbo_env):
+        sim, _, _, _, coordinator, server = turbo_env
+        for _ in range(8):
+            server.submit(HEAVY, ServiceLevel.RELAXED)
+        record = server.submit(HEAVY, ServiceLevel.IMMEDIATE)
+        sim.run_until(300)
+        assert record.execution.venue is ExecutionVenue.CF
+
+    def test_runs_on_vm_when_idle(self, turbo_env):
+        sim, _, _, _, _, server = turbo_env
+        record = server.submit(SIMPLE, ServiceLevel.IMMEDIATE)
+        sim.run_until(60)
+        assert record.execution.venue is ExecutionVenue.VM
+
+
+class TestRelaxedLevel:
+    def test_never_uses_cf(self, turbo_env):
+        sim, _, _, _, coordinator, server = turbo_env
+        for _ in range(12):
+            server.submit(HEAVY, ServiceLevel.RELAXED)
+        sim.run_until(600)
+        assert coordinator.cf_service.invocations == []
+
+    def test_immediate_dispatch_when_below_high_watermark(self, turbo_env):
+        sim, _, _, _, _, server = turbo_env
+        record = server.submit(SIMPLE, ServiceLevel.RELAXED)
+        assert record.dispatched_at == sim.now
+        sim.run_until(60)
+        assert record.status is QueryStatus.FINISHED
+
+    def test_held_when_above_high_watermark(self, turbo_env):
+        sim, _, _, _, _, server = turbo_env
+        for _ in range(12):  # push per-worker concurrency over 5
+            server.submit(HEAVY, ServiceLevel.RELAXED)
+        held = server.submit(HEAVY, ServiceLevel.RELAXED)
+        assert held.dispatched_at is None
+        assert server.queued_relaxed >= 1
+
+    def test_grace_period_bounds_server_queueing(self, turbo_env):
+        sim, _, _, config, _, server = turbo_env
+        for _ in range(12):
+            server.submit(HEAVY, ServiceLevel.RELAXED)
+        held = server.submit(HEAVY, ServiceLevel.RELAXED)
+        sim.run_until(config.grace_period_s + config.scheduler_interval_s + 1)
+        assert held.dispatched_at is not None
+        assert (
+            held.dispatched_at - held.submitted_at
+            <= config.grace_period_s + config.scheduler_interval_s
+        )
+
+    def test_all_relaxed_eventually_finish(self, turbo_env):
+        sim, _, _, _, _, server = turbo_env
+        records = [server.submit(HEAVY, ServiceLevel.RELAXED) for _ in range(15)]
+        sim.run_until(900)
+        assert all(r.status is QueryStatus.FINISHED for r in records)
+
+
+class TestBestEffortLevel:
+    def test_dispatched_only_below_low_watermark(self, turbo_env):
+        sim, _, _, _, coordinator, server = turbo_env
+        # Load the cluster just above the low watermark.
+        blockers = [server.submit(HEAVY, ServiceLevel.RELAXED) for _ in range(3)]
+        best = server.submit(HEAVY, ServiceLevel.BEST_EFFORT)
+        assert best.dispatched_at is None
+        sim.run_until(600)  # blockers finish; cluster idles
+        assert best.status is QueryStatus.FINISHED
+
+    def test_runs_immediately_when_idle(self, turbo_env):
+        """§3.2: even a best-of-effort query executes immediately if the
+        VM cluster is available."""
+        sim, _, _, _, _, server = turbo_env
+        record = server.submit(SIMPLE, ServiceLevel.BEST_EFFORT)
+        assert record.dispatched_at == sim.now
+        sim.run_until(60)
+        assert record.status is QueryStatus.FINISHED
+
+    def test_never_uses_cf(self, turbo_env):
+        sim, _, _, _, coordinator, server = turbo_env
+        for _ in range(10):
+            server.submit(HEAVY, ServiceLevel.BEST_EFFORT)
+        sim.run_until(900)
+        assert coordinator.cf_service.invocations == []
+
+
+class TestBillingAndStatus:
+    def test_price_uses_level_rate(self, turbo_env):
+        sim, _, _, _, coordinator, server = turbo_env
+        immediate = server.submit(HEAVY, ServiceLevel.IMMEDIATE)
+        sim.run_until(200)
+        relaxed = server.submit(HEAVY, ServiceLevel.RELAXED)
+        sim.run_until(400)
+        best = server.submit(HEAVY, ServiceLevel.BEST_EFFORT)
+        sim.run_until(600)
+        assert immediate.price > 0
+        assert relaxed.price == pytest.approx(immediate.price * 0.2)
+        assert best.price == pytest.approx(immediate.price * 0.1)
+
+    def test_price_quote_matches_paper(self, turbo_env):
+        _, _, _, _, _, server = turbo_env
+        assert server.price_quote(ServiceLevel.IMMEDIATE) == 5.0
+        assert server.price_quote(ServiceLevel.RELAXED) == 1.0
+        assert server.price_quote(ServiceLevel.BEST_EFFORT) == 0.5
+
+    def test_result_limit_truncates(self, turbo_env):
+        sim, _, _, _, _, server = turbo_env
+        record = server.submit(
+            "SELECT o_orderkey FROM orders ORDER BY o_orderkey",
+            ServiceLevel.IMMEDIATE,
+            result_limit=5,
+        )
+        sim.run_until(120)
+        assert len(record.result_rows()) == 5
+
+    def test_failed_query_reports_error(self, turbo_env):
+        sim, _, _, _, _, server = turbo_env
+        record = server.submit("SELECT nope FROM orders", ServiceLevel.IMMEDIATE)
+        sim.run_until(10)
+        assert record.status is QueryStatus.FAILED
+        assert "nope" in record.error
+
+    def test_status_counts(self, turbo_env):
+        sim, _, _, _, _, server = turbo_env
+        server.submit(SIMPLE, ServiceLevel.IMMEDIATE)
+        server.submit("SELECT broken FROM orders", ServiceLevel.IMMEDIATE)
+        sim.run_until(120)
+        counts = server.status_counts()
+        assert counts[QueryStatus.FINISHED] == 1
+        assert counts[QueryStatus.FAILED] == 1
+
+    def test_total_billed_sums_finished(self, turbo_env):
+        sim, _, _, _, _, server = turbo_env
+        server.submit(HEAVY, ServiceLevel.IMMEDIATE)
+        server.submit(HEAVY, ServiceLevel.RELAXED)
+        sim.run_until(300)
+        assert server.total_billed() > 0
+
+    def test_query_lookup(self, turbo_env):
+        _, _, _, _, _, server = turbo_env
+        record = server.submit(SIMPLE, ServiceLevel.IMMEDIATE, query_id="mine")
+        assert server.query("mine") is record
+        with pytest.raises(NoSuchQueryError):
+            server.query("ghost")
+
+    def test_on_finish_callback(self, turbo_env):
+        sim, _, _, _, _, server = turbo_env
+        finished = []
+        server.submit(
+            SIMPLE, ServiceLevel.IMMEDIATE, on_finish=lambda r: finished.append(r)
+        )
+        sim.run_until(60)
+        assert len(finished) == 1
+
+    def test_queue_capacity_rejection(self, turbo_env):
+        sim, _, _, config, coordinator, server = turbo_env
+        server._max_queue_length = 8
+        with pytest.raises(QueryRejectedError):
+            # 6 dispatch straight to the VM queue (below high watermark),
+            # then 8 fill the relaxed hold queue, the next is rejected.
+            for _ in range(20):
+                server.submit(HEAVY, ServiceLevel.RELAXED)
+        assert server.queued_relaxed == 8

@@ -1,0 +1,223 @@
+"""Tests for the Pixels-Rover backend: every §4 interaction."""
+
+import pytest
+
+from repro.core import QueryStatus, ServiceLevel
+from repro.errors import (
+    AuthenticationError,
+    AuthorizationError,
+    NoSuchQueryError,
+    RoverError,
+)
+from repro.nl2sql import CodesService
+from repro.rover import RoverServer, UserStore
+
+
+@pytest.fixture
+def rover(turbo_env):
+    sim, store, catalog, config, coordinator, server = turbo_env
+    users = UserStore()
+    users.register("ana", "s3cret", {"tpch"})
+    users.register("guest", "guest", set())
+    rover_server = RoverServer(users, catalog, CodesService(), server)
+    return sim, rover_server
+
+
+@pytest.fixture
+def session(rover):
+    sim, server = rover
+    token = server.login("ana", "s3cret")
+    server.select_database(token, "tpch")
+    return sim, server, token
+
+
+class TestAuth:
+    def test_login_logout(self, rover):
+        _, server = rover
+        token = server.login("ana", "s3cret")
+        assert server.list_databases(token) == ["tpch"]
+        server.logout(token)
+        with pytest.raises(AuthenticationError):
+            server.list_databases(token)
+
+    def test_wrong_password(self, rover):
+        _, server = rover
+        with pytest.raises(AuthenticationError):
+            server.login("ana", "wrong")
+
+    def test_unknown_user(self, rover):
+        _, server = rover
+        with pytest.raises(AuthenticationError):
+            server.login("nobody", "x")
+
+    def test_unauthorized_database_hidden_and_blocked(self, rover):
+        _, server = rover
+        token = server.login("guest", "guest")
+        assert server.list_databases(token) == []
+        with pytest.raises(AuthorizationError):
+            server.select_database(token, "tpch")
+        with pytest.raises(AuthorizationError):
+            server.schema_tree(token, "tpch")
+
+    def test_duplicate_registration(self):
+        users = UserStore()
+        users.register("a", "pw", set())
+        with pytest.raises(AuthenticationError):
+            users.register("a", "pw2", set())
+
+    def test_grant_revoke(self, rover):
+        _, server = rover
+        server._users.grant("guest", "tpch")
+        token = server.login("guest", "guest")
+        assert server.list_databases(token) == ["tpch"]
+        server._users.revoke("guest", "tpch")
+        with pytest.raises(AuthorizationError):
+            server.select_database(token, "tpch")
+
+
+class TestSchemaBrowser:
+    def test_tree_shape(self, session):
+        _, server, token = session
+        tree = server.schema_tree(token, "tpch")
+        table_names = {table["name"] for table in tree["tables"]}
+        assert {"orders", "lineitem", "customer"} <= table_names
+        orders = next(t for t in tree["tables"] if t["name"] == "orders")
+        first = orders["columns"][0]
+        assert set(first) == {"name", "type", "comment"}  # hover shows type
+
+
+class TestTranslator:
+    def test_ask_produces_block(self, session):
+        _, server, token = session
+        block = server.ask(token, "How many orders are there?")
+        assert block.sql == "SELECT count(*) FROM orders"
+        assert block.translated_sql == block.sql
+        assert not block.editing
+
+    def test_ask_requires_selected_database(self, rover):
+        _, server = rover
+        token = server.login("ana", "s3cret")
+        with pytest.raises(RoverError, match="select a database"):
+            server.ask(token, "how many orders")
+
+    def test_edit_confirm(self, session):
+        _, server, token = session
+        block = server.ask(token, "How many orders are there?")
+        server.begin_edit(token, block.block_id)
+        server.update_draft(token, block.block_id, "SELECT count(*) FROM customer")
+        server.confirm_edit(token, block.block_id)
+        assert block.sql == "SELECT count(*) FROM customer"
+        assert block.translated_sql == "SELECT count(*) FROM orders"
+
+    def test_edit_cancel_resets(self, session):
+        _, server, token = session
+        block = server.ask(token, "How many orders are there?")
+        server.begin_edit(token, block.block_id)
+        server.update_draft(token, block.block_id, "garbage")
+        server.cancel_edit(token, block.block_id)
+        assert block.sql == "SELECT count(*) FROM orders"
+        assert not block.editing
+
+    def test_edit_outside_mode_rejected(self, session):
+        _, server, token = session
+        block = server.ask(token, "How many orders are there?")
+        with pytest.raises(ValueError):
+            server.confirm_edit(token, block.block_id)
+
+    def test_unknown_block(self, session):
+        _, server, token = session
+        with pytest.raises(NoSuchQueryError):
+            server.block(token, "block-999")
+
+
+class TestSubmission:
+    def test_form_lists_levels_and_prices(self, session):
+        _, server, token = session
+        block = server.ask(token, "How many orders are there?")
+        form = server.submission_form(token, block.block_id)
+        levels = {entry["level"]: entry["price_per_tb"] for entry in form["service_levels"]}
+        assert levels == {"immediate": 5.0, "relaxed": 1.0, "best_effort": 0.5}
+        cf = {e["level"]: e["cf_acceleration"] for e in form["service_levels"]}
+        assert cf["immediate"] and not cf["relaxed"]
+
+    def test_submit_and_finish(self, session):
+        sim, server, token = session
+        block = server.ask(token, "How many orders are there?")
+        result = server.submit_query(token, block.block_id, ServiceLevel.IMMEDIATE)
+        sim.run_until(120)
+        assert result.status is QueryStatus.FINISHED
+        expanded = server.expand_result(token, result.result_id)
+        assert expanded["rows"][0][0] > 0
+        assert expanded["monetary_cost"] >= 0
+        assert expanded["pending_time_s"] == 0.0
+
+    def test_submit_accepts_level_strings(self, session):
+        sim, server, token = session
+        block = server.ask(token, "How many customers are there?")
+        result = server.submit_query(token, block.block_id, "best-of-effort")
+        assert result.level is ServiceLevel.BEST_EFFORT
+
+    def test_result_limit_applied(self, session):
+        sim, server, token = session
+        block = server.ask(token, "How many orders are there?")
+        server.begin_edit(token, block.block_id)
+        server.update_draft(
+            token, block.block_id, "SELECT o_orderkey FROM orders"
+        )
+        server.confirm_edit(token, block.block_id)
+        result = server.submit_query(
+            token, block.block_id, ServiceLevel.IMMEDIATE, result_limit=7
+        )
+        sim.run_until(120)
+        assert len(server.expand_result(token, result.result_id)["rows"]) == 7
+
+    def test_failed_query_shows_error(self, session):
+        sim, server, token = session
+        block = server.ask(token, "How many orders are there?")
+        server.begin_edit(token, block.block_id)
+        server.update_draft(token, block.block_id, "SELECT broken FROM orders")
+        server.confirm_edit(token, block.block_id)
+        result = server.submit_query(token, block.block_id, ServiceLevel.IMMEDIATE)
+        sim.run_until(30)
+        assert result.status is QueryStatus.FAILED
+        assert "broken" in server.expand_result(token, result.result_id)["error"]
+
+
+class TestResultArea:
+    def test_blocks_ordered_by_submission_time(self, session):
+        sim, server, token = session
+        block = server.ask(token, "How many orders are there?")
+        first = server.submit_query(token, block.block_id, ServiceLevel.IMMEDIATE)
+        sim.run_until(10)
+        second = server.submit_query(token, block.block_id, ServiceLevel.RELAXED)
+        ordered = server.result_blocks(token)
+        assert [b.result_id for b in ordered] == [first.result_id, second.result_id]
+
+    def test_level_colors(self, session):
+        sim, server, token = session
+        block = server.ask(token, "How many orders are there?")
+        colors = set()
+        for level in ServiceLevel:
+            result = server.submit_query(token, block.block_id, level)
+            colors.add(result.color)
+        assert len(colors) == 3  # §4.3: distinct background per level
+
+    def test_block_result_linkage(self, session):
+        sim, server, token = session
+        block = server.ask(token, "How many orders are there?")
+        result = server.submit_query(token, block.block_id, ServiceLevel.IMMEDIATE)
+        assert server.origin_of(token, result.result_id) is block
+        assert server.results_of(token, block.block_id) == [result]
+
+    def test_statuses_progress(self, session):
+        sim, server, token = session
+        block = server.ask(token, "How many orders are there?")
+        result = server.submit_query(token, block.block_id, ServiceLevel.IMMEDIATE)
+        assert result.status in (QueryStatus.PENDING, QueryStatus.RUNNING)
+        sim.run_until(120)
+        assert result.status is QueryStatus.FINISHED
+
+    def test_unknown_result_block(self, session):
+        _, server, token = session
+        with pytest.raises(NoSuchQueryError):
+            server.expand_result(token, "result-nope")

@@ -1,0 +1,89 @@
+"""Unit tests for NL2SQL schema pruning."""
+
+from repro.nl2sql.benchmark import make_wide_schema
+from repro.nl2sql.schema_pruning import SchemaPruner, stem, tokenize
+from tests.conftest import build_catalog
+
+
+def mini_schema():
+    return build_catalog().schema("mini")
+
+
+class TestTokenization:
+    def test_tokenize_splits_identifiers(self):
+        assert tokenize("o_totalprice") == ["o", "totalprice"]
+        assert tokenize("total price!") == ["total", "price"]
+
+    def test_stem(self):
+        assert stem("orders") == "order"
+        assert stem("countries") == "country"
+        assert stem("status") == "status"  # too short to strip
+        assert stem("prices") == "price"
+
+
+class TestPruning:
+    def test_relevant_table_kept(self):
+        pruned = SchemaPruner().prune(mini_schema(), "how many orders are there")
+        assert "orders" in pruned.table_names
+
+    def test_irrelevant_table_dropped(self):
+        pruned = SchemaPruner(max_tables=1).prune(
+            mini_schema(), "what is the total price of orders"
+        )
+        assert pruned.table_names == ["orders"]
+
+    def test_synonyms_match(self):
+        pruned = SchemaPruner().prune(
+            mini_schema(), "how much did each client spend on purchases"
+        )
+        # client→customer, purchases→orders via the synonym table.
+        assert set(pruned.table_names) >= {"customer", "orders"}
+
+    def test_comment_vocabulary_matches(self):
+        pruned = SchemaPruner().prune(mini_schema(), "total price per customer")
+        columns = {sc.column.name for sc in pruned.columns}
+        assert "o_totalprice" in columns
+
+    def test_fk_key_columns_survive(self):
+        pruned = SchemaPruner().prune(
+            mini_schema(), "total price for each customer name"
+        )
+        columns = {sc.column.name for sc in pruned.columns}
+        assert "o_custkey" in columns
+        assert "c_custkey" in columns
+
+    def test_fallback_keeps_best_table(self):
+        pruned = SchemaPruner().prune(mini_schema(), "zzz qqq xxx")
+        assert len(pruned.tables) >= 1
+
+    def test_serialize_shape(self):
+        pruned = SchemaPruner().prune(mini_schema(), "orders total price")
+        text = pruned.serialize()
+        assert "orders(" in text
+        assert "o_totalprice double" in text
+
+
+class TestWideSchemaStress:
+    """§3.3: pruning must handle tables with thousands of columns."""
+
+    def test_thousand_column_table_prunes_to_budget(self):
+        schema = make_wide_schema(1200)
+        pruner = SchemaPruner(max_columns_per_table=12)
+        pruned = pruner.prune(schema, "what is the average sensor temperature")
+        assert len(pruned.columns) <= 12
+        names = {sc.column.name for sc in pruned.columns}
+        assert "sensor_temperature" in names
+
+    def test_relevant_metric_found_among_thousands(self):
+        schema = make_wide_schema(2000)
+        pruned = SchemaPruner().prune(schema, "maximum metric number 1337")
+        names = [sc.column.name for sc in pruned.columns]
+        assert "metric_1337" in names
+
+    def test_serialized_size_bounded(self):
+        schema = make_wide_schema(2000)
+        pruned = SchemaPruner(max_columns_per_table=12).prune(
+            schema, "average sensor temperature"
+        )
+        # Without pruning this would serialize ~2000 columns.
+        assert len(pruned.serialize()) < 1000

@@ -1,0 +1,270 @@
+"""Tests for the extended SQL surface: simple CASE, EXTRACT, UNION ALL,
+and [NOT] IN (SELECT ...) subqueries planned as semi/anti joins."""
+
+import pytest
+
+from repro.errors import BindError, ParseError
+from repro.engine.plan import HashJoin, JoinType, UnionAllPlan, walk_plan
+from repro.engine.planner import Planner
+from repro.engine.sql import ast
+from repro.engine.sql.parser import parse_sql
+from tests.conftest import run_query
+
+
+@pytest.fixture
+def planner(mini_catalog):
+    return Planner(mini_catalog, "mini")
+
+
+class TestSimpleCase:
+    def test_desugars_to_searched_case(self):
+        stmt = parse_sql("SELECT CASE x WHEN 1 THEN 'a' WHEN 2 THEN 'b' END FROM t")
+        case = stmt.items[0].expr
+        assert isinstance(case, ast.Case)
+        assert case.whens[0][0] == ast.Binary(
+            "=", ast.ColumnRef("x"), ast.Literal(1)
+        )
+
+    def test_executes(self, mini_engine):
+        result = run_query(
+            mini_engine,
+            "SELECT o_orderkey, CASE o_orderstatus WHEN 'O' THEN 'open' "
+            "WHEN 'F' THEN 'filled' ELSE 'other' END AS s "
+            "FROM orders ORDER BY o_orderkey LIMIT 3",
+        )
+        assert result.rows() == [(1, "open"), (2, "filled"), (3, "open")]
+
+
+class TestExtract:
+    def test_parses_to_function(self):
+        stmt = parse_sql("SELECT EXTRACT(YEAR FROM d) FROM t")
+        assert stmt.items[0].expr == ast.FunctionCall("year", (ast.ColumnRef("d"),))
+
+    def test_month(self):
+        stmt = parse_sql("SELECT extract(month FROM d) FROM t")
+        assert stmt.items[0].expr.name == "month"
+
+    def test_unsupported_field(self):
+        with pytest.raises(ParseError, match="EXTRACT supports"):
+            parse_sql("SELECT EXTRACT(DOW FROM d) FROM t")
+
+    def test_executes(self, mini_engine):
+        result = run_query(
+            mini_engine,
+            "SELECT EXTRACT(YEAR FROM o_orderdate) AS y, count(*) FROM orders "
+            "GROUP BY EXTRACT(YEAR FROM o_orderdate) ORDER BY y",
+        )
+        assert result.rows() == [(1995, 4), (1996, 1), (1997, 1)]
+
+
+class TestUnionAll:
+    def test_parses_flat(self):
+        stmt = parse_sql("SELECT a FROM t UNION ALL SELECT b FROM u")
+        assert isinstance(stmt, ast.UnionAll)
+        assert len(stmt.branches) == 2
+
+    def test_requires_all(self):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT a FROM t UNION SELECT b FROM u")
+
+    def test_plans_to_union_node(self, planner):
+        plan = planner.plan_sql(
+            "SELECT o_custkey FROM orders UNION ALL SELECT c_custkey FROM customer"
+        )
+        assert isinstance(plan, UnionAllPlan)
+
+    def test_executes_bag_semantics(self, mini_engine):
+        result = run_query(
+            mini_engine,
+            "SELECT o_custkey FROM orders UNION ALL "
+            "SELECT c_custkey FROM customer",
+        )
+        assert result.num_rows == 9  # 6 + 3, duplicates kept
+
+    def test_first_branch_names_win(self, mini_engine):
+        result = run_query(
+            mini_engine,
+            "SELECT o_custkey AS who FROM orders UNION ALL "
+            "SELECT c_custkey FROM customer",
+        )
+        assert result.column_names == ["who"]
+
+    def test_numeric_promotion_across_branches(self, mini_engine):
+        result = run_query(
+            mini_engine,
+            "SELECT c_nationkey FROM customer UNION ALL "
+            "SELECT o_orderkey FROM orders",
+        )
+        assert result.num_rows == 9
+
+    def test_arity_mismatch_rejected(self, planner):
+        with pytest.raises(BindError, match="columns"):
+            planner.plan_sql(
+                "SELECT o_custkey, o_orderkey FROM orders UNION ALL "
+                "SELECT c_custkey FROM customer"
+            )
+
+    def test_type_mismatch_rejected(self, planner):
+        with pytest.raises(BindError, match="type"):
+            planner.plan_sql(
+                "SELECT o_custkey FROM orders UNION ALL "
+                "SELECT c_name FROM customer"
+            )
+
+    def test_trailing_order_by_applies_to_whole_union(self, mini_engine):
+        result = run_query(
+            mini_engine,
+            "SELECT o_custkey AS k FROM orders UNION ALL "
+            "SELECT c_custkey FROM customer ORDER BY k DESC LIMIT 2",
+        )
+        assert result.rows() == [(9,), (3,)]
+
+    def test_union_order_by_position(self, mini_engine):
+        result = run_query(
+            mini_engine,
+            "SELECT o_custkey FROM orders UNION ALL "
+            "SELECT c_custkey FROM customer ORDER BY 1 LIMIT 1",
+        )
+        assert result.rows() == [(1,)]
+
+    def test_union_order_by_unknown_column_rejected(self, planner):
+        with pytest.raises(BindError, match="output column"):
+            planner.plan_sql(
+                "SELECT o_custkey FROM orders UNION ALL "
+                "SELECT c_custkey FROM customer ORDER BY ghost"
+            )
+
+    def test_union_to_sql_roundtrip(self):
+        sql = (
+            "SELECT a FROM t UNION ALL SELECT b FROM u ORDER BY a DESC LIMIT 3"
+        )
+        rendered = parse_sql(sql).to_sql()
+        assert parse_sql(rendered).to_sql() == rendered
+
+    def test_branches_keep_own_clauses(self, mini_engine):
+        result = run_query(
+            mini_engine,
+            "SELECT o_orderkey FROM orders WHERE o_orderkey <= 2 UNION ALL "
+            "SELECT o_orderkey FROM orders WHERE o_orderkey >= 5",
+        )
+        assert sorted(row[0] for row in result.rows()) == [1, 2, 5, 6]
+
+
+class TestInSubquery:
+    def test_plans_semi_join(self, planner):
+        plan = planner.plan_sql(
+            "SELECT c_name FROM customer WHERE c_custkey IN "
+            "(SELECT o_custkey FROM orders)"
+        )
+        join = next(
+            n for n in walk_plan(plan)
+            if isinstance(n, HashJoin) and n.join_type is JoinType.SEMI
+        )
+        assert join.left_keys == ["customer.c_custkey"]
+
+    def test_plans_anti_join(self, planner):
+        plan = planner.plan_sql(
+            "SELECT c_name FROM customer WHERE c_custkey NOT IN "
+            "(SELECT o_custkey FROM orders)"
+        )
+        assert any(
+            isinstance(n, HashJoin) and n.join_type is JoinType.ANTI
+            for n in walk_plan(plan)
+        )
+
+    def test_semi_join_executes(self, mini_engine):
+        result = run_query(
+            mini_engine,
+            "SELECT c_name FROM customer WHERE c_custkey IN "
+            "(SELECT o_custkey FROM orders WHERE o_totalprice > 250) "
+            "ORDER BY c_name",
+        )
+        assert result.rows() == [("bob",), ("carol",)]
+
+    def test_semi_join_no_duplicates(self, mini_engine):
+        # alice has two orders; IN must not duplicate her.
+        result = run_query(
+            mini_engine,
+            "SELECT c_name FROM customer WHERE c_custkey IN "
+            "(SELECT o_custkey FROM orders) ORDER BY c_name",
+        )
+        assert result.rows() == [("alice",), ("bob",), ("carol",)]
+
+    def test_not_in_with_matches(self, mini_engine):
+        result = run_query(
+            mini_engine,
+            "SELECT o_orderkey FROM orders WHERE o_custkey NOT IN "
+            "(SELECT c_custkey FROM customer)",
+        )
+        assert result.rows() == [(6,)]  # order for the ghost customer 9
+
+    def test_not_in_empty_subquery_passes_all(self, mini_engine):
+        result = run_query(
+            mini_engine,
+            "SELECT count(*) FROM customer WHERE c_custkey NOT IN "
+            "(SELECT o_custkey FROM orders WHERE o_orderkey > 999)",
+        )
+        assert result.rows() == [(3,)]
+
+    def test_not_in_with_null_in_subquery_passes_none(self, mini_engine):
+        # o_totalprice contains a NULL: x NOT IN (..., NULL, ...) is never TRUE.
+        result = run_query(
+            mini_engine,
+            "SELECT count(*) FROM orders WHERE o_totalprice NOT IN "
+            "(SELECT o_totalprice FROM orders)",
+        )
+        assert result.rows() == [(0,)]
+
+    def test_combined_with_other_predicates(self, mini_engine):
+        result = run_query(
+            mini_engine,
+            "SELECT c_name FROM customer WHERE c_custkey IN "
+            "(SELECT o_custkey FROM orders) AND c_nationkey = 10 "
+            "ORDER BY c_name",
+        )
+        assert result.rows() == [("alice",), ("bob",)]
+
+    def test_subquery_with_its_own_where_and_distinct(self, mini_engine):
+        result = run_query(
+            mini_engine,
+            "SELECT count(*) FROM customer WHERE c_custkey IN "
+            "(SELECT DISTINCT o_custkey FROM orders WHERE o_orderstatus = 'O')",
+        )
+        assert result.rows() == [(3,)]
+
+    def test_multi_column_subquery_rejected(self, planner):
+        with pytest.raises(BindError, match="exactly one column"):
+            planner.plan_sql(
+                "SELECT 1 FROM customer WHERE c_custkey IN "
+                "(SELECT o_custkey, o_orderkey FROM orders)"
+            )
+
+    def test_type_mismatch_rejected(self, planner):
+        with pytest.raises(BindError, match="does not"):
+            planner.plan_sql(
+                "SELECT 1 FROM customer WHERE c_custkey IN "
+                "(SELECT o_orderstatus FROM orders)"
+            )
+
+    def test_non_column_left_side_rejected(self, planner):
+        with pytest.raises(BindError, match="must be a column"):
+            planner.plan_sql(
+                "SELECT 1 FROM customer WHERE c_custkey + 1 IN "
+                "(SELECT o_custkey FROM orders)"
+            )
+
+    def test_nested_in_or_rejected(self, planner):
+        with pytest.raises(BindError, match="top-level"):
+            planner.plan_sql(
+                "SELECT 1 FROM customer WHERE c_nationkey = 10 OR "
+                "c_custkey IN (SELECT o_custkey FROM orders)"
+            )
+
+    def test_in_subquery_inside_union(self, mini_engine):
+        result = run_query(
+            mini_engine,
+            "SELECT c_name FROM customer WHERE c_custkey IN "
+            "(SELECT o_custkey FROM orders WHERE o_totalprice > 450) "
+            "UNION ALL SELECT c_name FROM customer WHERE c_nationkey = 20",
+        )
+        assert sorted(row[0] for row in result.rows()) == ["carol", "carol"]

@@ -1,0 +1,101 @@
+"""Unit tests for the SQL lexer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.engine.sql.lexer import Lexer, TokenType
+
+
+def lex(sql):
+    return [(t.type, t.text) for t in Lexer(sql).tokenize()[:-1]]
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = lex("SELECT select SeLeCt")
+        assert all(t[0] is TokenType.KEYWORD for t in tokens)
+
+    def test_identifiers(self):
+        assert lex("orders o_orderkey _tmp x1") == [
+            (TokenType.IDENTIFIER, "orders"),
+            (TokenType.IDENTIFIER, "o_orderkey"),
+            (TokenType.IDENTIFIER, "_tmp"),
+            (TokenType.IDENTIFIER, "x1"),
+        ]
+
+    def test_numbers(self):
+        assert lex("42 3.14 .5 1e3 2.5E-2") == [
+            (TokenType.NUMBER, "42"),
+            (TokenType.NUMBER, "3.14"),
+            (TokenType.NUMBER, ".5"),
+            (TokenType.NUMBER, "1e3"),
+            (TokenType.NUMBER, "2.5E-2"),
+        ]
+
+    def test_string_with_escape(self):
+        tokens = lex("'it''s'")
+        assert tokens == [(TokenType.STRING, "it's")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError, match="unterminated"):
+            lex("'abc")
+
+    def test_quoted_identifier(self):
+        assert lex('"Weird Name"') == [(TokenType.IDENTIFIER, "Weird Name")]
+
+    def test_operators(self):
+        assert [t[1] for t in lex("<= >= <> != = < > + - * / % ||")] == [
+            "<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/", "%", "||",
+        ]
+
+    def test_star_token_type(self):
+        tokens = lex("*")
+        assert tokens[0][0] is TokenType.STAR
+
+    def test_punctuation(self):
+        assert [t[0] for t in lex("( ) , . ;")] == [
+            TokenType.LPAREN,
+            TokenType.RPAREN,
+            TokenType.COMMA,
+            TokenType.DOT,
+            TokenType.SEMICOLON,
+        ]
+
+    def test_line_comment(self):
+        assert lex("SELECT -- comment here\n1") == [
+            (TokenType.KEYWORD, "SELECT"),
+            (TokenType.NUMBER, "1"),
+        ]
+
+    def test_block_comment(self):
+        assert lex("1 /* hi \n there */ 2") == [
+            (TokenType.NUMBER, "1"),
+            (TokenType.NUMBER, "2"),
+        ]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            lex("1 /* oops")
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError, match="unexpected character"):
+            lex("SELECT @")
+
+    def test_eof_token_present(self):
+        tokens = Lexer("1").tokenize()
+        assert tokens[-1].type is TokenType.EOF
+
+    def test_positions_recorded(self):
+        tokens = Lexer("SELECT x").tokenize()
+        assert tokens[0].position == 0
+        assert tokens[1].position == 7
+
+    def test_dot_number_vs_qualified(self):
+        assert lex("a.b") == [
+            (TokenType.IDENTIFIER, "a"),
+            (TokenType.DOT, "."),
+            (TokenType.IDENTIFIER, "b"),
+        ]
+
+    def test_empty_input(self):
+        assert lex("   ") == []

@@ -1,0 +1,247 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.engine.sql import ast
+from repro.engine.sql.parser import parse_sql
+
+
+class TestSelectBasics:
+    def test_simple_select(self):
+        stmt = parse_sql("SELECT a, b FROM t")
+        assert len(stmt.items) == 2
+        assert stmt.items[0].expr == ast.ColumnRef("a")
+        assert isinstance(stmt.from_clause, ast.TableRef)
+        assert stmt.from_clause.name == "t"
+
+    def test_select_star(self):
+        stmt = parse_sql("SELECT * FROM t")
+        assert stmt.items[0].expr == ast.Star()
+
+    def test_select_qualified_star(self):
+        stmt = parse_sql("SELECT t.* FROM t")
+        assert stmt.items[0].expr == ast.Star(table="t")
+
+    def test_aliases(self):
+        stmt = parse_sql("SELECT a AS x, b y FROM t z")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "y"
+        assert stmt.from_clause.alias == "z"
+
+    def test_distinct(self):
+        assert parse_sql("SELECT DISTINCT a FROM t").distinct
+
+    def test_semicolon_ok(self):
+        parse_sql("SELECT a FROM t;")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse_sql("SELECT a FROM t garbage more")
+
+    def test_missing_select(self):
+        with pytest.raises(ParseError):
+            parse_sql("FROM t")
+
+    def test_parse_error_has_position(self):
+        with pytest.raises(ParseError) as info:
+            parse_sql("SELECT FROM t")
+        assert info.value.position is not None
+
+
+class TestClauses:
+    def test_where(self):
+        stmt = parse_sql("SELECT a FROM t WHERE a > 5")
+        assert isinstance(stmt.where, ast.Binary)
+        assert stmt.where.op == ">"
+
+    def test_group_by_having(self):
+        stmt = parse_sql(
+            "SELECT a, count(*) FROM t GROUP BY a HAVING count(*) > 2"
+        )
+        assert stmt.group_by == (ast.ColumnRef("a"),)
+        assert stmt.having is not None
+
+    def test_order_by_directions(self):
+        stmt = parse_sql("SELECT a, b FROM t ORDER BY a DESC, b ASC, a")
+        assert [o.ascending for o in stmt.order_by] == [False, True, True]
+
+    def test_limit_offset(self):
+        stmt = parse_sql("SELECT a FROM t LIMIT 10 OFFSET 5")
+        assert stmt.limit == 10
+        assert stmt.offset == 5
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT a FROM t LIMIT 1.5")
+
+
+class TestJoins:
+    def test_inner_join(self):
+        stmt = parse_sql("SELECT * FROM a JOIN b ON a.x = b.x")
+        join = stmt.from_clause
+        assert isinstance(join, ast.Join)
+        assert join.kind is ast.JoinKind.INNER
+
+    def test_inner_keyword(self):
+        stmt = parse_sql("SELECT * FROM a INNER JOIN b ON a.x = b.x")
+        assert stmt.from_clause.kind is ast.JoinKind.INNER
+
+    def test_left_join(self):
+        stmt = parse_sql("SELECT * FROM a LEFT JOIN b ON a.x = b.x")
+        assert stmt.from_clause.kind is ast.JoinKind.LEFT
+
+    def test_left_outer_join(self):
+        stmt = parse_sql("SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.x")
+        assert stmt.from_clause.kind is ast.JoinKind.LEFT
+
+    def test_comma_join_becomes_cross(self):
+        stmt = parse_sql("SELECT * FROM a, b WHERE a.x = b.x")
+        join = stmt.from_clause
+        assert isinstance(join, ast.Join)
+        assert join.condition == ast.Literal(True)
+
+    def test_join_chain_left_deep(self):
+        stmt = parse_sql(
+            "SELECT * FROM a JOIN b ON a.x = b.x JOIN c ON b.y = c.y"
+        )
+        outer = stmt.from_clause
+        assert isinstance(outer.left, ast.Join)
+        assert outer.right.name == "c"
+
+    def test_join_requires_on(self):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT * FROM a JOIN b")
+
+
+class TestExpressions:
+    def expr(self, text):
+        return parse_sql(f"SELECT {text} FROM t").items[0].expr
+
+    def test_precedence_arithmetic(self):
+        expr = self.expr("1 + 2 * 3")
+        assert expr == ast.Binary(
+            "+", ast.Literal(1), ast.Binary("*", ast.Literal(2), ast.Literal(3))
+        )
+
+    def test_precedence_and_or(self):
+        expr = parse_sql("SELECT a FROM t WHERE x OR y AND z").where
+        assert expr.op == "or"
+        assert expr.right.op == "and"
+
+    def test_parentheses(self):
+        expr = self.expr("(1 + 2) * 3")
+        assert expr.op == "*"
+
+    def test_not(self):
+        expr = parse_sql("SELECT a FROM t WHERE NOT x = 1").where
+        assert isinstance(expr, ast.Unary)
+        assert expr.op == "not"
+
+    def test_unary_minus(self):
+        assert self.expr("-a") == ast.Unary("-", ast.ColumnRef("a"))
+
+    def test_unary_plus_dropped(self):
+        assert self.expr("+a") == ast.ColumnRef("a")
+
+    def test_between(self):
+        expr = self.expr("a BETWEEN 1 AND 10")
+        assert expr == ast.Between(ast.ColumnRef("a"), ast.Literal(1), ast.Literal(10))
+
+    def test_not_between(self):
+        expr = self.expr("a NOT BETWEEN 1 AND 10")
+        assert expr.negated
+
+    def test_in_list(self):
+        expr = self.expr("a IN (1, 2, 3)")
+        assert isinstance(expr, ast.InList)
+        assert len(expr.items) == 3
+
+    def test_not_in(self):
+        assert self.expr("a NOT IN (1)").negated
+
+    def test_like(self):
+        expr = self.expr("a LIKE '%x%'")
+        assert isinstance(expr, ast.Like)
+
+    def test_is_null_and_not_null(self):
+        assert self.expr("a IS NULL") == ast.IsNull(ast.ColumnRef("a"))
+        assert self.expr("a IS NOT NULL").negated
+
+    def test_literals(self):
+        assert self.expr("42") == ast.Literal(42)
+        assert self.expr("4.5") == ast.Literal(4.5)
+        assert self.expr("'hi'") == ast.Literal("hi")
+        assert self.expr("TRUE") == ast.Literal(True)
+        assert self.expr("NULL") == ast.Literal(None)
+
+    def test_date_literal(self):
+        assert self.expr("DATE '1995-01-01'") == ast.Literal(
+            "1995-01-01", is_date=True
+        )
+
+    def test_interval_days(self):
+        assert self.expr("INTERVAL '90' DAY") == ast.Literal(90)
+
+    def test_interval_months_years(self):
+        assert self.expr("INTERVAL '3' MONTH") == ast.Literal(90)
+        assert self.expr("INTERVAL '1' YEAR") == ast.Literal(365)
+
+    def test_interval_bad_unit(self):
+        with pytest.raises(ParseError):
+            self.expr("INTERVAL '1' FORTNIGHT")
+
+    def test_case(self):
+        expr = self.expr("CASE WHEN a > 1 THEN 'x' ELSE 'y' END")
+        assert isinstance(expr, ast.Case)
+        assert len(expr.whens) == 1
+        assert expr.else_ == ast.Literal("y")
+
+    def test_case_requires_when(self):
+        with pytest.raises(ParseError):
+            self.expr("CASE END")
+
+    def test_cast(self):
+        expr = self.expr("CAST(a AS double)")
+        assert expr == ast.Cast(ast.ColumnRef("a"), "double")
+
+    def test_count_star(self):
+        expr = self.expr("count(*)")
+        assert expr == ast.FunctionCall("count", (ast.Star(),))
+
+    def test_count_distinct(self):
+        expr = self.expr("count(DISTINCT a)")
+        assert expr.distinct
+
+    def test_function_multiple_args(self):
+        expr = self.expr("coalesce(a, b, 0)")
+        assert len(expr.args) == 3
+
+    def test_qualified_column(self):
+        assert self.expr("t.a") == ast.ColumnRef("a", table="t")
+
+    def test_string_concat(self):
+        expr = self.expr("a || 'x'")
+        assert expr.op == "||"
+
+    def test_not_equal_normalized(self):
+        expr = parse_sql("SELECT a FROM t WHERE a != 1").where
+        assert expr.op == "<>"
+
+
+class TestToSqlRoundtrip:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT a, b AS x FROM t WHERE (a > 5) ORDER BY b DESC LIMIT 3",
+            "SELECT count(*) FROM t GROUP BY a HAVING (count(*) > 1)",
+            "SELECT * FROM a JOIN b ON (a.x = b.x)",
+            "SELECT CASE WHEN (a = 1) THEN 'x' ELSE 'y' END FROM t",
+            "SELECT DISTINCT a FROM t",
+        ],
+    )
+    def test_parse_render_parse_fixpoint(self, sql):
+        first = parse_sql(sql)
+        rendered = first.to_sql()
+        second = parse_sql(rendered)
+        assert second.to_sql() == rendered

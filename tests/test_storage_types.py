@@ -1,0 +1,129 @@
+"""Unit tests for logical types and ColumnVector."""
+
+import numpy as np
+import pytest
+
+from repro.storage.types import ColumnVector, DataType, date_to_days, days_to_date
+
+
+class TestDataType:
+    def test_numpy_dtypes(self):
+        assert DataType.INT.numpy_dtype == np.dtype(np.int32)
+        assert DataType.BIGINT.numpy_dtype == np.dtype(np.int64)
+        assert DataType.DOUBLE.numpy_dtype == np.dtype(np.float64)
+        assert DataType.VARCHAR.numpy_dtype == np.dtype(object)
+        assert DataType.DATE.numpy_dtype == np.dtype(np.int32)
+
+    def test_is_numeric(self):
+        assert DataType.DOUBLE.is_numeric
+        assert DataType.BIGINT.is_numeric
+        assert not DataType.VARCHAR.is_numeric
+        assert not DataType.DATE.is_numeric
+
+    def test_is_orderable(self):
+        assert DataType.DATE.is_orderable
+        assert DataType.VARCHAR.is_orderable
+        assert not DataType.BOOLEAN.is_orderable
+
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("INT", DataType.INT),
+            ("integer", DataType.INT),
+            ("Decimal", DataType.DOUBLE),
+            ("text", DataType.VARCHAR),
+            ("string", DataType.VARCHAR),
+            ("bool", DataType.BOOLEAN),
+            ("date", DataType.DATE),
+            ("long", DataType.BIGINT),
+        ],
+    )
+    def test_from_string(self, name, expected):
+        assert DataType.from_string(name) is expected
+
+    def test_from_string_unknown(self):
+        with pytest.raises(ValueError, match="unknown data type"):
+            DataType.from_string("blob")
+
+
+class TestColumnVector:
+    def test_from_values_roundtrip(self):
+        vector = ColumnVector.from_values(DataType.INT, [1, 2, 3])
+        assert vector.to_values() == [1, 2, 3]
+        assert vector.null_count == 0
+
+    def test_from_values_with_nulls(self):
+        vector = ColumnVector.from_values(DataType.DOUBLE, [1.5, None, 2.5])
+        assert vector.to_values() == [1.5, None, 2.5]
+        assert vector.null_count == 1
+        assert vector.has_nulls()
+
+    def test_varchar_values(self):
+        vector = ColumnVector.from_values(DataType.VARCHAR, ["a", None, "c"])
+        assert vector.to_values() == ["a", None, "c"]
+
+    def test_null_mask_length_checked(self):
+        with pytest.raises(ValueError):
+            ColumnVector(
+                DataType.INT,
+                np.array([1, 2], dtype=np.int32),
+                np.array([True], dtype=bool),
+            )
+
+    def test_take(self):
+        vector = ColumnVector.from_values(DataType.INT, [10, 20, 30, None])
+        taken = vector.take(np.array([3, 0]))
+        assert taken.to_values() == [None, 10]
+
+    def test_filter(self):
+        vector = ColumnVector.from_values(DataType.INT, [1, 2, 3, 4])
+        mask = np.array([True, False, True, False])
+        assert vector.filter(mask).to_values() == [1, 3]
+
+    def test_slice(self):
+        vector = ColumnVector.from_values(DataType.VARCHAR, ["a", "b", "c"])
+        assert vector.slice(1, 3).to_values() == ["b", "c"]
+
+    def test_concat(self):
+        a = ColumnVector.from_values(DataType.INT, [1, None])
+        b = ColumnVector.from_values(DataType.INT, [3])
+        assert a.concat(b).to_values() == [1, None, 3]
+
+    def test_concat_null_and_nonnull(self):
+        a = ColumnVector.from_values(DataType.INT, [1, 2])
+        b = ColumnVector.from_values(DataType.INT, [None])
+        merged = a.concat(b)
+        assert merged.to_values() == [1, 2, None]
+
+    def test_concat_dtype_mismatch(self):
+        a = ColumnVector.from_values(DataType.INT, [1])
+        b = ColumnVector.from_values(DataType.BIGINT, [1])
+        with pytest.raises(ValueError, match="dtype mismatch"):
+            a.concat(b)
+
+    def test_nbytes_varchar_counts_payload(self):
+        vector = ColumnVector.from_values(DataType.VARCHAR, ["ab", "cdef"])
+        assert vector.nbytes() == 6 + 8
+
+    def test_nbytes_numeric(self):
+        vector = ColumnVector.from_values(DataType.INT, [1, 2, 3])
+        assert vector.nbytes() == 12
+
+    def test_boolean_from_values(self):
+        vector = ColumnVector.from_values(DataType.BOOLEAN, [True, None, False])
+        assert vector.to_values() == [True, None, False]
+
+    def test_len(self):
+        assert len(ColumnVector.from_values(DataType.INT, [1, 2])) == 2
+
+
+class TestDates:
+    def test_epoch(self):
+        assert date_to_days("1970-01-01") == 0
+
+    def test_roundtrip(self):
+        for date in ["1992-03-15", "1998-12-01", "2024-02-29"]:
+            assert days_to_date(date_to_days(date)) == date
+
+    def test_ordering_preserved(self):
+        assert date_to_days("1995-01-01") < date_to_days("1996-01-01")

@@ -1,0 +1,151 @@
+"""Unit tests for TableData and table-level read/write."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NoSuchColumnError
+from repro.storage.object_store import ObjectStore
+from repro.storage.table import TableData, TableReader, TableWriter
+from repro.storage.types import ColumnVector, DataType
+
+SCHEMA = [("k", DataType.BIGINT), ("v", DataType.VARCHAR)]
+
+
+def make_table(n):
+    return TableData.from_rows(SCHEMA, [(i, f"v{i}") for i in range(n)])
+
+
+@pytest.fixture
+def store():
+    s = ObjectStore()
+    s.create_bucket("b")
+    return s
+
+
+class TestTableData:
+    def test_from_rows_roundtrip(self):
+        table = make_table(3)
+        assert table.num_rows == 3
+        assert table.to_rows() == [(0, "v0"), (1, "v1"), (2, "v2")]
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError, match="ragged"):
+            TableData(
+                {
+                    "a": ColumnVector.from_values(DataType.INT, [1]),
+                    "b": ColumnVector.from_values(DataType.INT, [1, 2]),
+                }
+            )
+
+    def test_select_projects_and_orders(self):
+        table = make_table(2)
+        projected = table.select(["v", "k"])
+        assert projected.column_names == ["v", "k"]
+
+    def test_select_missing_column(self):
+        with pytest.raises(NoSuchColumnError):
+            make_table(1).select(["ghost"])
+
+    def test_filter_take_slice(self):
+        table = make_table(5)
+        assert table.filter(np.array([True, False, True, False, False])).num_rows == 2
+        assert table.take(np.array([4, 0])).to_rows() == [(4, "v4"), (0, "v0")]
+        assert table.slice(1, 3).to_rows() == [(1, "v1"), (2, "v2")]
+
+    def test_concat(self):
+        merged = make_table(2).concat(make_table(1))
+        assert merged.num_rows == 3
+
+    def test_concat_schema_mismatch(self):
+        other = TableData({"x": ColumnVector.from_values(DataType.INT, [1])})
+        with pytest.raises(ValueError):
+            make_table(1).concat(other)
+
+    def test_rename(self):
+        renamed = make_table(1).rename({"k": "key"})
+        assert renamed.column_names == ["key", "v"]
+
+    def test_empty_table(self):
+        table = TableData.empty(SCHEMA)
+        assert table.num_rows == 0
+        assert table.to_rows() == []
+
+    def test_no_columns(self):
+        assert TableData({}).num_rows == 0
+
+    def test_schema(self):
+        assert make_table(1).schema() == SCHEMA
+
+    def test_nulls_survive_from_rows(self):
+        table = TableData.from_rows(SCHEMA, [(1, None), (None, "x")])
+        assert table.to_rows() == [(1, None), (None, "x")]
+
+
+class TestTableWriterReader:
+    def test_roundtrip_single_file(self, store):
+        table = make_table(100)
+        keys = TableWriter(store, "b", "t").write(table)
+        assert keys == ["t/part-0.pxl"]
+        result = TableReader(store, "b", "t").scan()
+        assert result.data.to_rows() == table.to_rows()
+
+    def test_multiple_files(self, store):
+        table = make_table(250)
+        keys = TableWriter(store, "b", "t", rows_per_file=100).write(table)
+        assert len(keys) == 3
+        result = TableReader(store, "b", "t").scan()
+        assert result.data.num_rows == 250
+        assert result.data.to_rows() == table.to_rows()
+
+    def test_row_group_size_respected(self, store):
+        TableWriter(store, "b", "t", rows_per_file=100, rows_per_group=10).write(
+            make_table(100)
+        )
+        from repro.storage.file_format import PixelsReader
+
+        reader = PixelsReader(store, "b", "t/part-0.pxl")
+        assert len(reader.footer.row_groups) == 10
+
+    def test_projection(self, store):
+        TableWriter(store, "b", "t").write(make_table(10))
+        result = TableReader(store, "b", "t").scan(columns=["v"])
+        assert result.data.column_names == ["v"]
+
+    def test_predicate_pushdown_skips_groups(self, store):
+        TableWriter(store, "b", "t", rows_per_file=1000, rows_per_group=100).write(
+            make_table(1000)
+        )
+        result = TableReader(store, "b", "t").scan(
+            columns=["k"], ranges={"k": (950, None)}
+        )
+        assert result.row_groups_skipped == 9
+        assert result.data.column("k").to_values() == list(range(900, 1000))
+
+    def test_bytes_scanned_accounted(self, store):
+        TableWriter(store, "b", "t").write(make_table(100))
+        result = TableReader(store, "b", "t").scan()
+        assert result.bytes_scanned > 0
+        assert result.latency_s > 0
+
+    def test_scan_specific_keys(self, store):
+        TableWriter(store, "b", "t", rows_per_file=50).write(make_table(100))
+        reader = TableReader(store, "b", "t")
+        result = reader.scan(keys=["t/part-1.pxl"])
+        assert result.data.column("k").to_values() == list(range(50, 100))
+
+    def test_empty_table_roundtrip(self, store):
+        TableWriter(store, "b", "t").write(TableData.empty(SCHEMA))
+        result = TableReader(store, "b", "t").scan()
+        assert result.data.num_rows == 0
+
+    def test_file_keys(self, store):
+        TableWriter(store, "b", "t", rows_per_file=30).write(make_table(90))
+        assert len(TableReader(store, "b", "t").file_keys()) == 3
+
+    def test_writer_rejects_bad_params(self, store):
+        with pytest.raises(ValueError):
+            TableWriter(store, "b", "t", rows_per_file=0)
+
+    def test_writer_rejects_empty_schema(self, store):
+        with pytest.raises(ValueError):
+            TableWriter(store, "b", "t").write(TableData({}))

@@ -1,0 +1,138 @@
+"""Unit tests for the rule-based translator (single-turn NL → SQL)."""
+
+import pytest
+
+from repro.errors import TranslationError
+from repro.engine.sql.parser import parse_sql
+from repro.nl2sql.translator import RuleBasedTranslator
+from tests.conftest import build_catalog
+
+
+@pytest.fixture
+def translator():
+    return RuleBasedTranslator()
+
+
+@pytest.fixture
+def schema():
+    return build_catalog().schema("mini")
+
+
+def sql_of(translator, schema, question):
+    translation = translator.translate(schema, question)
+    parse_sql(translation.sql)  # must always be syntactically valid
+    return translation.sql
+
+
+class TestBasicShapes:
+    def test_count(self, translator, schema):
+        sql = sql_of(translator, schema, "How many orders are there?")
+        assert sql == "SELECT count(*) FROM orders"
+
+    def test_count_with_filter(self, translator, schema):
+        sql = sql_of(
+            translator, schema, "How many orders have total price over 150?"
+        )
+        assert "count(*)" in sql
+        assert "o_totalprice > 150" in sql
+
+    def test_average(self, translator, schema):
+        sql = sql_of(translator, schema, "What is the average total price of orders?")
+        assert "avg(o_totalprice)" in sql
+
+    def test_max(self, translator, schema):
+        sql = sql_of(translator, schema, "highest total price in orders")
+        assert "max(o_totalprice)" in sql
+
+    def test_count_distinct(self, translator, schema):
+        sql = sql_of(
+            translator, schema, "How many different customer ids are in orders?"
+        )
+        assert "count(DISTINCT" in sql
+
+    def test_group_by(self, translator, schema):
+        sql = sql_of(
+            translator, schema, "What is the total price per order status?"
+        )
+        assert "GROUP BY o_orderstatus" in sql
+        assert "sum(o_totalprice)" in sql
+
+    def test_top_n(self, translator, schema):
+        sql = sql_of(translator, schema, "Top 3 orders by total price")
+        assert sql.endswith("LIMIT 3")
+        assert "ORDER BY o_totalprice DESC" in sql
+
+    def test_top_n_word_number(self, translator, schema):
+        sql = sql_of(translator, schema, "top five orders by total price")
+        assert sql.endswith("LIMIT 5")
+
+    def test_between(self, translator, schema):
+        sql = sql_of(
+            translator, schema,
+            "How many orders have total price between 100 and 400?",
+        )
+        assert "BETWEEN 100 AND 400" in sql
+
+    def test_date_filter(self, translator, schema):
+        sql = sql_of(
+            translator, schema, "How many orders were there after 1995-06-01?"
+        )
+        assert "DATE '1995-06-01'" in sql
+        assert "o_orderdate >" in sql
+
+    def test_string_equality(self, translator, schema):
+        sql = sql_of(
+            translator, schema, "How many orders have order status equal to 'O'?"
+        )
+        assert "o_orderstatus = 'O'" in sql
+
+    def test_show_columns(self, translator, schema):
+        sql = sql_of(
+            translator, schema,
+            "Show the customer name of customer with nation id less than 15",
+        )
+        assert sql.startswith("SELECT c_name FROM customer")
+        assert "c_nationkey < 15" in sql
+
+
+class TestJoins:
+    def test_join_over_fk(self, translator, schema):
+        sql = sql_of(
+            translator, schema, "What is the total price per customer name?"
+        )
+        assert "JOIN" in sql
+        assert "o_custkey" in sql and "c_custkey" in sql
+        assert "GROUP BY c_name" in sql
+
+    def test_single_table_when_possible(self, translator, schema):
+        sql = sql_of(translator, schema, "How many customers are there?")
+        assert "JOIN" not in sql
+        assert "FROM customer" in sql
+
+
+class TestRobustness:
+    def test_filler_prefix_ignored(self, translator, schema):
+        sql = sql_of(
+            translator, schema, "Could you tell me how many orders are there?"
+        )
+        assert sql == "SELECT count(*) FROM orders"
+
+    def test_empty_question_rejected(self, translator, schema):
+        with pytest.raises(TranslationError):
+            translator.translate(schema, "   ")
+
+    def test_vague_question_low_confidence(self, translator, schema):
+        translation = translator.translate(schema, "orders")
+        assert translation.confidence < 1.0
+        parse_sql(translation.sql)
+
+    def test_translation_carries_pruned_schema(self, translator, schema):
+        translation = translator.translate(schema, "how many orders are there")
+        assert "orders" in translation.pruned_schema.table_names
+
+    def test_quoted_value_with_apostrophe(self, translator, schema):
+        sql = sql_of(
+            translator, schema,
+            'How many customers have customer name equal to "o\'brien"?',
+        )
+        assert "''" in sql  # escaped for SQL

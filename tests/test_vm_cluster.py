@@ -1,0 +1,266 @@
+"""Unit tests for the VM cluster: slots, queueing, watermark autoscaling."""
+
+import pytest
+
+from repro.errors import ScalingError
+from repro.sim import Simulator
+from repro.turbo.config import VmConfig
+from repro.turbo.vm_cluster import VmCluster, VmTask
+
+
+def make_cluster(sim, **overrides):
+    defaults = dict(
+        min_workers=1,
+        max_workers=8,
+        slots_per_worker=2,
+        scale_out_lag_s=10.0,
+        evaluation_interval_s=1.0,
+        scale_in_window_s=20.0,
+        scale_in_cooldown_s=20.0,
+    )
+    defaults.update(overrides)
+    return VmCluster(sim, VmConfig(**defaults))
+
+
+def task(name, started):
+    return VmTask(task_id=name, on_start=lambda worker: started.append((name, worker)))
+
+
+class TestSlots:
+    def test_starts_immediately_with_free_slot(self):
+        sim = Simulator()
+        cluster = make_cluster(sim)
+        started = []
+        assert cluster.submit(task("a", started)) is True
+        assert started and started[0][0] == "a"
+        assert cluster.running_tasks == 1
+
+    def test_queues_when_full(self):
+        sim = Simulator()
+        cluster = make_cluster(sim)  # 1 worker x 2 slots
+        started = []
+        cluster.submit(task("a", started))
+        cluster.submit(task("b", started))
+        assert cluster.submit(task("c", started)) is False
+        assert cluster.queue_length == 1
+        assert cluster.concurrency == 3
+
+    def test_release_starts_queued_fifo(self):
+        sim = Simulator()
+        cluster = make_cluster(sim)
+        started = []
+        cluster.submit(task("a", started))
+        cluster.submit(task("b", started))
+        cluster.submit(task("c", started))
+        cluster.submit(task("d", started))
+        worker = started[0][1]
+        cluster.release(worker)
+        assert [name for name, _ in started] == ["a", "b", "c"]
+
+    def test_release_without_busy_slot_raises(self):
+        sim = Simulator()
+        cluster = make_cluster(sim)
+        started = []
+        cluster.submit(task("a", started))
+        worker = started[0][1]
+        cluster.release(worker)
+        with pytest.raises(ScalingError):
+            cluster.release(worker)
+
+    def test_least_loaded_worker_preferred(self):
+        sim = Simulator()
+        cluster = make_cluster(sim, min_workers=2)
+        started = []
+        cluster.submit(task("a", started))
+        cluster.submit(task("b", started))
+        workers = {worker.worker_id for _, worker in started}
+        assert len(workers) == 2  # spread, not packed
+
+
+class TestScaleOut:
+    def test_scale_out_triggers_above_high_watermark(self):
+        sim = Simulator()
+        cluster = make_cluster(sim)
+        started = []
+        for i in range(12):  # per-worker concurrency 12 > 5
+            cluster.submit(task(f"t{i}", started))
+        sim.run_until(2.0)  # one autoscaler tick
+        assert cluster.scale_out_events == 1
+        assert cluster.num_workers == 1  # lag not yet elapsed
+        sim.run_until(15.0)
+        assert cluster.num_workers > 1
+
+    def test_workers_arrive_after_lag_and_drain_queue(self):
+        sim = Simulator()
+        cluster = make_cluster(sim)
+        started = []
+        for i in range(12):
+            cluster.submit(task(f"t{i}", started))
+        sim.run_until(15.0)
+        assert len(started) > 2  # queued tasks started on new workers
+
+    def test_no_repeated_scale_out_while_pending(self):
+        sim = Simulator()
+        cluster = make_cluster(sim)
+        started = []
+        for i in range(12):
+            cluster.submit(task(f"t{i}", started))
+        sim.run_until(8.0)  # several ticks within the lag window
+        assert cluster.scale_out_events == 1
+
+    def test_max_workers_respected(self):
+        sim = Simulator()
+        cluster = make_cluster(sim, max_workers=2)
+        started = []
+        for i in range(50):
+            cluster.submit(task(f"t{i}", started))
+        sim.run_until(30.0)
+        assert cluster.num_workers <= 2
+
+    def test_below_watermark_no_scale_out(self):
+        sim = Simulator()
+        cluster = make_cluster(sim)
+        started = []
+        cluster.submit(task("a", started))
+        sim.run_until(5.0)
+        assert cluster.scale_out_events == 0
+
+
+class TestScaleIn:
+    def test_idle_cluster_scales_in_to_minimum(self):
+        sim = Simulator()
+        cluster = make_cluster(sim)
+        started = []
+        for i in range(12):
+            cluster.submit(task(f"t{i}", started))
+        sim.run_until(12.0)
+        grown = cluster.num_workers
+        assert grown > 1
+        # Finish everything; cluster idles below the low watermark.
+        for name, worker in list(started):
+            cluster.release(worker)
+        sim.run_until(200.0)
+        assert cluster.scale_in_events >= 1
+        assert cluster.num_workers < grown
+        assert cluster.num_workers >= 1
+
+    def test_cooldown_delays_scale_in(self):
+        sim = Simulator()
+        cluster = make_cluster(sim, scale_in_cooldown_s=1000.0)
+        started = []
+        for i in range(12):
+            cluster.submit(task(f"t{i}", started))
+        sim.run_until(12.0)
+        for name, worker in list(started):
+            cluster.release(worker)
+        sim.run_until(100.0)
+        assert cluster.scale_in_events == 0  # lazy policy holds workers
+
+    def test_busy_worker_stops_only_after_draining(self):
+        sim = Simulator()
+        cluster = make_cluster(sim, min_workers=1)
+        started = []
+        for i in range(12):
+            cluster.submit(task(f"t{i}", started))
+        sim.run_until(12.0)
+        # Release all but one task; keep one running through scale-in.
+        for name, worker in started[:-1]:
+            cluster.release(worker)
+        survivor_worker = started[-1][1]
+        sim.run_until(200.0)
+        assert survivor_worker.is_active  # still running its task
+        cluster.release(survivor_worker)
+        if survivor_worker.stopping:
+            assert not survivor_worker.is_active  # stopped after drain
+
+    def test_never_below_min_workers(self):
+        sim = Simulator()
+        cluster = make_cluster(sim, min_workers=2)
+        sim.run_until(300.0)
+        assert cluster.num_workers == 2
+
+
+class TestAccounting:
+    def test_worker_seconds_accumulate(self):
+        sim = Simulator()
+        cluster = make_cluster(sim)
+        sim.run_until(100.0)
+        assert cluster.total_worker_seconds() == pytest.approx(100.0)
+
+    def test_provider_cost_proportional_to_uptime(self):
+        sim = Simulator()
+        cluster = make_cluster(sim)
+        sim.run_until(50.0)
+        half = cluster.provider_cost()
+        sim.run_until(100.0)
+        assert cluster.provider_cost() == pytest.approx(2 * half)
+
+    def test_retired_workers_counted(self):
+        sim = Simulator()
+        cluster = make_cluster(sim)
+        started = []
+        for i in range(12):
+            cluster.submit(task(f"t{i}", started))
+        sim.run_until(12.0)
+        for name, worker in started:
+            cluster.release(worker)
+        sim.run_until(200.0)
+        # Uptime from the scaled-out period persists after scale-in.
+        assert cluster.total_worker_seconds() > 200.0
+
+    def test_gauges_recorded(self):
+        sim = Simulator()
+        cluster = make_cluster(sim)
+        started = []
+        cluster.submit(task("a", started))
+        sim.run_until(3.0)
+        assert cluster.trace.values("vm.workers")
+        assert cluster.trace.values("vm.concurrency")
+
+    def test_disable_autoscaler(self):
+        sim = Simulator()
+        cluster = make_cluster(sim)
+        cluster.disable_autoscaler()
+        started = []
+        for i in range(20):
+            cluster.submit(task(f"t{i}", started))
+        sim.run_until(60.0)
+        assert cluster.scale_out_events == 0
+        assert cluster.num_workers == 1
+
+
+class TestFailWorker:
+    def test_failed_idle_worker_replaced_after_lag(self):
+        sim = Simulator()
+        cluster = make_cluster(sim, min_workers=1)
+        worker = cluster._workers[0]
+        cluster.fail_worker(worker)
+        assert cluster.num_workers == 0  # gone immediately (it was idle)
+        sim.run_until(11.0)  # scale_out_lag is 10s in the test config
+        assert cluster.num_workers == 1  # replacement arrived
+
+    def test_busy_failed_worker_drains_then_stops(self):
+        sim = Simulator()
+        cluster = make_cluster(sim, min_workers=1)
+        started = []
+        cluster.submit(task("a", started))
+        worker = started[0][1]
+        cluster.fail_worker(worker)
+        assert worker.is_active  # still draining its task
+        cluster.release(worker)
+        assert not worker.is_active
+
+    def test_fail_worker_is_idempotent(self):
+        sim = Simulator()
+        cluster = make_cluster(sim, min_workers=1)
+        worker = cluster._workers[0]
+        cluster.fail_worker(worker)
+        cluster.fail_worker(worker)  # no crash, no double replacement
+        sim.run_until(11.0)
+        assert cluster.num_workers == 1
+
+    def test_replacement_recorded_in_trace(self):
+        sim = Simulator()
+        cluster = make_cluster(sim, min_workers=1)
+        cluster.fail_worker(cluster._workers[0])
+        assert cluster.trace.values("vm.replacement") == [1]

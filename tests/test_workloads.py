@@ -1,0 +1,187 @@
+"""Tests for workload generators and arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro.storage.catalog import Catalog
+from repro.storage.object_store import ObjectStore
+from repro.workloads import (
+    LOGS_QUERIES,
+    LogsGenerator,
+    TPCH_QUERIES,
+    TpchGenerator,
+    bursty_arrivals,
+    diurnal_arrivals,
+    load_dataset,
+    spike_arrivals,
+    steady_arrivals,
+)
+
+
+class TestTpchGenerator:
+    def test_eight_tables(self):
+        tables = TpchGenerator(scale=0.01).tables()
+        assert [t.name for t in tables] == [
+            "region", "nation", "supplier", "customer",
+            "part", "partsupp", "orders", "lineitem",
+        ]
+
+    def test_cardinality_ratios(self):
+        generator = TpchGenerator(scale=0.1)
+        tables = {t.name: t for t in generator.tables()}
+        assert tables["region"].data.num_rows == 5
+        assert tables["nation"].data.num_rows == 25
+        assert tables["orders"].data.num_rows == 10 * tables["customer"].data.num_rows
+        lineitems = tables["lineitem"].data.num_rows
+        orders = tables["orders"].data.num_rows
+        assert orders < lineitems < 8 * orders
+
+    def test_deterministic(self):
+        a = TpchGenerator(scale=0.01, seed=5).tables()
+        b = TpchGenerator(scale=0.01, seed=5).tables()
+        assert a[-1].data.to_rows() == b[-1].data.to_rows()
+
+    def test_seed_changes_data(self):
+        a = TpchGenerator(scale=0.01, seed=1).tables()
+        b = TpchGenerator(scale=0.01, seed=2).tables()
+        assert a[-1].data.to_rows() != b[-1].data.to_rows()
+
+    def test_referential_integrity(self):
+        tables = {t.name: t for t in TpchGenerator(scale=0.02).tables()}
+        order_keys = set(tables["orders"].data.column("o_orderkey").to_values())
+        for key in tables["lineitem"].data.column("l_orderkey").to_values():
+            assert key in order_keys
+        customer_keys = set(tables["customer"].data.column("c_custkey").to_values())
+        for key in tables["orders"].data.column("o_custkey").to_values():
+            assert key in customer_keys
+
+    def test_dates_in_tpch_range(self):
+        tables = {t.name: t for t in TpchGenerator(scale=0.02).tables()}
+        from repro.storage.types import days_to_date
+
+        dates = tables["orders"].data.column("o_orderdate").to_values()
+        assert min(days_to_date(d) for d in dates) >= "1992-01-01"
+        assert max(days_to_date(d) for d in dates) <= "1998-12-01"
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            TpchGenerator(scale=0)
+
+
+class TestLogsGenerator:
+    def test_row_count_and_columns(self):
+        table = LogsGenerator(num_rows=500).table()
+        assert table.data.num_rows == 500
+        assert "latency_ms" in table.data.column_names
+
+    def test_timestamps_sorted(self):
+        values = LogsGenerator(num_rows=300).table().data.column("ts").to_values()
+        assert values == sorted(values)
+
+    def test_deterministic(self):
+        a = LogsGenerator(num_rows=100, seed=3).table().data.to_rows()
+        b = LogsGenerator(num_rows=100, seed=3).table().data.to_rows()
+        assert a == b
+
+    def test_invalid_rows(self):
+        with pytest.raises(ValueError):
+            LogsGenerator(num_rows=0)
+
+
+class TestQueriesRun:
+    """Every shipped query template must execute on its dataset."""
+
+    @pytest.fixture(scope="class")
+    def runtimes(self):
+        from repro.engine.executor import QueryExecutor
+        from repro.engine.optimizer import Optimizer
+        from repro.engine.planner import Planner
+        from repro.engine.source import ObjectStoreSource
+
+        store = ObjectStore()
+        catalog = Catalog()
+        load_dataset(store, catalog, "tpch", TpchGenerator(scale=0.02).tables())
+        load_dataset(store, catalog, "weblogs", [LogsGenerator(1000).table()])
+        executor = QueryExecutor(ObjectStoreSource(store))
+        optimizer = Optimizer()
+
+        def runner(schema):
+            planner = Planner(catalog, schema)
+            return lambda sql: executor.execute(
+                optimizer.optimize(planner.plan_sql(sql))
+            )
+
+        return runner("tpch"), runner("weblogs")
+
+    @pytest.mark.parametrize("name", sorted(TPCH_QUERIES))
+    def test_tpch_query(self, runtimes, name):
+        run_tpch, _ = runtimes
+        result = run_tpch(TPCH_QUERIES[name])
+        assert result.stats.bytes_scanned > 0
+
+    @pytest.mark.parametrize("name", sorted(LOGS_QUERIES))
+    def test_logs_query(self, runtimes, name):
+        _, run_logs = runtimes
+        result = run_logs(LOGS_QUERIES[name])
+        assert result.num_rows > 0
+
+
+class TestLoader:
+    def test_statistics_recorded(self):
+        store = ObjectStore()
+        catalog = Catalog()
+        load_dataset(store, catalog, "tpch", TpchGenerator(scale=0.01).tables())
+        orders = catalog.table("tpch", "orders")
+        assert orders.row_count > 0
+        assert orders.size_bytes > 0
+        assert orders.bucket == "warehouse"
+
+    def test_foreign_keys_registered(self):
+        store = ObjectStore()
+        catalog = Catalog()
+        load_dataset(store, catalog, "tpch", TpchGenerator(scale=0.01).tables())
+        lineitem = catalog.table("tpch", "lineitem")
+        refs = {fk.ref_table for fk in lineitem.foreign_keys}
+        assert refs == {"orders", "part", "supplier"}
+
+
+class TestArrivals:
+    @pytest.fixture
+    def rng(self):
+        return np.random.default_rng(1)
+
+    def test_steady_rate(self, rng):
+        times = steady_arrivals(rng, duration_s=1000, rate_per_s=0.5)
+        assert 400 < len(times) < 600
+        assert times == sorted(times)
+        assert all(0 <= t < 1000 for t in times)
+
+    def test_steady_zero_rate(self, rng):
+        assert steady_arrivals(rng, 100, 0) == []
+
+    def test_bursty_has_dense_windows(self, rng):
+        times = bursty_arrivals(
+            rng, duration_s=600, base_rate_per_s=0.02,
+            burst_rate_per_s=2.0, burst_every_s=200, burst_length_s=20,
+        )
+        in_burst = [t for t in times if 200 <= t < 220]
+        out_of_burst = [t for t in times if 100 <= t < 120]
+        assert len(in_burst) > 4 * max(len(out_of_burst), 1)
+
+    def test_spike_concentrated(self, rng):
+        times = spike_arrivals(
+            rng, duration_s=300, base_rate_per_s=0.01,
+            spike_at_s=100, spike_queries=50, spike_spread_s=2.0,
+        )
+        spike_window = [t for t in times if 100 <= t <= 102]
+        assert len(spike_window) >= 50
+
+    def test_diurnal_peak_vs_trough(self, rng):
+        times = diurnal_arrivals(
+            rng, duration_s=86400, peak_rate_per_s=0.2,
+            period_s=86400, trough_fraction=0.05,
+        )
+        # Peak is mid-period; trough at the edges.
+        peak = [t for t in times if 38000 <= t < 48000]
+        trough = [t for t in times if t < 10000]
+        assert len(peak) > 3 * max(len(trough), 1)
