@@ -357,10 +357,7 @@ def execute_union_all(
                 ).evaluate(table)
             columns[out_name] = vector
         aligned.append(TableData(columns))
-    result = aligned[0]
-    for piece in aligned[1:]:
-        result = result.concat(piece)
-    return result
+    return TableData.concat_all(aligned)
 
 
 # ---------------------------------------------------------------------------

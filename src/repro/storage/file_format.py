@@ -295,10 +295,7 @@ class PixelsReader:
                     dtype, np.empty(0, dtype=dtype.numpy_dtype)
                 )
                 continue
-            merged = vectors[0]
-            for vector in vectors[1:]:
-                merged = merged.concat(vector)
-            result[column] = merged
+            result[column] = ColumnVector.concat_all(vectors)
         return result
 
     @staticmethod

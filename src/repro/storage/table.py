@@ -71,12 +71,30 @@ class TableData:
         )
 
     def concat(self, other: "TableData") -> "TableData":
-        if self.column_names != other.column_names:
-            raise ValueError("cannot concat tables with different columns")
+        return TableData.concat_all([self, other])
+
+    @staticmethod
+    def concat_all(tables: "list[TableData]") -> "TableData":
+        """Concatenate many tables in one pass (schemas must match).
+
+        Each output column is built with a single allocation via
+        :meth:`ColumnVector.concat_all`, so merging the pieces of a
+        multi-file scan is linear in total rows.
+        """
+        if not tables:
+            return TableData({})
+        first = tables[0]
+        for table in tables[1:]:
+            if table.column_names != first.column_names:
+                raise ValueError("cannot concat tables with different columns")
+        if len(tables) == 1:
+            return first
         return TableData(
             {
-                name: self.columns[name].concat(other.columns[name])
-                for name in self.columns
+                name: ColumnVector.concat_all(
+                    [table.columns[name] for table in tables]
+                )
+                for name in first.columns
             }
         )
 
@@ -222,7 +240,7 @@ class TableReader:
         """
         before = self._store.metrics.snapshot()
         file_keys = keys if keys is not None else self.file_keys()
-        merged: TableData | None = None
+        pieces: list[TableData] = []
         skipped = 0
         for key in file_keys:
             reader = PixelsReader(self._store, self._bucket, key)
@@ -233,10 +251,8 @@ class TableReader:
                     if PixelsReader._pruned(group, ranges)
                 )
             vectors = reader.read(columns=columns, ranges=ranges)
-            piece = TableData(vectors)
-            merged = piece if merged is None else merged.concat(piece)
-        if merged is None:
-            merged = TableData({})
+            pieces.append(TableData(vectors))
+        merged = TableData.concat_all(pieces)
         delta = self._store.metrics.delta(before)
         return ScanResult(
             data=merged,

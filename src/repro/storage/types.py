@@ -145,24 +145,39 @@ class ColumnVector:
 
     def concat(self, other: "ColumnVector") -> "ColumnVector":
         """Append ``other`` below this vector (dtypes must match)."""
-        if other.dtype is not self.dtype:
-            raise ValueError(f"dtype mismatch: {self.dtype} vs {other.dtype}")
-        data = np.concatenate([self.data, other.data])
-        if self.nulls is None and other.nulls is None:
+        return ColumnVector.concat_all([self, other])
+
+    @staticmethod
+    def concat_all(vectors: "list[ColumnVector]") -> "ColumnVector":
+        """Concatenate many vectors in one pass (dtypes must match).
+
+        A single ``np.concatenate`` allocates the result once, so merging
+        n pieces is O(total rows) — the pairwise ``concat`` loop it
+        replaces re-copied every previously merged row and was O(n²).
+        """
+        if not vectors:
+            raise ValueError("concat_all needs at least one vector")
+        first = vectors[0]
+        for vector in vectors[1:]:
+            if vector.dtype is not first.dtype:
+                raise ValueError(
+                    f"dtype mismatch: {first.dtype} vs {vector.dtype}"
+                )
+        if len(vectors) == 1:
+            return first
+        data = np.concatenate([vector.data for vector in vectors])
+        if all(vector.nulls is None for vector in vectors):
             nulls = None
         else:
-            left = (
-                self.nulls
-                if self.nulls is not None
-                else np.zeros(len(self.data), dtype=bool)
+            nulls = np.concatenate(
+                [
+                    vector.nulls
+                    if vector.nulls is not None
+                    else np.zeros(len(vector.data), dtype=bool)
+                    for vector in vectors
+                ]
             )
-            right = (
-                other.nulls
-                if other.nulls is not None
-                else np.zeros(len(other.data), dtype=bool)
-            )
-            nulls = np.concatenate([left, right])
-        return ColumnVector(self.dtype, data, nulls)
+        return ColumnVector(first.dtype, data, nulls)
 
     def nbytes(self) -> int:
         """Approximate in-memory size; VARCHAR counts UTF-8 payload."""

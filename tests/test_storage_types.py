@@ -101,6 +101,39 @@ class TestColumnVector:
         with pytest.raises(ValueError, match="dtype mismatch"):
             a.concat(b)
 
+    def test_concat_all_many(self):
+        pieces = [
+            ColumnVector.from_values(DataType.INT, [i, None]) for i in range(4)
+        ]
+        merged = ColumnVector.concat_all(pieces)
+        assert merged.to_values() == [0, None, 1, None, 2, None, 3, None]
+
+    def test_concat_all_no_null_mask_when_no_nulls(self):
+        pieces = [
+            ColumnVector.from_values(DataType.INT, [1, 2]),
+            ColumnVector.from_values(DataType.INT, [3]),
+        ]
+        merged = ColumnVector.concat_all(pieces)
+        assert merged.nulls is None
+        assert merged.to_values() == [1, 2, 3]
+
+    def test_concat_all_single_returns_same(self):
+        vector = ColumnVector.from_values(DataType.INT, [1])
+        assert ColumnVector.concat_all([vector]) is vector
+
+    def test_concat_all_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ColumnVector.concat_all([])
+
+    def test_concat_all_dtype_mismatch(self):
+        with pytest.raises(ValueError, match="dtype mismatch"):
+            ColumnVector.concat_all(
+                [
+                    ColumnVector.from_values(DataType.INT, [1]),
+                    ColumnVector.from_values(DataType.BIGINT, [1]),
+                ]
+            )
+
     def test_nbytes_varchar_counts_payload(self):
         vector = ColumnVector.from_values(DataType.VARCHAR, ["ab", "cdef"])
         assert vector.nbytes() == 6 + 8

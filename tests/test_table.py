@@ -61,6 +61,32 @@ class TestTableData:
         with pytest.raises(ValueError):
             make_table(1).concat(other)
 
+    def test_concat_all_many_pieces(self):
+        pieces = [make_table(3) for _ in range(5)]
+        merged = TableData.concat_all(pieces)
+        assert merged.num_rows == 15
+        assert merged.to_rows() == make_table(3).to_rows() * 5
+
+    def test_concat_all_empty_and_single(self):
+        assert TableData.concat_all([]).num_rows == 0
+        single = make_table(2)
+        assert TableData.concat_all([single]) is single
+
+    def test_concat_all_schema_mismatch(self):
+        other = TableData({"x": ColumnVector.from_values(DataType.INT, [1])})
+        with pytest.raises(ValueError):
+            TableData.concat_all([make_table(1), other])
+
+    def test_concat_all_preserves_nulls(self):
+        a = TableData.from_rows(SCHEMA, [(1, None)])
+        b = TableData.from_rows(SCHEMA, [(None, "x")])
+        c = TableData.from_rows(SCHEMA, [(3, "y")])
+        assert TableData.concat_all([a, b, c]).to_rows() == [
+            (1, None),
+            (None, "x"),
+            (3, "y"),
+        ]
+
     def test_rename(self):
         renamed = make_table(1).rename({"k": "key"})
         assert renamed.column_names == ["key", "v"]
