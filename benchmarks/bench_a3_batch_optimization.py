@@ -9,10 +9,13 @@ batches, comparing object-store bytes read, batch makespan, and provider
 cost.  Results must be identical either way.
 """
 
+import dataclasses
+
 import pytest
 
 from common import format_row, report
 from repro.core import QueryServer, QueryStatus, ServiceLevel
+from repro.storage.cache import CacheConfig
 from repro.sim import Simulator
 from repro.storage.catalog import Catalog
 from repro.storage.object_store import ObjectStore
@@ -39,7 +42,12 @@ def run_variant(batch_mode: bool):
     store = ObjectStore()
     catalog = Catalog()
     load_dataset(store, catalog, "tpch", TpchGenerator(scale=0.2).tables())
-    config = TurboConfig.experiment(300.0)
+    # Ablate with the buffer pool off: a warm pool already deduplicates
+    # repeated chunk reads across the one-by-one backlog, which would mask
+    # the physical bytes the *sharing* mechanism itself saves.
+    config = dataclasses.replace(
+        TurboConfig.experiment(300.0), cache=CacheConfig(enabled=False)
+    )
     coordinator = Coordinator(sim, config, catalog, store, "tpch")
     server = QueryServer(sim, coordinator, config, batch_best_effort=batch_mode)
     loaded = store.metrics.snapshot()

@@ -15,7 +15,10 @@ Three vignettes beyond the demo paper's happy path:
 Run:  python examples/resilience_and_batching.py
 """
 
+import dataclasses
+
 from repro import (
+    CacheConfig,
     Catalog,
     CodesService,
     Coordinator,
@@ -36,12 +39,16 @@ REPORT = [
 ]
 
 
-def build_stack(faults=None, batch=False, seed=8):
+def build_stack(faults=None, batch=False, seed=8, cache=True):
     sim = Simulator(seed=seed)
     store = ObjectStore()
     catalog = Catalog()
     load_dataset(store, catalog, "tpch", TpchGenerator(scale=0.1).tables())
     config = TurboConfig.experiment(500.0)
+    if not cache:
+        # The batching vignette compares physical reads; run it without
+        # the VM buffer pool so sharing's own savings are visible.
+        config = dataclasses.replace(config, cache=CacheConfig(enabled=False))
     coordinator = Coordinator(sim, config, catalog, store, "tpch", faults=faults)
     server = QueryServer(sim, coordinator, config, batch_best_effort=batch)
     return sim, store, coordinator, server
@@ -87,7 +94,7 @@ def vignette_cancellation() -> None:
 def vignette_batching() -> None:
     print("\n=== 3. shared-scan batch optimization ===")
     for batch in (False, True):
-        sim, store, coordinator, server = build_stack(batch=batch)
+        sim, store, coordinator, server = build_stack(batch=batch, cache=False)
         loaded = store.metrics.snapshot()
         blockers = [server.submit(REPORT[0], ServiceLevel.RELAXED) for _ in range(3)]
         backlog = [server.submit(sql, ServiceLevel.BEST_EFFORT) for sql in REPORT]

@@ -36,7 +36,7 @@ from repro.errors import PixelsError, TranslationError
 from repro.nl2sql import CodesService
 from repro.rover import RoverServer, UserStore
 from repro.sim import Simulator
-from repro.storage import Catalog, ObjectStore
+from repro.storage import BufferPool, CacheConfig, Catalog, ObjectStore
 from repro.turbo import Coordinator, TurboConfig
 from repro.workloads import LogsGenerator, TpchGenerator, load_dataset
 from repro.workloads.tpch import TpchTable
@@ -44,6 +44,8 @@ from repro.workloads.tpch import TpchTable
 __version__ = "1.0.0"
 
 __all__ = [
+    "BufferPool",
+    "CacheConfig",
     "Catalog",
     "CodesService",
     "Coordinator",

@@ -13,6 +13,7 @@ from typing import Protocol
 
 from repro.errors import ExecutionError
 from repro.engine.plan import Scan
+from repro.storage.cache import BufferPool
 from repro.storage.object_store import ObjectStore
 from repro.storage.table import TableData, TableReader
 
@@ -43,18 +44,31 @@ class ObjectStoreSource:
         keys: Optional restriction to specific file keys — this is how
             Turbo assigns distinct file subsets of one table to parallel
             workers.
+        cache: Optional buffer pool shared by this worker tier.  The
+            coordinator passes its long-lived pool for VM execution (warm
+            across queries) and a fresh pool per CF invocation (functions
+            cold-start).  Caching never changes ``bytes_scanned`` — the
+            billing basis is logical bytes either way.
     """
 
-    def __init__(self, store: ObjectStore, keys: list[str] | None = None) -> None:
+    def __init__(
+        self,
+        store: ObjectStore,
+        keys: list[str] | None = None,
+        cache: "BufferPool | None" = None,
+    ) -> None:
         self._store = store
         self._keys = keys
+        self._cache = cache
 
     def scan(self, node: Scan) -> SourceResult:
         if not node.table.bucket or not node.table.prefix:
             raise ExecutionError(
                 f"table {node.table.name!r} has no storage location"
             )
-        reader = TableReader(self._store, node.table.bucket, node.table.prefix)
+        reader = TableReader(
+            self._store, node.table.bucket, node.table.prefix, cache=self._cache
+        )
         base_columns = [base for _, base in node.columns]
         result = reader.scan(
             columns=base_columns,

@@ -12,10 +12,15 @@ package reproduces both layers:
   row-group / column-chunk columnar file format with per-chunk min/max
   statistics (zone maps), plain/RLE/dictionary encodings, projection and
   predicate push-down on read.
+* :mod:`repro.storage.cache` — the buffer-pool layer fronting the object
+  store (footer cache + column-chunk LRU with etag invalidation), the
+  analogue of pixels-cache; cache hits cut latency and GET cost but never
+  the billed bytes-scanned.
 * :mod:`repro.storage.catalog` — the metadata service the Coordinator
   manages: schemas, tables, columns, and the mapping of tables to files.
 """
 
+from repro.storage.cache import BufferPool, CacheConfig, CacheStats
 from repro.storage.catalog import Catalog, ColumnMeta, SchemaMeta, TableMeta
 from repro.storage.columnar import ColumnChunkStats, Encoding
 from repro.storage.file_format import PixelsReader, PixelsWriter
@@ -24,6 +29,9 @@ from repro.storage.table import TableData, TableReader, TableWriter
 from repro.storage.types import ColumnVector, DataType
 
 __all__ = [
+    "BufferPool",
+    "CacheConfig",
+    "CacheStats",
     "Catalog",
     "ColumnChunkStats",
     "ColumnMeta",

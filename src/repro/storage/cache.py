@@ -1,0 +1,228 @@
+"""Buffer-pool caching between the columnar reader and the object store.
+
+Real PixelsDB fronts S3 with a dedicated caching layer (pixels-cache),
+and Starling-style engines coalesce small range-GETs — both because the
+object store's per-request first-byte latency and GET pricing dominate
+cold columnar scans.  This module supplies the pool half of that design:
+
+* a **footer cache** keyed by ``(bucket, key)`` and validated against the
+  object's etag, so repeated opens of the same file skip the two footer
+  range-GETs entirely;
+* a **column-chunk LRU buffer pool** with a configurable byte budget,
+  also etag-validated per entry, so warm scans serve chunk bytes from
+  memory instead of the store.
+
+Etag validation *is* the invalidation mechanism: every PUT bumps the
+object's etag and DELETE removes it, so entries cached against a stale
+etag are evicted lazily on the next lookup — a pool can never serve
+bytes from before an overwrite.
+
+**Billing invariant** (see :class:`~repro.storage.table.ScanResult`):
+the user is billed for *logical* bytes scanned — the chunk and footer
+bytes a query needed — whether those bytes came from the pool or the
+store.  Cache hits reduce modelled latency and GET-request cost only;
+``StorageMetrics.logical_bytes_scanned`` is identical with the pool on
+or off, which keeps the paper's $/TB-scan prices (experiment C1)
+byte-stable under caching.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.storage.object_store import ObjectStore
+
+#: Merge adjacent range-GETs whose gap is at most this many bytes when no
+#: explicit :class:`CacheConfig` governs the reader (see
+#: ``CacheConfig.max_coalesce_gap_bytes``).
+DEFAULT_COALESCE_GAP_BYTES = 64 * 1024
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Tunables of the buffer pool and the read-path coalescing.
+
+    Attributes:
+        enabled: Master switch; a disabled config means callers should not
+            construct a pool at all (``BufferPool.from_config`` returns
+            None).
+        footer_entries: Maximum number of cached file footers (LRU).
+        chunk_budget_bytes: Byte budget of the column-chunk pool (LRU by
+            payload size).
+        max_coalesce_gap_bytes: Two chunk reads in the same row group are
+            merged into one ranged GET when the byte gap between them is
+            at most this.  Gap bytes are transferred (they cost bandwidth
+            and show up in ``bytes_read``) but are never billed to the
+            user — billing uses logical bytes.
+    """
+
+    enabled: bool = True
+    footer_entries: int = 1024
+    chunk_budget_bytes: int = 64 * 1024 * 1024
+    max_coalesce_gap_bytes: int = DEFAULT_COALESCE_GAP_BYTES
+
+    def __post_init__(self) -> None:
+        if self.footer_entries < 0:
+            raise ValueError("footer_entries must be >= 0")
+        if self.chunk_budget_bytes < 0:
+            raise ValueError("chunk_budget_bytes must be >= 0")
+        if self.max_coalesce_gap_bytes < 0:
+            raise ValueError("max_coalesce_gap_bytes must be >= 0")
+
+
+@dataclass
+class CacheStats:
+    """Counters local to one pool (the store's metrics aggregate across
+    every pool sharing the store)."""
+
+    footer_hits: int = 0
+    footer_misses: int = 0
+    chunk_hits: int = 0
+    chunk_misses: int = 0
+    chunk_evictions: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.footer_hits + self.chunk_hits
+
+    @property
+    def misses(self) -> int:
+        return self.footer_misses + self.chunk_misses
+
+
+class BufferPool:
+    """Footer cache + column-chunk LRU pool over one :class:`ObjectStore`.
+
+    A pool is deliberately *per worker tier*: the coordinator keeps one
+    long-lived pool for the VM cluster (VMs are long-running, so their
+    pool is warm across queries) and a fresh pool per CF invocation
+    (functions cold-start with empty memory) — preserving the paper's
+    elasticity asymmetry between the two tiers.
+    """
+
+    def __init__(self, store: ObjectStore, config: CacheConfig | None = None) -> None:
+        self._store = store
+        self.config = config if config is not None else CacheConfig()
+        self.stats = CacheStats()
+        # (bucket, key) -> (etag, footer object, logical footer bytes)
+        self._footers: OrderedDict[tuple[str, str], tuple[int, object, int]] = (
+            OrderedDict()
+        )
+        # (bucket, key, offset, length) -> (etag, payload)
+        self._chunks: OrderedDict[
+            tuple[str, str, int, int], tuple[int, bytes]
+        ] = OrderedDict()
+        self._chunk_bytes = 0
+
+    @staticmethod
+    def from_config(
+        store: ObjectStore, config: CacheConfig | None
+    ) -> "BufferPool | None":
+        """A pool per ``config``, or None when caching is disabled."""
+        if config is None or not config.enabled:
+            return None
+        return BufferPool(store, config)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def cached_chunk_bytes(self) -> int:
+        """Current occupancy of the chunk pool."""
+        return self._chunk_bytes
+
+    @property
+    def cached_footers(self) -> int:
+        return len(self._footers)
+
+    @property
+    def cached_chunks(self) -> int:
+        return len(self._chunks)
+
+    def clear(self) -> None:
+        """Drop every entry (a cold restart of this worker tier)."""
+        self._footers.clear()
+        self._chunks.clear()
+        self._chunk_bytes = 0
+
+    # -- footer cache --------------------------------------------------------
+
+    def footer(self, bucket: str, key: str) -> tuple[object, int] | None:
+        """``(footer, logical_footer_bytes)`` if cached and still current.
+
+        Entries whose etag no longer matches the stored object (it was
+        overwritten or deleted) are evicted and reported as misses.
+        """
+        entry = self._footers.get((bucket, key))
+        current = self._store.etag(bucket, key)
+        if entry is not None and current is not None and entry[0] == current:
+            self._footers.move_to_end((bucket, key))
+            self.stats.footer_hits += 1
+            self._store.metrics.footer_cache_hits += 1
+            return entry[1], entry[2]
+        if entry is not None:
+            del self._footers[(bucket, key)]
+        self.stats.footer_misses += 1
+        self._store.metrics.footer_cache_misses += 1
+        return None
+
+    def put_footer(
+        self, bucket: str, key: str, footer: object, logical_bytes: int
+    ) -> None:
+        """Cache a parsed footer against the object's current etag."""
+        if self.config.footer_entries == 0:
+            return
+        etag = self._store.etag(bucket, key)
+        if etag is None:
+            return
+        self._footers[(bucket, key)] = (etag, footer, logical_bytes)
+        self._footers.move_to_end((bucket, key))
+        while len(self._footers) > self.config.footer_entries:
+            self._footers.popitem(last=False)
+
+    # -- column-chunk pool ---------------------------------------------------
+
+    def chunk(self, bucket: str, key: str, offset: int, length: int) -> bytes | None:
+        """The chunk's payload if pooled and still current, else None."""
+        pool_key = (bucket, key, offset, length)
+        entry = self._chunks.get(pool_key)
+        current = self._store.etag(bucket, key)
+        if entry is not None and current is not None and entry[0] == current:
+            self._chunks.move_to_end(pool_key)
+            self.stats.chunk_hits += 1
+            self._store.metrics.chunk_cache_hits += 1
+            return entry[1]
+        if entry is not None:
+            # Stale etag: an invalidation, counted as the miss below rather
+            # than as a budget eviction.
+            self._evict(pool_key, count=False)
+        self.stats.chunk_misses += 1
+        self._store.metrics.chunk_cache_misses += 1
+        return None
+
+    def put_chunk(self, bucket: str, key: str, offset: int, payload: bytes) -> None:
+        """Pool a chunk's bytes, evicting LRU entries to stay in budget.
+
+        A payload larger than the whole budget is not cached at all —
+        admitting it would flush every other entry for a single chunk.
+        """
+        if len(payload) > self.config.chunk_budget_bytes:
+            return
+        etag = self._store.etag(bucket, key)
+        if etag is None:
+            return
+        pool_key = (bucket, key, offset, len(payload))
+        if pool_key in self._chunks:
+            self._evict(pool_key, count=False)
+        self._chunks[pool_key] = (etag, payload)
+        self._chunk_bytes += len(payload)
+        while self._chunk_bytes > self.config.chunk_budget_bytes and self._chunks:
+            oldest = next(iter(self._chunks))
+            self._evict(oldest)
+
+    def _evict(self, pool_key: tuple[str, str, int, int], count: bool = True) -> None:
+        _, payload = self._chunks.pop(pool_key)
+        self._chunk_bytes -= len(payload)
+        if count:
+            self.stats.chunk_evictions += 1
+            self._store.metrics.chunk_cache_evictions += 1

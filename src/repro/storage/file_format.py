@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import CorruptFileError, NoSuchColumnError
+from repro.storage.cache import DEFAULT_COALESCE_GAP_BYTES, BufferPool
 from repro.storage.columnar import (
     ColumnChunkStats,
     Encoding,
@@ -208,13 +209,39 @@ class PixelsReader:
     """Reads a columnar file with projection and zone-map row-group skipping.
 
     The reader issues range-GETs through the object store, so all bytes it
-    touches are visible in ``store.metrics.bytes_read``.
+    physically touches are visible in ``store.metrics.bytes_read``.  Two
+    read-path optimizations sit on top:
+
+    * an optional :class:`~repro.storage.cache.BufferPool` serves footers
+      and column chunks from memory (etag-validated), skipping GETs;
+    * chunk reads for the same row group are **coalesced** — adjacent (or
+      nearly adjacent, up to a max-gap budget) chunks are fetched with one
+      ranged GET instead of one GET per column.
+
+    Neither changes what a query is billed: the reader accounts every
+    footer/chunk byte it *needed* in ``metrics.logical_bytes_scanned``
+    regardless of where the bytes came from, and coalescing gap bytes are
+    never logical.
     """
 
-    def __init__(self, store: ObjectStore, bucket: str, key: str) -> None:
+    def __init__(
+        self,
+        store: ObjectStore,
+        bucket: str,
+        key: str,
+        cache: "BufferPool | None" = None,
+        max_coalesce_gap: int | None = None,
+    ) -> None:
         self._store = store
         self._bucket = bucket
         self._key = key
+        self._cache = cache
+        if max_coalesce_gap is not None:
+            self._max_gap = max_coalesce_gap
+        elif cache is not None:
+            self._max_gap = cache.config.max_coalesce_gap_bytes
+        else:
+            self._max_gap = DEFAULT_COALESCE_GAP_BYTES
         self._footer = self._read_footer()
 
     @property
@@ -236,6 +263,14 @@ class PixelsReader:
         raise NoSuchColumnError(f"no column {name!r} in {self._key}")
 
     def _read_footer(self) -> FileFooter:
+        if self._cache is not None:
+            cached = self._cache.footer(self._bucket, self._key)
+            if cached is not None:
+                footer, logical_bytes = cached
+                # Billing invariant: a footer served from cache is still
+                # scanned bytes to the user.
+                self._store.metrics.logical_bytes_scanned += logical_bytes
+                return footer  # type: ignore[return-value]
         size = self._store.head(self._bucket, self._key)
         if size < 12:
             raise CorruptFileError(f"{self._key}: too small to be a Pixels file")
@@ -249,7 +284,12 @@ class PixelsReader:
         blob = self._store.get(
             self._bucket, self._key, start=footer_start, length=footer_len
         ).data
-        return FileFooter.from_bytes(blob)
+        footer = FileFooter.from_bytes(blob)
+        logical_bytes = 8 + footer_len
+        self._store.metrics.logical_bytes_scanned += logical_bytes
+        if self._cache is not None:
+            self._cache.put_footer(self._bucket, self._key, footer, logical_bytes)
+        return footer
 
     def read(
         self,
@@ -274,17 +314,21 @@ class PixelsReader:
         for column in columns:
             if column not in names:
                 raise NoSuchColumnError(f"no column {column!r} in {self._key}")
+        column_types = {column: self.column_type(column) for column in columns}
         pieces: dict[str, list[ColumnVector]] = {column: [] for column in columns}
         for group in self._footer.row_groups:
             if ranges and self._pruned(group, ranges):
                 continue
+            blobs = self._fetch_group_chunks(
+                [group.chunks[column] for column in columns]
+            )
             for column in columns:
-                chunk = group.chunks[column]
-                blob = self._store.get(
-                    self._bucket, self._key, start=chunk.offset, length=chunk.length
-                ).data
                 pieces[column].append(
-                    decode_chunk(blob, self.column_type(column), chunk.encoding)
+                    decode_chunk(
+                        blobs[column],
+                        column_types[column],
+                        group.chunks[column].encoding,
+                    )
                 )
         result: dict[str, ColumnVector] = {}
         for column in columns:
@@ -298,6 +342,42 @@ class PixelsReader:
             result[column] = ColumnVector.concat_all(vectors)
         return result
 
+    def _fetch_group_chunks(self, chunks: list[ChunkMeta]) -> dict[str, bytes]:
+        """Payloads for one row group's projected chunks, by column name.
+
+        Every chunk's length is accounted as logical scanned bytes.  Pool
+        hits are served from memory; the misses are sorted by offset and
+        fetched with one ranged GET per coalesced run (runs merge across
+        gaps of at most ``self._max_gap`` bytes — gap bytes cost bandwidth
+        but are not logical).
+        """
+        blobs: dict[str, bytes] = {}
+        missing: list[ChunkMeta] = []
+        for chunk in chunks:
+            self._store.metrics.logical_bytes_scanned += chunk.length
+            if self._cache is not None:
+                payload = self._cache.chunk(
+                    self._bucket, self._key, chunk.offset, chunk.length
+                )
+                if payload is not None:
+                    blobs[chunk.column] = payload
+                    continue
+            missing.append(chunk)
+        for run in _coalesce(missing, self._max_gap):
+            start = run[0].offset
+            length = run[-1].offset + run[-1].length - start
+            payload = self._store.get(
+                self._bucket, self._key, start=start, length=length
+            ).data
+            for chunk in run:
+                blob = payload[chunk.offset - start : chunk.offset - start + chunk.length]
+                blobs[chunk.column] = blob
+                if self._cache is not None:
+                    self._cache.put_chunk(
+                        self._bucket, self._key, chunk.offset, blob
+                    )
+        return blobs
+
     @staticmethod
     def _pruned(
         group: RowGroupMeta,
@@ -310,3 +390,25 @@ class PixelsReader:
             if not chunk.stats.might_contain_range(low, high):
                 return True
         return False
+
+
+def _coalesce(chunks: list[ChunkMeta], max_gap: int) -> list[list[ChunkMeta]]:
+    """Group chunk metas into runs servable by a single ranged GET.
+
+    Chunks are sorted by offset; a chunk joins the current run when the
+    byte gap to the run's end is at most ``max_gap``.  Projections that
+    skip wide columns produce gaps larger than the budget and start a new
+    run, bounding how many unneeded bytes one GET may transfer.
+    """
+    if not chunks:
+        return []
+    ordered = sorted(chunks, key=lambda chunk: chunk.offset)
+    runs: list[list[ChunkMeta]] = [[ordered[0]]]
+    end = ordered[0].offset + ordered[0].length
+    for chunk in ordered[1:]:
+        if chunk.offset - end <= max_gap:
+            runs[-1].append(chunk)
+        else:
+            runs.append([chunk])
+        end = max(end, chunk.offset + chunk.length)
+    return runs

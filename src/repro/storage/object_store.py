@@ -48,7 +48,16 @@ class StorageProfile:
 
 @dataclass
 class StorageMetrics:
-    """Accumulated request accounting, the basis of $/TB-scan billing."""
+    """Accumulated request accounting, the basis of $/TB-scan billing.
+
+    ``bytes_read`` counts *physical* payload bytes transferred (coalesced
+    range-GETs include the gap bytes they bridge); ``logical_bytes_scanned``
+    counts the footer and chunk bytes readers actually needed, whether they
+    came from the store or a :class:`~repro.storage.cache.BufferPool`.  The
+    logical counter is the billing basis: it is byte-identical with caching
+    on or off, so cache hits never change a user's $/TB-scan bill — only
+    latency and GET-request cost drop.
+    """
 
     get_requests: int = 0
     put_requests: int = 0
@@ -58,6 +67,12 @@ class StorageMetrics:
     bytes_written: int = 0
     read_time_s: float = 0.0
     write_time_s: float = 0.0
+    logical_bytes_scanned: int = 0
+    footer_cache_hits: int = 0
+    footer_cache_misses: int = 0
+    chunk_cache_hits: int = 0
+    chunk_cache_misses: int = 0
+    chunk_cache_evictions: int = 0
 
     def request_cost(self, profile: StorageProfile) -> float:
         """Dollar cost of the requests accumulated so far."""
@@ -163,6 +178,19 @@ class ObjectStore:
         if key not in store:
             raise NoSuchObjectError(f"no such object: {bucket}/{key}")
         return len(store[key].data)
+
+    def etag(self, bucket: str, key: str) -> int | None:
+        """Current etag of ``bucket/key``, or None when it does not exist.
+
+        Every PUT assigns a fresh etag, so an etag comparison detects
+        overwrites — this is what buffer-pool entries validate against.
+        Metadata-only, like a conditional-GET precondition: not billed as
+        a request.
+        """
+        store = self._buckets.get(bucket)
+        if store is None or key not in store:
+            return None
+        return store[key].etag
 
     def exists(self, bucket: str, key: str) -> bool:
         return self.bucket_exists(bucket) and key in self._buckets[bucket]

@@ -15,10 +15,20 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+import re
+
 from repro.errors import NoSuchColumnError
+from repro.storage.cache import BufferPool
 from repro.storage.file_format import PixelsReader, PixelsWriter
 from repro.storage.object_store import ObjectStore
 from repro.storage.types import ColumnVector, DataType
+
+
+def _natural_key(key: str) -> tuple:
+    """Sort key treating digit runs numerically (part-2 before part-10)."""
+    return tuple(
+        int(part) if part.isdigit() else part for part in re.split(r"(\d+)", key)
+    )
 
 
 @dataclass
@@ -196,29 +206,62 @@ class TableWriter:
 
 @dataclass(frozen=True)
 class ScanResult:
-    """What a table scan produced and what it cost."""
+    """What a table scan produced and what it cost.
+
+    ``bytes_scanned`` is the *logical* byte count (footers + needed column
+    chunks) — the $/TB-scan billing basis.  It is identical whether the
+    bytes came from the object store or a buffer pool; caching and
+    range-GET coalescing only reduce ``latency_s`` and ``get_requests``.
+    """
 
     data: TableData
     bytes_scanned: int
     latency_s: float
     row_groups_skipped: int
+    get_requests: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
 
 
 class TableReader:
-    """Scans a table prefix with projection and predicate push-down."""
+    """Scans a table prefix with projection and predicate push-down.
 
-    def __init__(self, store: ObjectStore, bucket: str, prefix: str) -> None:
+    Args:
+        store: The backing object store.
+        bucket: Bucket holding the table's files.
+        prefix: Key prefix of the table.
+        cache: Optional buffer pool (footers + column chunks).  Pass the
+            worker tier's shared pool for warm scans; None reads every
+            byte from the store.
+    """
+
+    def __init__(
+        self,
+        store: ObjectStore,
+        bucket: str,
+        prefix: str,
+        cache: "BufferPool | None" = None,
+    ) -> None:
         self._store = store
         self._bucket = bucket
         self._prefix = prefix.rstrip("/")
+        self._cache = cache
 
     def file_keys(self) -> list[str]:
-        """All Pixels files belonging to this table."""
-        return [
+        """All Pixels files belonging to this table, in natural part order.
+
+        Plain lexicographic order would interleave ``part-10`` before
+        ``part-2`` once a table exceeds ten files, making scan order
+        diverge from write order; the numeric-aware sort keeps multi-file
+        scans deterministic and write-ordered.
+        """
+        keys = [
             key
             for key in self._store.list_keys(self._bucket, self._prefix + "/")
             if key.endswith(".pxl")
         ]
+        return sorted(keys, key=_natural_key)
 
     def scan(
         self,
@@ -243,7 +286,7 @@ class TableReader:
         pieces: list[TableData] = []
         skipped = 0
         for key in file_keys:
-            reader = PixelsReader(self._store, self._bucket, key)
+            reader = PixelsReader(self._store, self._bucket, key, cache=self._cache)
             if ranges:
                 skipped += sum(
                     1
@@ -256,7 +299,11 @@ class TableReader:
         delta = self._store.metrics.delta(before)
         return ScanResult(
             data=merged,
-            bytes_scanned=delta.bytes_read,
+            bytes_scanned=delta.logical_bytes_scanned,
             latency_s=delta.read_time_s,
             row_groups_skipped=max(skipped, 0),
+            get_requests=delta.get_requests,
+            cache_hits=delta.footer_cache_hits + delta.chunk_cache_hits,
+            cache_misses=delta.footer_cache_misses + delta.chunk_cache_misses,
+            cache_evictions=delta.chunk_cache_evictions,
         )

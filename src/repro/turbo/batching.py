@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from repro.engine.executor import QueryExecutor, QueryResult, QueryStats
 from repro.engine.plan import PlanNode, Scan, plan_scans
 from repro.engine.source import DataSource, InMemorySource, SourceResult
+from repro.storage.cache import BufferPool
 from repro.storage.object_store import ObjectStore
 from repro.storage.table import TableReader
 
@@ -82,12 +83,14 @@ def execute_shared_batch(
     plans: list[PlanNode],
     store: ObjectStore,
     fallback: DataSource,
+    cache: "BufferPool | None" = None,
 ) -> BatchExecution:
     """Execute ``plans`` with each base table fetched exactly once.
 
     Only tables referenced by **two or more** plans are shared (sharing a
     single-reader table would just move bytes around); the rest scan the
-    object store directly through ``fallback``.
+    object store directly through ``fallback``.  ``cache`` (the VM tier's
+    buffer pool, when batches run on VMs) serves the shared fetches.
     """
     needed = union_columns(plans)
     reference_counts: dict[tuple[str, str], int] = {}
@@ -105,14 +108,14 @@ def execute_shared_batch(
             key = (scan.schema_name, scan.table.name)
             if reference_counts.get(key, 0) < 2 or key in table_bytes:
                 continue
-            reader = TableReader(store, scan.table.bucket, scan.table.prefix)
-            before = store.metrics.snapshot()
+            reader = TableReader(
+                store, scan.table.bucket, scan.table.prefix, cache=cache
+            )
             result = reader.scan(columns=sorted(needed[key]))
-            delta = store.metrics.delta(before)
             shared.add_table(key[0], key[1], result.data)
-            table_bytes[key] = delta.bytes_read
+            table_bytes[key] = result.bytes_scanned
             stats.tables_shared += 1
-            stats.shared_bytes_scanned += delta.bytes_read
+            stats.shared_bytes_scanned += result.bytes_scanned
 
     source = _SharedSource(shared, fallback)
     executor = QueryExecutor(source)

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.storage.cache import CacheConfig
+
 
 @dataclass(frozen=True)
 class VmConfig:
@@ -70,6 +72,11 @@ class TurboConfig:
     vm: VmConfig = field(default_factory=VmConfig)
     cf: CfConfig = field(default_factory=CfConfig)
     prices: PriceTable = field(default_factory=PriceTable)
+    # Buffer pool fronting the object store.  The VM cluster shares one
+    # long-lived (warm) pool; every CF invocation gets a fresh (cold) pool
+    # — the same elasticity asymmetry the paper builds on.  Billed
+    # bytes-scanned are logical and unaffected by cache hits.
+    cache: CacheConfig = field(default_factory=CacheConfig)
     grace_period_s: float = 300.0  # §3.2: relaxed-level grace period
     scheduler_interval_s: float = 5.0  # query-server queue drain period
     # Experiments execute MB-scale generated data but model TB-scale

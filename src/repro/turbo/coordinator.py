@@ -29,6 +29,7 @@ from repro.engine.optimizer import Optimizer
 from repro.engine.planner import Planner
 from repro.engine.source import ObjectStoreSource
 from repro.sim import Simulator, Trace
+from repro.storage.cache import BufferPool
 from repro.storage.catalog import Catalog
 from repro.storage.object_store import ObjectStore
 from repro.turbo.cf_service import CfService
@@ -106,6 +107,10 @@ class Coordinator:
         self._store = store
         self._default_schema = default_schema
         self.trace = trace if trace is not None else Trace()
+        # The VM tier's buffer pool: VMs are long-running, so one pool
+        # stays warm across every VM-executed query.  CF invocations get a
+        # fresh pool each (see _run_on_cf) — functions cold-start.
+        self.vm_buffer_pool = BufferPool.from_config(store, config.cache)
         self.vm_cluster = VmCluster(sim, config.vm, self.trace)
         self.cf_service = CfService(sim, config.cf, config.vm, self.trace)
         self.cost_model = CostModel(config)
@@ -273,7 +278,9 @@ class Coordinator:
             execution.started_at = self._sim.now
         execution.venue = ExecutionVenue.VM
         try:
-            executor = QueryExecutor(ObjectStoreSource(self._store))
+            executor = QueryExecutor(
+                ObjectStoreSource(self._store, cache=self.vm_buffer_pool)
+            )
             result = executor.execute(plan)
         except PixelsError as error:
             self.vm_cluster.release(worker)
@@ -324,7 +331,13 @@ class Coordinator:
         execution.venue = ExecutionVenue.CF
         split = split_plan(plan)
         try:
-            executor = QueryExecutor(ObjectStoreSource(self._store))
+            # Each CF invocation starts with a cold, invocation-private
+            # pool: it still coalesces range-GETs and reuses chunks within
+            # the query, but no warmth carries across invocations.
+            cf_pool = BufferPool.from_config(self._store, self._config.cache)
+            executor = QueryExecutor(
+                ObjectStoreSource(self._store, cache=cf_pool)
+            )
             sub_result = executor.execute(split.sub)
             split.attach(sub_result.data)
             top_result = executor.execute(split.top)
@@ -426,7 +439,10 @@ class Coordinator:
         if not members:
             return executions
         batch = execute_shared_batch(
-            plans, self._store, ObjectStoreSource(self._store)
+            plans,
+            self._store,
+            ObjectStoreSource(self._store, cache=self.vm_buffer_pool),
+            cache=self.vm_buffer_pool,
         )
         estimate = self.cost_model.vm_execution(batch.combined)
         per_member_cost = estimate.provider_cost / len(members)

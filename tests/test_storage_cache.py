@@ -1,0 +1,313 @@
+"""Tests for the buffer pool (repro.storage.cache) and read coalescing.
+
+The load-bearing property is the **billing invariant**: query results and
+billed bytes-scanned are identical with the pool on or off — caching only
+reduces GET requests and modelled latency.  Also covered: LRU eviction
+under a tiny byte budget, etag invalidation after put/delete, and the
+range-GET coalescing that collapses a cold row-group read to ~1 GET.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.executor import QueryExecutor
+from repro.engine.optimizer import Optimizer
+from repro.engine.planner import Planner
+from repro.engine.source import ObjectStoreSource
+from repro.storage import (
+    BufferPool,
+    CacheConfig,
+    DataType,
+    ObjectStore,
+    TableData,
+    TableReader,
+    TableWriter,
+)
+from repro.storage.catalog import Catalog
+from repro.workloads import TPCH_QUERIES, TpchGenerator, load_dataset
+
+QUERY_NAMES = sorted(TPCH_QUERIES)
+
+
+@pytest.fixture(scope="module")
+def tpch_env():
+    """A small TPC-H dataset with multiple files and row groups per table."""
+    store = ObjectStore()
+    catalog = Catalog()
+    load_dataset(
+        store,
+        catalog,
+        "tpch",
+        TpchGenerator(scale=0.02).tables(),
+        rows_per_file=4096,
+        rows_per_group=1024,
+    )
+    return store, catalog
+
+
+def run_query(store, catalog, sql, cache=None):
+    plan = Optimizer().optimize(Planner(catalog, "tpch").plan_sql(sql))
+    source = ObjectStoreSource(store, cache=cache)
+    return QueryExecutor(source).execute(plan)
+
+
+@pytest.fixture
+def chunked_table():
+    """A 3-column table with a known layout: 4 files x 10 row groups."""
+    store = ObjectStore()
+    store.create_bucket("b")
+    schema = [
+        ("k", DataType.BIGINT),
+        ("v", DataType.VARCHAR),
+        ("x", DataType.DOUBLE),
+    ]
+    rows = [(i, f"v{i}", float(i)) for i in range(20000)]
+    table = TableData.from_rows(schema, rows)
+    TableWriter(store, "b", "t", rows_per_file=5000, rows_per_group=500).write(
+        table
+    )
+    return store, schema, table
+
+
+class TestBillingInvariant:
+    @pytest.mark.parametrize("name", QUERY_NAMES)
+    def test_results_and_billed_bytes_identical_cache_on_off(
+        self, tpch_env, name
+    ):
+        store, catalog = tpch_env
+        sql = TPCH_QUERIES[name]
+        baseline = run_query(store, catalog, sql)
+        pool = BufferPool(store)
+        cold = run_query(store, catalog, sql, cache=pool)
+        warm = run_query(store, catalog, sql, cache=pool)
+        assert cold.rows() == baseline.rows()
+        assert warm.rows() == baseline.rows()
+        # Billed bytes are logical: the pool never changes them.
+        assert cold.stats.bytes_scanned == baseline.stats.bytes_scanned
+        assert warm.stats.bytes_scanned == baseline.stats.bytes_scanned
+
+    @given(
+        name=st.sampled_from(QUERY_NAMES),
+        budget=st.integers(min_value=0, max_value=256 * 1024),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_any_chunk_budget_preserves_results_and_billing(
+        self, tpch_env, name, budget
+    ):
+        """Property: whatever the pool budget (including 0), results and
+        billed bytes match the uncached run."""
+        store, catalog = tpch_env
+        sql = TPCH_QUERIES[name]
+        baseline = run_query(store, catalog, sql)
+        pool = BufferPool(store, CacheConfig(chunk_budget_bytes=budget))
+        cached = run_query(store, catalog, sql, cache=pool)
+        rerun = run_query(store, catalog, sql, cache=pool)
+        assert cached.rows() == baseline.rows()
+        assert rerun.rows() == baseline.rows()
+        assert cached.stats.bytes_scanned == baseline.stats.bytes_scanned
+        assert rerun.stats.bytes_scanned == baseline.stats.bytes_scanned
+
+    def test_scan_billed_bytes_exclude_coalescing_gap_bytes(
+        self, chunked_table
+    ):
+        """Projecting 2 of 3 columns coalesces across the gap left by the
+        middle column; the gap bytes travel but are never billed."""
+        store, _, _ = chunked_table
+        wide_gap = TableReader(
+            store, "b", "t", cache=BufferPool(store)
+        )
+        narrow = TableReader(
+            store,
+            "b",
+            "t",
+            cache=BufferPool(store, CacheConfig(max_coalesce_gap_bytes=0)),
+        )
+        before = store.metrics.snapshot()
+        r_gap = wide_gap.scan(columns=["k", "x"])
+        mid = store.metrics.snapshot()
+        r_exact = narrow.scan(columns=["k", "x"])
+        after = store.metrics.snapshot()
+        assert r_gap.data.to_rows() == r_exact.data.to_rows()
+        # Billing identical; physical transfer strictly larger when gaps
+        # are bridged (the "v" column chunks sit between "k" and "x").
+        assert r_gap.bytes_scanned == r_exact.bytes_scanned
+        gap_read = mid.delta(before).bytes_read
+        exact_read = after.delta(mid).bytes_read
+        assert gap_read > exact_read
+        assert r_gap.get_requests < r_exact.get_requests
+
+
+class TestCoalescing:
+    def test_cold_scan_is_one_get_per_row_group(self, chunked_table):
+        store, _, _ = chunked_table
+        # 4 files x 10 groups; chunks within a group are contiguous, so
+        # coalescing folds each group's 3 chunks into one ranged GET.
+        # Plus 2 footer GETs per file (tail + footer blob).
+        result = TableReader(store, "b", "t").scan()
+        assert result.get_requests == 40 + 2 * 4
+
+    def test_disabling_coalescing_pays_one_get_per_chunk(self, chunked_table):
+        store, _, _ = chunked_table
+        pool = BufferPool(store, CacheConfig(max_coalesce_gap_bytes=0))
+        result = TableReader(store, "b", "t", cache=pool).scan()
+        # 3 column chunks per group are contiguous (gap 0), so they still
+        # merge at gap<=0; projecting disjoint columns must not.
+        assert result.get_requests == 40 + 2 * 4
+        pool.clear()
+        split = TableReader(store, "b", "t", cache=pool).scan(
+            columns=["k", "x"]
+        )
+        assert split.get_requests == 2 * 40 + 2 * 4
+
+    def test_warm_scan_issues_5x_fewer_gets(self, chunked_table):
+        store, _, table = chunked_table
+        pool = BufferPool(store)
+        reader = TableReader(store, "b", "t", cache=pool)
+        cold = reader.scan()
+        warm = reader.scan()
+        assert warm.data.to_rows() == cold.data.to_rows() == table.to_rows()
+        assert cold.get_requests >= 5 * max(warm.get_requests, 1)
+        assert warm.get_requests == 0  # fully served from the pool
+        assert warm.cache_hits > 0 and warm.cache_misses == 0
+        assert warm.latency_s < cold.latency_s
+
+    def test_footer_cache_skips_reopen_gets(self, chunked_table):
+        store, _, _ = chunked_table
+        pool = BufferPool(store, CacheConfig(chunk_budget_bytes=0))
+        reader = TableReader(store, "b", "t", cache=pool)
+        cold = reader.scan()
+        warm = reader.scan()
+        # Chunk pool disabled: only the 2-per-file footer GETs disappear.
+        assert cold.get_requests - warm.get_requests == 2 * 4
+        assert warm.bytes_scanned == cold.bytes_scanned
+
+
+class TestLruEviction:
+    def test_budget_is_enforced_with_lru_eviction(self):
+        store = ObjectStore()
+        store.create_bucket("b")
+        for i in range(8):
+            store.put("b", f"o{i}", b"x" * 100)
+        pool = BufferPool(store, CacheConfig(chunk_budget_bytes=250))
+        for i in range(8):
+            pool.put_chunk("b", f"o{i}", 0, b"x" * 100)
+        assert pool.cached_chunk_bytes <= 250
+        assert pool.cached_chunks == 2
+        assert pool.stats.chunk_evictions == 6
+        # LRU: the two most recently inserted survive.
+        assert pool.chunk("b", "o7", 0, 100) is not None
+        assert pool.chunk("b", "o6", 0, 100) is not None
+        assert pool.chunk("b", "o0", 0, 100) is None
+
+    def test_lookup_refreshes_recency(self):
+        store = ObjectStore()
+        store.create_bucket("b")
+        for name in ("a", "b", "c"):
+            store.put("b", name, b"x" * 100)
+        pool = BufferPool(store, CacheConfig(chunk_budget_bytes=200))
+        pool.put_chunk("b", "a", 0, b"x" * 100)
+        pool.put_chunk("b", "b", 0, b"x" * 100)
+        assert pool.chunk("b", "a", 0, 100) is not None  # touch "a"
+        pool.put_chunk("b", "c", 0, b"x" * 100)  # evicts LRU = "b"
+        assert pool.chunk("b", "a", 0, 100) is not None
+        assert pool.chunk("b", "b", 0, 100) is None
+
+    def test_oversized_payload_is_not_admitted(self):
+        store = ObjectStore()
+        store.create_bucket("b")
+        store.put("b", "big", b"x" * 1000)
+        pool = BufferPool(store, CacheConfig(chunk_budget_bytes=500))
+        pool.put_chunk("b", "big", 0, b"x" * 1000)
+        assert pool.cached_chunks == 0
+        assert pool.stats.chunk_evictions == 0
+
+    def test_tiny_budget_scan_stays_correct(self, chunked_table):
+        store, _, table = chunked_table
+        pool = BufferPool(store, CacheConfig(chunk_budget_bytes=4096))
+        reader = TableReader(store, "b", "t", cache=pool)
+        first = reader.scan()
+        second = reader.scan()
+        assert first.data.to_rows() == table.to_rows()
+        assert second.data.to_rows() == table.to_rows()
+        assert pool.cached_chunk_bytes <= 4096
+        assert second.cache_evictions > 0  # churned under pressure
+
+
+class TestEtagInvalidation:
+    def test_overwrite_invalidates_cached_chunk(self):
+        store = ObjectStore()
+        store.create_bucket("b")
+        store.put("b", "k", b"old-bytes")
+        pool = BufferPool(store)
+        pool.put_chunk("b", "k", 0, b"old-bytes")
+        assert pool.chunk("b", "k", 0, 9) == b"old-bytes"
+        store.put("b", "k", b"new-bytes")
+        assert pool.chunk("b", "k", 0, 9) is None
+        # Invalidation counts as a miss, not a budget eviction.
+        assert pool.stats.chunk_evictions == 0
+        assert pool.stats.chunk_misses == 1
+
+    def test_delete_invalidates_cached_chunk(self):
+        store = ObjectStore()
+        store.create_bucket("b")
+        store.put("b", "k", b"payload")
+        pool = BufferPool(store)
+        pool.put_chunk("b", "k", 0, b"payload")
+        store.delete("b", "k")
+        assert pool.chunk("b", "k", 0, 7) is None
+        assert pool.cached_chunks == 0
+
+    def test_warm_pool_never_serves_stale_table(self, chunked_table):
+        store, schema, _ = chunked_table
+        pool = BufferPool(store)
+        reader = TableReader(store, "b", "t", cache=pool)
+        reader.scan()  # warm the pool on the original data
+        fresh = TableData.from_rows(
+            schema, [(i, "new", -1.0) for i in range(20000)]
+        )
+        TableWriter(
+            store, "b", "t", rows_per_file=5000, rows_per_group=500
+        ).write(fresh)
+        rescan = reader.scan()
+        assert rescan.data.to_rows() == fresh.to_rows()
+        assert rescan.cache_hits == 0  # every warm entry went stale
+
+    def test_footer_invalidated_on_overwrite(self):
+        store = ObjectStore()
+        store.create_bucket("b")
+        store.put("b", "f", b"v1")
+        pool = BufferPool(store)
+        pool.put_footer("b", "f", {"version": 1}, 10)
+        assert pool.footer("b", "f") == ({"version": 1}, 10)
+        store.put("b", "f", b"v2")
+        assert pool.footer("b", "f") is None
+
+
+class TestConfigPlumbing:
+    def test_from_config_disabled_returns_none(self):
+        store = ObjectStore()
+        assert BufferPool.from_config(store, None) is None
+        assert (
+            BufferPool.from_config(store, CacheConfig(enabled=False)) is None
+        )
+        pool = BufferPool.from_config(store, CacheConfig())
+        assert isinstance(pool, BufferPool)
+
+    def test_config_rejects_negative_values(self):
+        with pytest.raises(ValueError):
+            CacheConfig(footer_entries=-1)
+        with pytest.raises(ValueError):
+            CacheConfig(chunk_budget_bytes=-1)
+        with pytest.raises(ValueError):
+            CacheConfig(max_coalesce_gap_bytes=-1)
+
+    def test_clear_resets_occupancy(self, chunked_table):
+        store, _, _ = chunked_table
+        pool = BufferPool(store)
+        TableReader(store, "b", "t", cache=pool).scan()
+        assert pool.cached_chunks > 0 and pool.cached_footers > 0
+        pool.clear()
+        assert pool.cached_chunks == 0
+        assert pool.cached_footers == 0
+        assert pool.cached_chunk_bytes == 0
