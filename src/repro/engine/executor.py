@@ -51,10 +51,19 @@ class QueryStats:
     operators: int = 0
 
     def merge(self, other: "QueryStats") -> None:
+        """Fold in a *sibling* fragment's accounting.
+
+        Every counter sums, including ``rows_produced``: sibling fragments
+        (e.g. per-worker scans of disjoint file subsets) each produce a
+        disjoint slice of the output, so the merged total is their sum.
+        When a downstream stage (like the CF merge step) re-aggregates
+        sibling outputs, callers set ``rows_produced`` to the final
+        result's row count afterwards rather than merging the stages.
+        """
         self.bytes_scanned += other.bytes_scanned
         self.scan_latency_s += other.scan_latency_s
         self.rows_scanned += other.rows_scanned
-        self.rows_produced = other.rows_produced
+        self.rows_produced += other.rows_produced
         self.operators += other.operators
 
 

@@ -34,7 +34,8 @@ def column_codes(vector: ColumnVector) -> tuple[np.ndarray, np.ndarray]:
     """
     data = vector.data
     if vector.dtype is DataType.VARCHAR:
-        data = np.asarray([str(value) for value in data], dtype=object)
+        # One vectorized conversion: NULL slots (None) become the string
+        # "None" but their codes are overwritten below anyway.
         uniques, inverse = np.unique(data.astype(str), return_inverse=True)
     else:
         uniques, inverse = np.unique(data, return_inverse=True)

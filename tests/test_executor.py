@@ -328,3 +328,42 @@ class TestAgainstObjectStore:
         full = run_query(mini_store_engine, "SELECT o_orderkey FROM orders")
         assert selective.rows() == [(6,)]
         assert selective.stats.bytes_scanned < full.stats.bytes_scanned
+
+
+class TestQueryStatsMerge:
+    def test_merge_sums_every_counter(self):
+        from repro.engine.executor import QueryStats
+
+        total = QueryStats()
+        fragments = [
+            QueryStats(
+                bytes_scanned=100 * i,
+                scan_latency_s=0.1 * i,
+                rows_scanned=10 * i,
+                rows_produced=i,
+                operators=i,
+            )
+            for i in range(1, 4)
+        ]
+        for fragment in fragments:
+            total.merge(fragment)
+        assert total.bytes_scanned == 600
+        assert total.scan_latency_s == pytest.approx(0.6)
+        assert total.rows_scanned == 60
+        # Sibling fragments produce disjoint output slices: rows sum,
+        # they are not overwritten by the last fragment merged.
+        assert total.rows_produced == 6
+        assert total.operators == 6
+
+    def test_merge_is_order_independent(self):
+        from repro.engine.executor import QueryStats
+
+        a = QueryStats(rows_produced=5, bytes_scanned=1)
+        b = QueryStats(rows_produced=7, bytes_scanned=2)
+        forward = QueryStats()
+        forward.merge(a)
+        forward.merge(b)
+        backward = QueryStats()
+        backward.merge(b)
+        backward.merge(a)
+        assert forward == backward
