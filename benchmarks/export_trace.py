@@ -1,0 +1,44 @@
+"""Export a demo session's span timelines as deterministic JSON.
+
+Runs a small three-level session against a TPC-H-style dataset with
+observability on and writes ``Tracer.export_all_json()`` to the given
+path (default ``results/demo_traces.json``).  Because span timestamps
+come from the virtual clock and span ids from a counter, the output is
+byte-identical across same-seed runs — CI uploads it as an artifact so
+trace-shape changes show up as a reviewable diff.
+
+Usage: PYTHONPATH=../src python export_trace.py [output.json]
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+from repro import PixelsDB, ServiceLevel
+
+
+def export(path: pathlib.Path) -> None:
+    db = PixelsDB(observe=True, seed=5)
+    db.load_tpch("tpch", scale=0.01)
+    db.submit("tpch", "SELECT COUNT(*) FROM nation", ServiceLevel.IMMEDIATE)
+    db.submit(
+        "tpch",
+        "SELECT c_mktsegment, COUNT(*) FROM customer GROUP BY c_mktsegment",
+        ServiceLevel.RELAXED,
+    )
+    db.submit(
+        "tpch", "SELECT COUNT(*) FROM region", ServiceLevel.BEST_EFFORT
+    )
+    db.run_to_completion()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(db.export_traces() + "\n")
+    trace_count = len(db.obs.tracer.trace_ids())
+    print(f"wrote {trace_count} traces to {path}")
+
+
+if __name__ == "__main__":
+    target = pathlib.Path(
+        sys.argv[1] if len(sys.argv) > 1 else "results/demo_traces.json"
+    )
+    export(target)

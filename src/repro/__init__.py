@@ -34,6 +34,7 @@ from __future__ import annotations
 from repro.core import QueryServer, QueryStatus, ServerQuery, ServiceLevel
 from repro.errors import PixelsError, TranslationError
 from repro.nl2sql import CodesService
+from repro.obs import Instrumentation
 from repro.rover import RoverServer, UserStore
 from repro.sim import Simulator
 from repro.storage import BufferPool, CacheConfig, Catalog, ObjectStore
@@ -49,6 +50,7 @@ __all__ = [
     "Catalog",
     "CodesService",
     "Coordinator",
+    "Instrumentation",
     "ObjectStore",
     "PixelsDB",
     "PixelsError",
@@ -73,9 +75,21 @@ class PixelsDB:
     :meth:`run_to_completion`.
     """
 
-    def __init__(self, config: TurboConfig | None = None, seed: int = 0) -> None:
+    def __init__(
+        self,
+        config: TurboConfig | None = None,
+        seed: int = 0,
+        observe: bool = False,
+    ) -> None:
+        """``observe=True`` switches on the tracer + metrics registry
+        (:mod:`repro.obs`); the default is the inert no-op pair."""
         self.config = config if config is not None else TurboConfig()
         self.sim = Simulator(seed=seed)
+        self.obs = (
+            Instrumentation.create(clock=lambda: self.sim.now)
+            if observe
+            else Instrumentation.disabled()
+        )
         self.store = ObjectStore()
         self.catalog = Catalog()
         self.codes = CodesService()
@@ -113,7 +127,8 @@ class PixelsDB:
     def coordinator(self, schema: str) -> Coordinator:
         if schema not in self._coordinators:
             self._coordinators[schema] = Coordinator(
-                self.sim, self.config, self.catalog, self.store, schema
+                self.sim, self.config, self.catalog, self.store, schema,
+                obs=self.obs,
             )
         return self._coordinators[schema]
 
@@ -153,6 +168,30 @@ class PixelsDB:
     ) -> ServerQuery:
         """Submit SQL at a service level; advance time to see it finish."""
         return self.query_server(schema).submit(sql, level, result_limit)
+
+    # -- observability -------------------------------------------------------------------
+
+    def explain(self, schema: str, sql: str) -> str:
+        """Render the optimized plan with venue/cost annotations."""
+        return self.coordinator(schema).explain(sql)
+
+    def explain_analyze(self, schema: str, sql: str) -> str:
+        """Execute ``sql`` inline and render the plan annotated with
+        actual per-operator rows, bytes, and wall time."""
+        return self.coordinator(schema).explain_analyze(sql)
+
+    def metrics(self) -> str:
+        """The Prometheus text exposition of every registered series
+        (empty when the db was built without ``observe=True``)."""
+        return self.obs.metrics.render()
+
+    def trace(self, query_id: str) -> str:
+        """Deterministic JSON span timeline for one query."""
+        return self.obs.tracer.export_json(query_id)
+
+    def export_traces(self) -> str:
+        """Every recorded trace as one JSON document."""
+        return self.obs.tracer.export_all_json()
 
     # -- simulated time ------------------------------------------------------------------
 

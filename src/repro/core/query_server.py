@@ -24,6 +24,7 @@ from typing import Callable
 
 from repro.errors import NoSuchQueryError, QueryRejectedError
 from repro.core.service_levels import QueryStatus, ServiceLevel
+from repro.obs import ROOT, Span
 from repro.sim import Simulator
 from repro.turbo.coordinator import Coordinator, QueryExecution
 from repro.turbo.config import TurboConfig
@@ -122,7 +123,36 @@ class QueryServer:
         self._relaxed_queue: list[ServerQuery] = []
         self._best_effort_queue: list[ServerQuery] = []
         self._query_counter = 0
+        self.obs = coordinator.obs
+        self._root_spans: dict[str, Span] = {}
+        self._queue_spans: dict[str, Span] = {}
+        registry = self.obs.metrics
+        self._m_submitted = registry.counter(
+            "pixels_queries_submitted_total",
+            "Queries accepted by the server, by service level",
+        )
+        self._m_rejected = registry.counter(
+            "pixels_queries_rejected_total",
+            "Queries refused by hold-queue back-pressure",
+        )
+        self._m_billed = registry.counter(
+            "pixels_billed_dollars_total",
+            "User-facing charges ($), by service level",
+        )
+        self._m_pending = registry.histogram(
+            "pixels_query_pending_seconds",
+            "Submission-to-execution-start delay",
+        )
+        self._m_queue_depth = registry.gauge(
+            "pixels_server_queue_depth",
+            "Queries held in the server's per-level queues",
+        )
+        registry.add_collector(self._collect_queue_depth)
         sim.schedule(config.scheduler_interval_s, self._tick)
+
+    def _collect_queue_depth(self) -> None:
+        self._m_queue_depth.set(len(self._relaxed_queue), level="relaxed")
+        self._m_queue_depth.set(len(self._best_effort_queue), level="best_effort")
 
     # -- lookups ---------------------------------------------------------------
 
@@ -175,19 +205,34 @@ class QueryServer:
             on_finish=on_finish,
         )
         self._queries[query_id] = record
-        if level is ServiceLevel.IMMEDIATE:
-            self._dispatch(record)
-        elif level is ServiceLevel.RELAXED:
-            record.grace_deadline = self._sim.now + self._config.grace_period_s
-            if self._coordinator.below_high_watermark():
+        self._m_submitted.inc(level=level.value)
+        tracer = self.obs.tracer
+        if tracer.enabled:
+            self._root_spans[query_id] = tracer.start(
+                query_id, "query", parent=ROOT, level=level.value, sql=sql
+            )
+            tracer.start(query_id, "submit", level=level.value).finish(
+                price_per_tb=self.price_quote(level)
+            )
+        try:
+            if level is ServiceLevel.IMMEDIATE:
                 self._dispatch(record)
-            else:
-                self._enqueue(self._relaxed_queue, record)
-        else:  # BEST_EFFORT
-            if self._coordinator.below_low_watermark():
-                self._dispatch(record)
-            else:
-                self._enqueue(self._best_effort_queue, record)
+            elif level is ServiceLevel.RELAXED:
+                record.grace_deadline = self._sim.now + self._config.grace_period_s
+                if self._coordinator.below_high_watermark():
+                    self._dispatch(record)
+                else:
+                    self._enqueue(self._relaxed_queue, record)
+            else:  # BEST_EFFORT
+                if self._coordinator.below_low_watermark():
+                    self._dispatch(record)
+                else:
+                    self._enqueue(self._best_effort_queue, record)
+        except QueryRejectedError as exc:
+            self._m_rejected.inc(level=level.value)
+            self._root_spans.pop(query_id, None)
+            tracer.end_open(query_id, "error", error=str(exc))
+            raise
         return record
 
     def _enqueue(self, queue: list[ServerQuery], record: ServerQuery) -> None:
@@ -198,8 +243,23 @@ class QueryServer:
                 f"({self._max_queue_length} queries)"
             )
         queue.append(record)
+        if self.obs.tracer.enabled:
+            watermark = (
+                "high" if record.level is ServiceLevel.RELAXED else "low"
+            )
+            self._queue_spans[record.query_id] = self.obs.tracer.start(
+                record.query_id,
+                "queue",
+                level=record.level.value,
+                reason=f"above_{watermark}_watermark",
+            )
 
     def _dispatch(self, record: ServerQuery) -> None:
+        self._close_queue_span(record)
+        if self.obs.tracer.enabled:
+            self.obs.tracer.start(
+                record.query_id, "dispatch", level=record.level.value
+            ).finish()
         record.dispatched_at = self._sim.now
         record.execution = self._coordinator.submit(
             sql=record.sql,
@@ -220,6 +280,11 @@ class QueryServer:
             return False
         if record.execution is None:
             record.cancelled = True
+            self._close_queue_span(record, status="cancelled")
+            self._root_spans.pop(query_id, None)
+            self.obs.tracer.end_open(
+                query_id, "cancelled", error="cancelled by user"
+            )
             self._relaxed_queue = [
                 q for q in self._relaxed_queue if q.query_id != query_id
             ]
@@ -231,6 +296,13 @@ class QueryServer:
             return True
         record.cancelled = True
         return self._coordinator.cancel(query_id)
+
+    def _close_queue_span(
+        self, record: ServerQuery, status: str = "ok"
+    ) -> None:
+        span = self._queue_spans.pop(record.query_id, None)
+        if span is not None:
+            span.finish(status, held_s=self._sim.now - record.submitted_at)
 
     # -- scheduling -----------------------------------------------------------------
 
@@ -268,6 +340,15 @@ class QueryServer:
         """Send held best-of-effort queries out as one shared-scan batch."""
         group = self._best_effort_queue[: self._batch_size]
         self._best_effort_queue = self._best_effort_queue[self._batch_size :]
+        for record in group:
+            self._close_queue_span(record)
+            if self.obs.tracer.enabled:
+                self.obs.tracer.start(
+                    record.query_id,
+                    "dispatch",
+                    level=record.level.value,
+                    batch=True,
+                ).finish()
         executions = self._coordinator.submit_shared_batch(
             [record.sql for record in group],
             [record.query_id for record in group],
@@ -286,6 +367,30 @@ class QueryServer:
         if execution.result is not None:
             record.price = self._coordinator.cost_model.user_price(
                 execution.result.stats, record.level
+            )
+            self._m_billed.inc(record.price, level=record.level.value)
+            root = self._root_spans.pop(record.query_id, None)
+            if root is not None:
+                self.obs.tracer.start(
+                    record.query_id,
+                    "bill",
+                    parent=root,
+                    level=record.level.value,
+                    price=record.price,
+                    price_per_tb=self.price_quote(record.level),
+                    bytes_scanned=execution.result.stats.bytes_scanned,
+                ).finish()
+            self.obs.tracer.end_open(record.query_id, "ok")
+        else:
+            # The coordinator's failure path already closed the trace with
+            # an error/cancelled status; this is only the safety net.
+            self._root_spans.pop(record.query_id, None)
+            self.obs.tracer.end_open(
+                record.query_id, "error", error=execution.error or ""
+            )
+        if record.pending_time_s is not None:
+            self._m_pending.observe(
+                record.pending_time_s, level=record.level.value
             )
         if record.on_finish is not None:
             record.on_finish(record)

@@ -9,6 +9,7 @@ here (bytes scanned, rows processed).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.errors import ExecutionError
@@ -42,13 +43,25 @@ from repro.storage.types import ColumnVector
 
 @dataclass
 class QueryStats:
-    """Execution accounting for one plan run."""
+    """Execution accounting for one plan run.
+
+    The storage-side counters (``get_requests``, ``cache_*``,
+    ``row_groups_skipped``) are carried up from each scan's
+    :class:`~repro.engine.source.SourceResult`, so EXPLAIN ANALYZE and
+    the metrics registry can report them per query without re-deriving
+    from the store's global ``StorageMetrics``.
+    """
 
     bytes_scanned: int = 0
     scan_latency_s: float = 0.0
     rows_scanned: int = 0
     rows_produced: int = 0
     operators: int = 0
+    get_requests: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    row_groups_skipped: int = 0
 
     def merge(self, other: "QueryStats") -> None:
         """Fold in a *sibling* fragment's accounting.
@@ -65,6 +78,32 @@ class QueryStats:
         self.rows_scanned += other.rows_scanned
         self.rows_produced += other.rows_produced
         self.operators += other.operators
+        self.get_requests += other.get_requests
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.cache_evictions += other.cache_evictions
+        self.row_groups_skipped += other.row_groups_skipped
+
+
+@dataclass
+class OperatorProfile:
+    """Per-operator actuals from one analyzed run (EXPLAIN ANALYZE).
+
+    ``time_s`` is real (wall-clock) execution time, cumulative over the
+    operator's subtree; the storage counters are likewise subtree deltas.
+    The tree mirrors the plan tree node for node.
+    """
+
+    name: str
+    rows_out: int
+    time_s: float
+    bytes_scanned: int = 0
+    get_requests: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    row_groups_skipped: int = 0
+    children: list["OperatorProfile"] = field(default_factory=list)
 
 
 @dataclass
@@ -74,6 +113,7 @@ class QueryResult:
 
     data: TableData
     stats: QueryStats = field(default_factory=QueryStats)
+    profile: OperatorProfile | None = None
 
     @property
     def column_names(self) -> list[str]:
@@ -93,14 +133,62 @@ class QueryExecutor:
     def __init__(self, source: DataSource) -> None:
         self._source = source
 
-    def execute(self, plan: PlanNode) -> QueryResult:
+    def execute(self, plan: PlanNode, analyze: bool = False) -> QueryResult:
+        """Run ``plan``; with ``analyze`` also build the per-operator
+        profile tree that EXPLAIN ANALYZE renders."""
         stats = QueryStats()
-        data = self._run(plan, stats)
+        profile: OperatorProfile | None = None
+        if analyze:
+            sink: list[OperatorProfile] = []
+            data = self._run(plan, stats, sink)
+            profile = sink[0]
+        else:
+            data = self._run(plan, stats)
         stats.rows_produced = data.num_rows
-        return QueryResult(data, stats)
+        return QueryResult(data, stats, profile)
 
-    def _run(self, node: PlanNode, stats: QueryStats) -> TableData:
+    def _run(
+        self,
+        node: PlanNode,
+        stats: QueryStats,
+        sink: "list[OperatorProfile] | None" = None,
+    ) -> TableData:
         stats.operators += 1
+        if sink is None:
+            return self._execute_node(node, stats, None)
+        started = time.perf_counter()
+        before = (
+            stats.bytes_scanned,
+            stats.get_requests,
+            stats.cache_hits,
+            stats.cache_misses,
+            stats.cache_evictions,
+            stats.row_groups_skipped,
+        )
+        children: list[OperatorProfile] = []
+        data = self._execute_node(node, stats, children)
+        sink.append(
+            OperatorProfile(
+                name=type(node).__name__,
+                rows_out=data.num_rows,
+                time_s=time.perf_counter() - started,
+                bytes_scanned=stats.bytes_scanned - before[0],
+                get_requests=stats.get_requests - before[1],
+                cache_hits=stats.cache_hits - before[2],
+                cache_misses=stats.cache_misses - before[3],
+                cache_evictions=stats.cache_evictions - before[4],
+                row_groups_skipped=stats.row_groups_skipped - before[5],
+                children=children,
+            )
+        )
+        return data
+
+    def _execute_node(
+        self,
+        node: PlanNode,
+        stats: QueryStats,
+        sink: "list[OperatorProfile] | None",
+    ) -> TableData:
         if isinstance(node, Scan):
             return self._run_scan(node, stats)
         if isinstance(node, MaterializedView):
@@ -110,20 +198,20 @@ class QueryExecutor:
                 )
             return node.data
         if isinstance(node, Filter):
-            table = self._run(node.input, stats)
+            table = self._run(node.input, stats, sink)
             if table.num_rows == 0:
                 return table
             mask = mask_from_predicate(node.predicate.evaluate(table))
             return table.filter(mask)
         if isinstance(node, Project):
-            table = self._run(node.input, stats)
+            table = self._run(node.input, stats, sink)
             columns: dict[str, ColumnVector] = {}
             for name, expr in node.exprs:
                 columns[name] = expr.evaluate(table)
             return TableData(columns)
         if isinstance(node, HashJoin):
-            left = self._run(node.left, stats)
-            right = self._run(node.right, stats)
+            left = self._run(node.left, stats, sink)
+            right = self._run(node.right, stats, sink)
             if node.join_type in (JoinType.SEMI, JoinType.ANTI):
                 from repro.engine.physical import execute_semi_anti_join
 
@@ -143,21 +231,21 @@ class QueryExecutor:
             from repro.engine.physical import execute_union_all
 
             return execute_union_all(
-                [self._run(child, stats) for child in node.inputs],
+                [self._run(child, stats, sink) for child in node.inputs],
                 node.output_schema(),
             )
         if isinstance(node, Aggregate):
-            table = self._run(node.input, stats)
+            table = self._run(node.input, stats, sink)
             return execute_aggregate(table, node.group_keys, node.aggregates)
         if isinstance(node, Sort):
-            table = self._run(node.input, stats)
+            table = self._run(node.input, stats, sink)
             return execute_sort(
                 table, [(key.column, key.ascending) for key in node.keys]
             )
         if isinstance(node, Distinct):
-            return execute_distinct(self._run(node.input, stats))
+            return execute_distinct(self._run(node.input, stats, sink))
         if isinstance(node, Limit):
-            table = self._run(node.input, stats)
+            table = self._run(node.input, stats, sink)
             return execute_limit(table, node.limit, node.offset)
         raise ExecutionError(f"unknown plan node {type(node).__name__}")
 
@@ -166,6 +254,11 @@ class QueryExecutor:
         stats.bytes_scanned += result.bytes_scanned
         stats.scan_latency_s += result.latency_s
         stats.rows_scanned += result.data.num_rows
+        stats.get_requests += result.get_requests
+        stats.cache_hits += result.cache_hits
+        stats.cache_misses += result.cache_misses
+        stats.cache_evictions += result.cache_evictions
+        stats.row_groups_skipped += result.row_groups_skipped
         table = result.data
         if node.residual is not None and table.num_rows:
             mask = mask_from_predicate(node.residual.evaluate(table))

@@ -20,11 +20,22 @@ from repro.storage.table import TableData, TableReader
 
 @dataclass(frozen=True)
 class SourceResult:
-    """A scan's payload plus its cost accounting."""
+    """A scan's payload plus its cost accounting.
+
+    The request/cache counters mirror :class:`~repro.storage.table
+    .ScanResult` so they survive the executor boundary and land in
+    :class:`~repro.engine.executor.QueryStats` (sources without a
+    storage layer leave them at zero).
+    """
 
     data: TableData
     bytes_scanned: int
     latency_s: float
+    get_requests: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    row_groups_skipped: int = 0
 
 
 class DataSource(Protocol):
@@ -78,7 +89,16 @@ class ObjectStoreSource:
         renamed = result.data.rename(
             {base: out for out, base in node.columns}
         ).select([out for out, _ in node.columns])
-        return SourceResult(renamed, result.bytes_scanned, result.latency_s)
+        return SourceResult(
+            renamed,
+            result.bytes_scanned,
+            result.latency_s,
+            get_requests=result.get_requests,
+            cache_hits=result.cache_hits,
+            cache_misses=result.cache_misses,
+            cache_evictions=result.cache_evictions,
+            row_groups_skipped=result.row_groups_skipped,
+        )
 
 
 class InMemorySource:

@@ -317,6 +317,19 @@ class DropTable:
 
 
 @dataclass(frozen=True)
+class Explain:
+    """``EXPLAIN [ANALYZE] <select>`` — render the plan; with ANALYZE,
+    execute it and annotate each operator with actual rows/bytes/time."""
+
+    statement: "SelectStatement | UnionAll"
+    analyze: bool = False
+
+    def to_sql(self) -> str:
+        keyword = "EXPLAIN ANALYZE" if self.analyze else "EXPLAIN"
+        return f"{keyword} {self.statement.to_sql()}"
+
+
+@dataclass(frozen=True)
 class InSubquery(Expr):
     """``expr [NOT] IN (SELECT ...)`` — planned as a semi/anti join."""
 

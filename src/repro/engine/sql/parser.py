@@ -2,6 +2,8 @@
 
 Grammar sketch (standard precedence; left-associative binaries)::
 
+    statement := EXPLAIN [ANALYZE] query | query | ddl
+    query     := select (UNION ALL select)*
     select    := SELECT [DISTINCT] items [FROM from] [WHERE expr]
                  [GROUP BY exprs] [HAVING expr] [ORDER BY order]
                  [LIMIT n] [OFFSET n] [;]
@@ -29,7 +31,9 @@ AGGREGATE_KEYWORD_FUNCTIONS = {"count", "sum", "avg", "min", "max"}
 COMPARISON_OPERATORS = {"=", "<>", "!=", "<", "<=", ">", ">="}
 
 
-def parse_sql(sql: str) -> "ast.SelectStatement | ast.UnionAll":
+def parse_sql(
+    sql: str,
+) -> "ast.SelectStatement | ast.UnionAll | ast.CreateTable | ast.DropTable | ast.Explain":
     """Parse one statement; raises :class:`ParseError` on bad input."""
     return Parser(sql).parse()
 
@@ -95,7 +99,9 @@ class Parser:
 
     # -- statement -------------------------------------------------------------
 
-    def parse(self) -> "ast.SelectStatement | ast.UnionAll | ast.CreateTable | ast.DropTable":
+    def parse(
+        self,
+    ) -> "ast.SelectStatement | ast.UnionAll | ast.CreateTable | ast.DropTable | ast.Explain":
         first = self._current
         if first.type is TokenType.IDENTIFIER and first.lower in ("create", "drop"):
             statement = self._parse_ddl()
@@ -104,6 +110,22 @@ class Parser:
             if self._current.type is not TokenType.EOF:
                 raise self._error("unexpected trailing input")
             return statement
+        if first.type is TokenType.IDENTIFIER and first.lower == "explain":
+            self._advance()
+            # ``analyze`` lexes as an identifier (like ``explain``): it is
+            # deliberately not a reserved keyword, so columns may use it.
+            analyze = (
+                self._current.type is TokenType.IDENTIFIER
+                and self._current.lower == "analyze"
+            )
+            if analyze:
+                self._advance()
+            inner = self._parse_query()
+            return ast.Explain(statement=inner, analyze=analyze)
+        return self._parse_query()
+
+    def _parse_query(self) -> "ast.SelectStatement | ast.UnionAll":
+        """SELECT (or UNION ALL chain) up to end of input."""
         statement: ast.SelectStatement | ast.UnionAll = self._parse_select()
         while self._current.is_keyword("union"):
             self._advance()

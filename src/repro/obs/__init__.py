@@ -1,0 +1,72 @@
+"""``repro.obs`` — end-to-end query observability.
+
+Three pieces, all simulation-clock-aware and deterministic:
+
+* :mod:`repro.obs.tracer` — per-query span trees
+  (``submit → queue → dispatch → plan → scan → merge → bill``) with
+  venue/cache/price attributes, exportable as byte-stable JSON timelines.
+* :mod:`repro.obs.metrics` — a Prometheus-style registry (counters,
+  gauges, histograms) fed by hooks in the query server, coordinator, VM
+  cluster, CF service, and storage layers.
+* :mod:`repro.obs.explain` — the EXPLAIN ANALYZE renderer over the
+  executor's per-operator profiles.
+
+:class:`Instrumentation` bundles a tracer and a registry and is what
+components thread through their constructors.  The default everywhere is
+:meth:`Instrumentation.disabled` — inert tracer, inert registry — so an
+un-instrumented run pays only a no-op call per would-be event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.obs.explain import render_analyzed_plan
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NoopMetricsRegistry,
+)
+from repro.obs.tracer import NOOP_SPAN, NOOP_TRACER, ROOT, NoopTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "ROOT",
+    "Gauge",
+    "Histogram",
+    "Instrumentation",
+    "MetricsRegistry",
+    "NoopMetricsRegistry",
+    "NoopTracer",
+    "NOOP_SPAN",
+    "NOOP_TRACER",
+    "Span",
+    "Tracer",
+    "render_analyzed_plan",
+]
+
+
+@dataclass
+class Instrumentation:
+    """A tracer + metrics registry pair threaded through the system."""
+
+    tracer: Tracer = field(default_factory=NoopTracer)
+    metrics: MetricsRegistry = field(default_factory=NoopMetricsRegistry)
+
+    @property
+    def enabled(self) -> bool:
+        return self.tracer.enabled or self.metrics.enabled
+
+    @staticmethod
+    def disabled() -> "Instrumentation":
+        """The no-op default: nothing recorded, near-zero overhead."""
+        return Instrumentation(NoopTracer(), NoopMetricsRegistry())
+
+    @staticmethod
+    def create(clock: Callable[[], float] | None = None) -> "Instrumentation":
+        """A live pair; pass the simulator's clock (``lambda: sim.now``)
+        so span timestamps are virtual and reproducible."""
+        return Instrumentation(Tracer(clock), MetricsRegistry())

@@ -1,0 +1,57 @@
+"""Rendering of EXPLAIN ANALYZE output.
+
+The executor (run with ``analyze=True``) produces an
+:class:`~repro.engine.executor.OperatorProfile` tree shaped exactly like
+the plan tree; :func:`render_analyzed_plan` walks both in parallel and
+annotates every plan line with the operator's actual rows, bytes, GETs,
+cache hits, and elapsed wall-clock time (cumulative over its subtree,
+PostgreSQL-style).
+"""
+
+from __future__ import annotations
+
+from repro.engine.executor import OperatorProfile, QueryStats
+from repro.engine.plan import PlanNode
+
+
+def _annotation(profile: OperatorProfile) -> str:
+    parts = [f"rows={profile.rows_out}", f"time={profile.time_s * 1000:.3f}ms"]
+    if profile.bytes_scanned:
+        parts.append(f"bytes={profile.bytes_scanned}")
+    if profile.get_requests:
+        parts.append(f"gets={profile.get_requests}")
+    if profile.cache_hits or profile.cache_misses:
+        parts.append(f"cache={profile.cache_hits}/{profile.cache_hits + profile.cache_misses}")
+    if profile.row_groups_skipped:
+        parts.append(f"rg_skipped={profile.row_groups_skipped}")
+    return "  [" + " ".join(parts) + "]"
+
+
+def render_analyzed_plan(
+    plan: PlanNode,
+    profile: OperatorProfile,
+    stats: QueryStats | None = None,
+) -> str:
+    """The plan tree with per-operator actuals, plus a totals footer."""
+    lines: list[str] = []
+
+    def walk(node: PlanNode, prof: OperatorProfile, indent: int) -> None:
+        pad = "  " * indent
+        lines.append(pad + node._describe() + _annotation(prof))
+        for child, child_prof in zip(node.children(), prof.children):
+            walk(child, child_prof, indent + 1)
+
+    walk(plan, profile, 0)
+    if stats is not None:
+        lines.append("")
+        lines.append(
+            "totals: "
+            f"bytes_scanned={stats.bytes_scanned} "
+            f"rows_scanned={stats.rows_scanned} "
+            f"rows_produced={stats.rows_produced} "
+            f"get_requests={stats.get_requests} "
+            f"cache_hits={stats.cache_hits} "
+            f"cache_misses={stats.cache_misses} "
+            f"scan_latency_s={stats.scan_latency_s:.6f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,287 @@
+"""A small Prometheus-style metrics registry.
+
+Three instrument kinds — :class:`Counter`, :class:`Gauge`,
+:class:`Histogram` — with optional labels, owned by a
+:class:`MetricsRegistry` that renders the Prometheus text exposition
+format.  Components create instruments once at construction
+(``registry.counter(...)`` is get-or-create) and update them on the hot
+path; *derived* series that mirror state held elsewhere (queue depths,
+buffer-pool occupancy, the object store's cumulative counters) are
+refreshed lazily by collector callbacks that run just before each
+render, so they cost nothing between scrapes.
+
+:class:`NoopMetricsRegistry` is the disabled twin: its instruments
+swallow updates and its exposition is empty, so instrumented components
+pay one no-op call per update when observability is off.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+_LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, object]) -> _LabelKey:
+    return tuple(sorted((name, str(value)) for name, value in labels.items()))
+
+
+def _render_labels(key: _LabelKey, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    items = key + extra
+    if not items:
+        return ""
+    body = ",".join(f'{name}="{value}"' for name, value in items)
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+class Counter:
+    """Monotonically increasing value (optionally per label set)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._values: dict[_LabelKey, float] = {}
+
+    def inc(self, value: float = 1.0, **labels: object) -> None:
+        if value < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + value
+
+    def set_total(self, value: float, **labels: object) -> None:
+        """Overwrite the cumulative total — for collector callbacks that
+        mirror a counter maintained elsewhere (e.g. ``StorageMetrics``)."""
+        self._values[_label_key(labels)] = value
+
+    def value(self, **labels: object) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def samples(self) -> list[tuple[str, _LabelKey, float]]:
+        return [(self.name, key, value) for key, value in sorted(self._values.items())]
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._values: dict[_LabelKey, float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        self._values[_label_key(labels)] = value
+
+    def inc(self, value: float = 1.0, **labels: object) -> None:
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + value
+
+    def dec(self, value: float = 1.0, **labels: object) -> None:
+        self.inc(-value, **labels)
+
+    def value(self, **labels: object) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def samples(self) -> list[tuple[str, _LabelKey, float]]:
+        return [(self.name, key, value) for key, value in sorted(self._values.items())]
+
+
+#: Default histogram buckets: seconds-flavoured, spanning the sub-second
+#: object-store scale up to the multi-minute pending times of held queries.
+DEFAULT_BUCKETS = (
+    0.005, 0.025, 0.1, 0.5, 1.0, 5.0, 15.0, 60.0, 300.0, 1800.0,
+)
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.buckets = tuple(sorted(buckets))
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket")
+        self._bucket_counts: dict[_LabelKey, list[int]] = {}
+        self._sums: dict[_LabelKey, float] = {}
+        self._counts: dict[_LabelKey, int] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = _label_key(labels)
+        counts = self._bucket_counts.setdefault(key, [0] * len(self.buckets))
+        for index, upper in enumerate(self.buckets):
+            if value <= upper:
+                counts[index] += 1
+        self._sums[key] = self._sums.get(key, 0.0) + value
+        self._counts[key] = self._counts.get(key, 0) + 1
+
+    def count(self, **labels: object) -> int:
+        return self._counts.get(_label_key(labels), 0)
+
+    def sum(self, **labels: object) -> float:
+        return self._sums.get(_label_key(labels), 0.0)
+
+    def samples(self) -> list[tuple[str, _LabelKey, float]]:
+        out: list[tuple[str, _LabelKey, float]] = []
+        for key in sorted(self._counts):
+            cumulative = 0
+            for index, upper in enumerate(self.buckets):
+                cumulative = self._bucket_counts[key][index]
+                out.append(
+                    (
+                        f"{self.name}_bucket",
+                        key + (("le", _format_value(upper)),),
+                        float(cumulative),
+                    )
+                )
+            out.append(
+                (f"{self.name}_bucket", key + (("le", "+Inf"),), float(self._counts[key]))
+            )
+            out.append((f"{self.name}_sum", key, self._sums[key]))
+            out.append((f"{self.name}_count", key, float(self._counts[key])))
+        return out
+
+
+class MetricsRegistry:
+    """Instrument factory + Prometheus text exposition."""
+
+    enabled: bool = True
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        self._collectors: list[Callable[[], None]] = []
+
+    def _get_or_create(self, cls: type, name: str, help: str, **kwargs):
+        instrument = self._instruments.get(name)
+        if instrument is not None:
+            if not isinstance(instrument, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as {instrument.kind}"
+                )
+            return instrument
+        instrument = cls(name, help, **kwargs)
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def add_collector(self, collect: Callable[[], None]) -> None:
+        """Register a callback run before every render to refresh derived
+        series from live component state."""
+        self._collectors.append(collect)
+
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        return self._instruments.get(name)
+
+    def collect(self) -> None:
+        for collector in self._collectors:
+            collector()
+
+    def render(self) -> str:
+        """The Prometheus text exposition of every instrument."""
+        self.collect()
+        lines: list[str] = []
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if instrument.help:
+                lines.append(f"# HELP {name} {instrument.help}")
+            lines.append(f"# TYPE {name} {instrument.kind}")
+            for sample_name, key, value in instrument.samples():
+                lines.append(
+                    f"{sample_name}{_render_labels(key)} {_format_value(value)}"
+                )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+class _NoopInstrument:
+    """Swallows every update; reads back as empty/zero."""
+
+    kind = "noop"
+    name = ""
+    help = ""
+    buckets: tuple[float, ...] = ()
+
+    def inc(self, value: float = 1.0, **labels: object) -> None:
+        return None
+
+    def dec(self, value: float = 1.0, **labels: object) -> None:
+        return None
+
+    def set(self, value: float, **labels: object) -> None:
+        return None
+
+    def set_total(self, value: float, **labels: object) -> None:
+        return None
+
+    def observe(self, value: float, **labels: object) -> None:
+        return None
+
+    def value(self, **labels: object) -> float:
+        return 0.0
+
+    def count(self, **labels: object) -> int:
+        return 0
+
+    def sum(self, **labels: object) -> float:
+        return 0.0
+
+    def samples(self) -> list:
+        return []
+
+
+#: Shared inert instrument returned by every NoopMetricsRegistry factory.
+NOOP_INSTRUMENT = _NoopInstrument()
+
+
+class NoopMetricsRegistry(MetricsRegistry):
+    """Registry that records nothing and renders an empty exposition."""
+
+    enabled = False
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return NOOP_INSTRUMENT  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return NOOP_INSTRUMENT  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return NOOP_INSTRUMENT  # type: ignore[return-value]
+
+    def add_collector(self, collect: Callable[[], None]) -> None:
+        return None
+
+    def render(self) -> str:
+        return ""

@@ -1,0 +1,236 @@
+"""Per-query span trees on the simulator's virtual clock.
+
+A :class:`Tracer` records one span tree per query (``trace_id`` is the
+query id).  Spans are stamped with the *simulated* clock, and span ids
+come from a per-tracer counter — so two runs with the same seed produce
+byte-identical exported timelines, which is what makes traces usable as
+regression artifacts (CI diffs them across PRs).
+
+Parenting is implicit, OpenTelemetry-style: starting a span makes it the
+innermost open span of its trace, and subsequent spans of the same trace
+become its children until it finishes.  An explicit ``parent`` (or
+``parent=ROOT`` for a forced root) overrides this.
+
+The default tracer everywhere is :data:`NOOP_TRACER`: its ``start``
+returns a shared inert span and records nothing, so instrumentation has
+no cost when observability is off.  Callers guard any *expensive*
+attribute computation behind :attr:`Tracer.enabled`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable
+
+#: Sentinel for ``Tracer.start(parent=ROOT)``: force a root span even when
+#: other spans of the trace are open.
+ROOT = object()
+
+
+@dataclass
+class Span:
+    """One timed operation within a query's lifecycle.
+
+    ``status`` is ``"open"`` until :meth:`finish` stamps a terminal
+    status: ``"ok"``, ``"error"``, ``"retry"`` (a failed attempt that was
+    re-tried), or ``"cancelled"``.
+    """
+
+    span_id: int
+    trace_id: str
+    name: str
+    start: float
+    parent_id: int | None = None
+    end: float | None = None
+    status: str = "open"
+    attributes: dict[str, object] = field(default_factory=dict)
+    _tracer: "Tracer | None" = field(default=None, repr=False, compare=False)
+
+    @property
+    def is_open(self) -> bool:
+        return self.end is None
+
+    @property
+    def duration_s(self) -> float | None:
+        return None if self.end is None else self.end - self.start
+
+    def set(self, **attributes: object) -> "Span":
+        """Attach attributes; returns self for chaining."""
+        self.attributes.update(attributes)
+        return self
+
+    def finish(self, status: str = "ok", **attributes: object) -> None:
+        """Close the span at the current clock time.
+
+        Idempotent: finishing an already-closed span is a no-op, so
+        safety-net closers (:meth:`Tracer.end_open`) compose with explicit
+        closes regardless of call order.
+        """
+        if self.end is not None or self._tracer is None:
+            return
+        self.attributes.update(attributes)
+        self.status = status
+        self._tracer._finish(self)
+
+
+class _NoopSpan(Span):
+    """The shared inert span returned by :class:`NoopTracer`."""
+
+    def __init__(self) -> None:
+        super().__init__(span_id=-1, trace_id="", name="", start=0.0)
+
+    def set(self, **attributes: object) -> "Span":
+        return self
+
+    def finish(self, status: str = "ok", **attributes: object) -> None:
+        return None
+
+
+#: Singleton inert span — what every ``NoopTracer.start`` returns.
+NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Records span trees keyed by trace id, on a caller-supplied clock.
+
+    Args:
+        clock: Zero-argument callable returning the current time — pass
+            the simulator's (``lambda: sim.now``) so span timestamps are
+            virtual and reproducible.  Defaults to a frozen clock at 0.
+    """
+
+    enabled: bool = True
+
+    def __init__(self, clock: Callable[[], float] | None = None) -> None:
+        self._clock = clock if clock is not None else (lambda: 0.0)
+        self._next_id = 0
+        self._spans: dict[str, list[Span]] = {}
+        self._open: dict[str, list[Span]] = {}  # innermost-last stacks
+
+    # -- recording -----------------------------------------------------------
+
+    def start(
+        self,
+        trace_id: str,
+        name: str,
+        parent: Span | object | None = None,
+        **attributes: object,
+    ) -> Span:
+        """Open a span; it becomes the innermost open span of its trace."""
+        if parent is ROOT:
+            parent_id = None
+        elif isinstance(parent, Span):
+            parent_id = parent.span_id
+        else:
+            stack = self._open.get(trace_id)
+            parent_id = stack[-1].span_id if stack else None
+        span = Span(
+            span_id=self._next_id,
+            trace_id=trace_id,
+            name=name,
+            start=self._clock(),
+            parent_id=parent_id,
+            attributes=dict(attributes),
+            _tracer=self,
+        )
+        self._next_id += 1
+        self._spans.setdefault(trace_id, []).append(span)
+        self._open.setdefault(trace_id, []).append(span)
+        return span
+
+    def _finish(self, span: Span) -> None:
+        span.end = self._clock()
+        stack = self._open.get(span.trace_id)
+        if stack and span in stack:
+            stack.remove(span)
+
+    def end_open(self, trace_id: str, status: str = "ok", **attributes: object) -> int:
+        """Close every still-open span of ``trace_id`` (innermost first).
+
+        The safety net for error, retry-exhaustion, and cancellation
+        paths: no code path may leak an open span past query completion.
+        Returns the number of spans it closed.
+        """
+        stack = self._open.get(trace_id, [])
+        closed = 0
+        while stack:
+            stack[-1].finish(status, **attributes)
+            closed += 1
+        return closed
+
+    # -- inspection ----------------------------------------------------------
+
+    def trace_ids(self) -> list[str]:
+        return sorted(self._spans)
+
+    def spans(self, trace_id: str) -> list[Span]:
+        """All spans of the trace, in creation order."""
+        return list(self._spans.get(trace_id, []))
+
+    def open_spans(self, trace_id: str) -> list[Span]:
+        return list(self._open.get(trace_id, []))
+
+    # -- export --------------------------------------------------------------
+
+    def timeline(self, trace_id: str) -> dict:
+        """The span forest of ``trace_id`` as nested plain dicts."""
+        nodes: dict[int, dict] = {}
+        roots: list[dict] = []
+        for span in self._spans.get(trace_id, []):
+            node = {
+                "name": span.name,
+                "start": span.start,
+                "end": span.end,
+                "status": span.status,
+                "attributes": dict(span.attributes),
+                "children": [],
+            }
+            nodes[span.span_id] = node
+            if span.parent_id is not None and span.parent_id in nodes:
+                nodes[span.parent_id]["children"].append(node)
+            else:
+                roots.append(node)
+        return {"trace_id": trace_id, "spans": roots}
+
+    def export_json(self, trace_id: str) -> str:
+        """Deterministic JSON timeline — byte-identical across same-seed
+        runs (virtual-clock timestamps, counter span ids, sorted keys)."""
+        return json.dumps(self.timeline(trace_id), sort_keys=True, indent=2)
+
+    def export_all_json(self) -> str:
+        """Every trace, sorted by trace id, as one JSON document."""
+        return json.dumps(
+            [self.timeline(trace_id) for trace_id in self.trace_ids()],
+            sort_keys=True,
+            indent=2,
+        )
+
+
+class NoopTracer(Tracer):
+    """Tracer that records nothing; ``start`` returns :data:`NOOP_SPAN`.
+
+    This is the zero-cost-when-disabled path: one attribute lookup and
+    one call per would-be span, no allocation, no bookkeeping.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def start(
+        self,
+        trace_id: str,
+        name: str,
+        parent: Span | object | None = None,
+        **attributes: object,
+    ) -> Span:
+        return NOOP_SPAN
+
+    def end_open(self, trace_id: str, status: str = "ok", **attributes: object) -> int:
+        return 0
+
+
+#: Shared default tracer for un-instrumented components.
+NOOP_TRACER = NoopTracer()

@@ -251,6 +251,22 @@ class RoverServer:
             raise NoSuchQueryError(f"no result block {result_id!r}") from None
         return self._query_server.cancel(result.server_query.query_id)
 
+    # -- observability ------------------------------------------------------------------
+
+    def metrics(self, token: str) -> str:
+        """Prometheus text exposition of the server's metrics registry
+        (empty unless the system was built with observability on)."""
+        self._session(token)  # any authenticated session may scrape
+        return self._query_server.obs.metrics.render()
+
+    def trace(self, token: str, query_id: str) -> str:
+        """The JSON span timeline of one submitted query."""
+        self._session(token)
+        tracer = self._query_server.obs.tracer
+        if query_id not in tracer.trace_ids():
+            raise NoSuchQueryError(f"no trace for query {query_id!r}")
+        return tracer.export_json(query_id)
+
     def origin_of(self, token: str, result_id: str) -> TranslatorBlock:
         """Result block → its question block (highlight linkage)."""
         session = self._session(token)

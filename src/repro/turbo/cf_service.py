@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.obs import Instrumentation
 from repro.sim import Simulator, Trace
 from repro.turbo.config import CfConfig, VmConfig
 
@@ -37,11 +38,23 @@ class CfService:
         config: CfConfig,
         vm_config: VmConfig,
         trace: Trace | None = None,
+        obs: Instrumentation | None = None,
     ) -> None:
         self._sim = sim
         self._config = config
         self._vm_config = vm_config
         self.trace = trace if trace is not None else Trace()
+        self.obs = obs if obs is not None else Instrumentation.disabled()
+        registry = self.obs.metrics
+        self._m_invocations = registry.counter(
+            "pixels_cf_invocations_total", "CF fan-outs launched"
+        )
+        self._m_worker_seconds = registry.counter(
+            "pixels_cf_worker_seconds_total", "Billed CF worker-seconds"
+        )
+        self._m_active = registry.gauge(
+            "pixels_cf_active_workers", "Currently running CF workers"
+        )
         self._active_workers = 0
         self._invocations: list[CfInvocation] = []
 
@@ -91,10 +104,14 @@ class CfService:
         )
         self._invocations.append(invocation)
         self._active_workers += num_workers
+        self._m_invocations.inc()
+        self._m_worker_seconds.inc(worker_seconds)
+        self._m_active.set(self._active_workers)
         self.trace.record("cf.active_workers", self._sim.now, self._active_workers)
 
         def finish() -> None:
             self._active_workers -= num_workers
+            self._m_active.set(self._active_workers)
             self.trace.record(
                 "cf.active_workers", self._sim.now, self._active_workers
             )

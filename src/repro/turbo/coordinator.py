@@ -28,6 +28,7 @@ from repro.engine.executor import QueryExecutor, QueryResult, QueryStats
 from repro.engine.optimizer import Optimizer
 from repro.engine.planner import Planner
 from repro.engine.source import ObjectStoreSource
+from repro.obs import Instrumentation, render_analyzed_plan
 from repro.sim import Simulator, Trace
 from repro.storage.cache import BufferPool
 from repro.storage.catalog import Catalog
@@ -63,6 +64,7 @@ class QueryExecution:
     provider_cost: float = 0.0
     cf_workers: int = 0
     retries: int = 0
+    explain_text: str | None = None
     on_complete: Callable[["QueryExecution"], None] | None = field(
         default=None, repr=False
     )
@@ -88,6 +90,17 @@ class QueryExecution:
         return self.result.stats.bytes_scanned if self.result else 0
 
 
+def _text_table(text: str):
+    """A one-column VARCHAR table whose rows are ``text``'s lines — the
+    result-set form of EXPLAIN output, renderable by any result surface."""
+    from repro.storage.table import TableData
+    from repro.storage.types import ColumnVector, DataType
+
+    return TableData(
+        {"plan": ColumnVector.from_values(DataType.VARCHAR, text.split("\n"))}
+    )
+
+
 class Coordinator:
     """Metadata + scheduling brain of Pixels-Turbo."""
 
@@ -100,6 +113,7 @@ class Coordinator:
         default_schema: str,
         trace: Trace | None = None,
         faults: FaultConfig | None = None,
+        obs: Instrumentation | None = None,
     ) -> None:
         self._sim = sim
         self._config = config
@@ -107,12 +121,15 @@ class Coordinator:
         self._store = store
         self._default_schema = default_schema
         self.trace = trace if trace is not None else Trace()
+        self.obs = obs if obs is not None else Instrumentation.disabled()
         # The VM tier's buffer pool: VMs are long-running, so one pool
         # stays warm across every VM-executed query.  CF invocations get a
         # fresh pool each (see _run_on_cf) — functions cold-start.
         self.vm_buffer_pool = BufferPool.from_config(store, config.cache)
-        self.vm_cluster = VmCluster(sim, config.vm, self.trace)
-        self.cf_service = CfService(sim, config.cf, config.vm, self.trace)
+        self.vm_cluster = VmCluster(sim, config.vm, self.trace, obs=self.obs)
+        self.cf_service = CfService(
+            sim, config.cf, config.vm, self.trace, obs=self.obs
+        )
         self.cost_model = CostModel(config)
         self._optimizer = Optimizer()
         self._executions: dict[str, QueryExecution] = {}
@@ -125,6 +142,65 @@ class Coordinator:
             if faults is not None
             else None
         )
+        registry = self.obs.metrics
+        self._m_queries = registry.counter(
+            "pixels_queries_total", "Finished queries by venue and status"
+        )
+        self._m_bytes = registry.counter(
+            "pixels_bytes_scanned_total", "Logical bytes scanned (billing basis)"
+        )
+        self._m_provider = registry.counter(
+            "pixels_provider_cost_dollars_total",
+            "Infrastructure spend accrued by venue",
+        )
+        self._m_retries = registry.counter(
+            "pixels_query_retries_total", "Execution retries by venue"
+        )
+        self._m_exec_seconds = registry.histogram(
+            "pixels_query_execution_seconds", "Simulated execution time by venue"
+        )
+        registry.add_collector(self._collect_storage_metrics)
+
+    def _collect_storage_metrics(self) -> None:
+        """Mirror storage/cache counters into the registry at scrape time."""
+        registry = self.obs.metrics
+        metrics = self._store.metrics
+        store_total = registry.counter(
+            "pixels_store_requests_total", "Object store requests by kind"
+        )
+        store_total.set_total(metrics.get_requests, kind="get")
+        store_total.set_total(metrics.put_requests, kind="put")
+        store_bytes = registry.counter(
+            "pixels_store_bytes_total", "Object store payload bytes by direction"
+        )
+        store_bytes.set_total(metrics.bytes_read, direction="read")
+        store_bytes.set_total(metrics.bytes_written, direction="written")
+        registry.counter(
+            "pixels_logical_bytes_scanned_total",
+            "Logical (billed) bytes scanned across every reader",
+        ).set_total(metrics.logical_bytes_scanned)
+        cache_events = registry.counter(
+            "pixels_cache_events_total", "Buffer-pool events by kind and outcome"
+        )
+        cache_events.set_total(metrics.footer_cache_hits, kind="footer", outcome="hit")
+        cache_events.set_total(
+            metrics.footer_cache_misses, kind="footer", outcome="miss"
+        )
+        cache_events.set_total(metrics.chunk_cache_hits, kind="chunk", outcome="hit")
+        cache_events.set_total(metrics.chunk_cache_misses, kind="chunk", outcome="miss")
+        cache_events.set_total(
+            metrics.chunk_cache_evictions, kind="chunk", outcome="eviction"
+        )
+        if self.vm_buffer_pool is not None:
+            registry.gauge(
+                "pixels_vm_pool_chunk_bytes", "VM buffer pool occupancy in bytes"
+            ).set(self.vm_buffer_pool.cached_chunk_bytes)
+            registry.gauge(
+                "pixels_vm_pool_entries", "VM buffer pool entries by kind"
+            ).set(self.vm_buffer_pool.cached_footers, kind="footer")
+            registry.gauge("pixels_vm_pool_entries", "").set(
+                self.vm_buffer_pool.cached_chunks, kind="chunk"
+            )
 
     @property
     def config(self) -> TurboConfig:
@@ -188,12 +264,28 @@ class Coordinator:
             on_complete=on_complete,
         )
         self._executions[query_id] = execution
+        plan_span = self.obs.tracer.start(query_id, "plan")
         try:
-            plan = self._plan(sql)
+            plan, explain_mode = self._prepare(sql)
         except PixelsError as error:
+            plan_span.finish("error", error=str(error))
             self._fail(execution, str(error))
             return execution
-        if self._choose_cf(cf_enabled):
+        plan_span.finish("ok")
+        if explain_mode == "plan":
+            # Pure EXPLAIN renders without occupying any venue and bills
+            # nothing (no bytes are scanned).
+            execution.explain_text = self._render_plan_report(plan, cf_enabled)
+            self._succeed(
+                execution,
+                QueryResult(_text_table(execution.explain_text), QueryStats()),
+            )
+            return execution
+        if explain_mode == "analyze":
+            # EXPLAIN ANALYZE really executes; it is pinned to the VM path
+            # so the profile covers one executor run end-to-end.
+            self._run_on_vm(execution, plan, analyze=True)
+        elif self._choose_cf(cf_enabled):
             self._run_on_cf(execution, plan)
         else:
             self._run_on_vm(execution, plan)
@@ -205,9 +297,26 @@ class Coordinator:
         override this to force one venue."""
         return cf_enabled and not self.vm_cluster.has_free_slot()
 
-    def _plan(self, sql: str):
+    def _prepare(self, sql: str) -> tuple[object, str | None]:
+        """Parse + plan; returns ``(plan, explain_mode)`` where the mode is
+        None for a plain query, ``"plan"`` for EXPLAIN, ``"analyze"`` for
+        EXPLAIN ANALYZE."""
+        from repro.engine.sql import ast as sql_ast
+        from repro.engine.sql.parser import parse_sql
+
+        statement = parse_sql(sql)
+        explain_mode: str | None = None
+        if isinstance(statement, sql_ast.Explain):
+            explain_mode = "analyze" if statement.analyze else "plan"
+            statement = statement.statement
         planner = Planner(self.catalog, self._default_schema)
-        return self._optimizer.optimize(planner.plan_sql(sql))
+        return self._optimizer.optimize(planner.plan(statement)), explain_mode
+
+    def _plan(self, sql: str):
+        plan, explain_mode = self._prepare(sql)
+        if explain_mode is not None:
+            raise PixelsError("EXPLAIN is not supported on this execution path")
+        return plan
 
     def execute_ddl(self, sql: str) -> str:
         """Run a DDL statement against the coordinator's metadata.
@@ -256,45 +365,139 @@ class Coordinator:
             return f"dropped table {statement.name}"
         raise PixelsError("execute_ddl expects CREATE TABLE or DROP TABLE")
 
-    def explain(self, sql: str) -> str:
-        """The optimized physical plan as text (push-downs, join order,
-        zone-map ranges) — what an operator would look at before choosing
-        a service level for an expensive query."""
-        return self._plan(sql).explain()
+    def explain(self, sql: str, cf_enabled: bool = True) -> str:
+        """The optimized physical plan plus an execution annotation: the
+        venue the coordinator would choose right now, the cost-model
+        estimates for both venues, and the CF fan-out from the plan
+        splitter — what an operator looks at before choosing a service
+        level for an expensive query."""
+        plan, _ = self._prepare(sql)
+        return self._render_plan_report(plan, cf_enabled)
+
+    def explain_analyze(self, sql: str) -> str:
+        """Execute ``sql`` inline (VM buffer pool, no queueing or venue
+        scheduling) and render the plan annotated with each operator's
+        actual rows, bytes, GETs, cache hits, and wall-clock time."""
+        plan, _ = self._prepare(sql)
+        executor = QueryExecutor(
+            ObjectStoreSource(self._store, cache=self.vm_buffer_pool)
+        )
+        result = executor.execute(plan, analyze=True)
+        assert result.profile is not None
+        return render_analyzed_plan(plan, result.profile, result.stats)
+
+    def _estimate_stats(self, plan) -> QueryStats:
+        """Pre-execution scan-size estimate from catalog storage sizes,
+        scaled by each scan's projected column fraction.  Row counts are
+        unknown before execution, so the estimate covers the byte terms
+        of the cost model only."""
+        from repro.engine.plan import plan_scans
+
+        estimated = 0
+        for scan in plan_scans(plan):
+            if not scan.table.bucket or not scan.table.prefix:
+                continue
+            total = self._store.total_bytes(scan.table.bucket, scan.table.prefix)
+            width = max(len(scan.table.columns), 1)
+            estimated += int(total * len(scan.columns) / width)
+        return QueryStats(bytes_scanned=estimated)
+
+    def _render_plan_report(self, plan, cf_enabled: bool) -> str:
+        estimate = self._estimate_stats(plan)
+        vm_estimate = self.cost_model.vm_execution(estimate)
+        cf_estimate = self.cost_model.cf_execution(estimate)
+        use_cf = self._choose_cf(cf_enabled)
+        if use_cf:
+            venue_reason = (
+                "cf — cf acceleration enabled and the vm cluster has no free slot"
+            )
+        elif cf_enabled:
+            venue_reason = "vm — a vm slot is free"
+        else:
+            venue_reason = "vm — cf acceleration disabled for this query"
+        lines = [plan.explain(), "", "-- execution --", f"venue: {venue_reason}"]
+        lines.append(
+            f"estimated bytes scanned: {estimate.bytes_scanned}"
+            " (from catalog storage sizes x projection width)"
+        )
+        lines.append(
+            f"vm estimate: duration {vm_estimate.duration_s:.3f}s,"
+            f" provider cost ${vm_estimate.provider_cost:.6f}"
+        )
+        lines.append(
+            f"cf estimate: {cf_estimate.num_workers} workers,"
+            f" duration {cf_estimate.duration_s:.3f}s,"
+            f" provider cost ${cf_estimate.provider_cost:.6f}"
+        )
+        split = split_plan(plan)
+        lines.append(
+            f"cf fan-out: {cf_estimate.num_workers} workers execute the"
+            f" sub-plan rooted at {type(split.sub).__name__}; the top-level"
+            f" plan consumes it as {split.view.name}"
+        )
+        return "\n".join(lines)
 
     # -- VM path ---------------------------------------------------------------------
 
-    def _run_on_vm(self, execution: QueryExecution, plan) -> None:
+    def _run_on_vm(
+        self, execution: QueryExecution, plan, analyze: bool = False
+    ) -> None:
+        queue_span = self.obs.tracer.start(execution.query_id, "vm_queue")
         task = VmTask(
             task_id=execution.query_id,
-            on_start=lambda worker: self._vm_started(execution, plan, worker),
+            on_start=lambda worker: self._vm_started(
+                execution, plan, worker, analyze, queue_span
+            ),
         )
         self.vm_cluster.submit(task)
 
     def _vm_started(
-        self, execution: QueryExecution, plan, worker: VmWorker
+        self,
+        execution: QueryExecution,
+        plan,
+        worker: VmWorker,
+        analyze: bool = False,
+        queue_span=None,
     ) -> None:
+        if queue_span is not None:
+            queue_span.finish("ok")
         if execution.started_at is None:
             execution.started_at = self._sim.now
         execution.venue = ExecutionVenue.VM
+        tracer = self.obs.tracer
+        execute_span = tracer.start(
+            execution.query_id, "execute", venue="vm", worker=worker.worker_id
+        )
         try:
             executor = QueryExecutor(
                 ObjectStoreSource(self._store, cache=self.vm_buffer_pool)
             )
-            result = executor.execute(plan)
+            result = executor.execute(plan, analyze=analyze)
         except PixelsError as error:
+            execute_span.finish("error", error=str(error))
             self.vm_cluster.release(worker)
             self._fail(execution, str(error))
             return
+        if analyze and result.profile is not None:
+            execution.explain_text = render_analyzed_plan(
+                plan, result.profile, result.stats
+            )
+            result = QueryResult(
+                _text_table(execution.explain_text), result.stats, result.profile
+            )
+        self._record_scan_span(execution.query_id, execute_span, result.stats)
         estimate = self.cost_model.vm_execution(result.stats)
         if self.fault_injector is not None and self.fault_injector.vm_task_fails():
             # The worker crashes partway through; the partial work is still
             # paid for, the worker is retired, and the query retries on the
             # remaining capacity.
             fraction = self.fault_injector.failure_point()
-            execution.provider_cost += estimate.provider_cost * fraction
+            partial_cost = estimate.provider_cost * fraction
+            execution.provider_cost += partial_cost
+            self._m_provider.inc(partial_cost, venue="vm")
 
             def crash() -> None:
+                execute_span.finish("retry", reason="vm worker crashed")
                 self._vm_running.pop(execution.query_id, None)
                 self.vm_cluster.release(worker)
                 self.vm_cluster.fail_worker(worker)
@@ -304,14 +507,38 @@ class Coordinator:
             self._vm_running[execution.query_id] = (event, worker)
             return
         execution.provider_cost += estimate.provider_cost
+        self._m_provider.inc(estimate.provider_cost, venue="vm")
 
         def finish() -> None:
+            execute_span.finish(
+                "ok",
+                bytes_scanned=result.stats.bytes_scanned,
+                provider_cost=estimate.provider_cost,
+            )
             self._vm_running.pop(execution.query_id, None)
             self.vm_cluster.release(worker)
             self._succeed(execution, result)
 
         event = self._sim.schedule(estimate.duration_s, finish)
         self._vm_running[execution.query_id] = (event, worker)
+
+    def _record_scan_span(
+        self, query_id: str, parent, stats: QueryStats
+    ) -> None:
+        """An instant child span carrying the scan-side accounting."""
+        if not self.obs.tracer.enabled:
+            return
+        self.obs.tracer.start(
+            query_id,
+            "scan",
+            parent=parent,
+            bytes_scanned=stats.bytes_scanned,
+            rows_scanned=stats.rows_scanned,
+            get_requests=stats.get_requests,
+            cache_hits=stats.cache_hits,
+            cache_misses=stats.cache_misses,
+            row_groups_skipped=stats.row_groups_skipped,
+        ).finish("ok")
 
     def _retry(self, execution: QueryExecution, plan, reason: str) -> None:
         assert self.fault_injector is not None
@@ -322,6 +549,7 @@ class Coordinator:
             )
             return
         execution.retries += 1
+        self._m_retries.inc(venue="vm")
         self._run_on_vm(execution, plan)
 
     # -- CF path ---------------------------------------------------------------------
@@ -329,6 +557,9 @@ class Coordinator:
     def _run_on_cf(self, execution: QueryExecution, plan) -> None:
         execution.started_at = self._sim.now
         execution.venue = ExecutionVenue.CF
+        execute_span = self.obs.tracer.start(
+            execution.query_id, "execute", venue="cf"
+        )
         split = split_plan(plan)
         try:
             # Each CF invocation starts with a cold, invocation-private
@@ -342,23 +573,53 @@ class Coordinator:
             split.attach(sub_result.data)
             top_result = executor.execute(split.top)
         except PixelsError as error:
+            execute_span.finish("error", error=str(error))
             self._fail(execution, str(error))
             return
         # The top-level plan consumes the materialized view; the heavy
-        # statistics (bytes scanned) come from the CF sub-plan.
+        # statistics (bytes scanned, GETs, cache traffic) come from the CF
+        # sub-plan; the merge step contributes its own operator counts.
         merged_stats = QueryStats(
             bytes_scanned=sub_result.stats.bytes_scanned,
             scan_latency_s=sub_result.stats.scan_latency_s,
             rows_scanned=sub_result.stats.rows_scanned,
             rows_produced=top_result.stats.rows_produced,
             operators=sub_result.stats.operators + top_result.stats.operators,
+            get_requests=sub_result.stats.get_requests
+            + top_result.stats.get_requests,
+            cache_hits=sub_result.stats.cache_hits + top_result.stats.cache_hits,
+            cache_misses=sub_result.stats.cache_misses
+            + top_result.stats.cache_misses,
+            cache_evictions=sub_result.stats.cache_evictions
+            + top_result.stats.cache_evictions,
+            row_groups_skipped=sub_result.stats.row_groups_skipped
+            + top_result.stats.row_groups_skipped,
         )
         result = QueryResult(top_result.data, merged_stats)
         estimate = self.cost_model.cf_execution(sub_result.stats)
         execution.cf_workers = estimate.num_workers
-        self._launch_cf(execution, result, estimate)
+        self._record_scan_span(execution.query_id, execute_span, sub_result.stats)
+        if self.obs.tracer.enabled:
+            self.obs.tracer.start(
+                execution.query_id,
+                "merge",
+                parent=execute_span,
+                rows_produced=top_result.stats.rows_produced,
+            ).finish("ok")
+        execute_span.set(cf_workers=estimate.num_workers)
+        self._launch_cf(execution, result, estimate, execute_span)
 
-    def _launch_cf(self, execution: QueryExecution, result, estimate) -> None:
+    def _launch_cf(
+        self, execution: QueryExecution, result, estimate, execute_span=None
+    ) -> None:
+        tracer = self.obs.tracer
+        invoke_span = tracer.start(
+            execution.query_id,
+            "cf_invoke",
+            parent=execute_span,
+            workers=estimate.num_workers,
+            attempt=execution.retries,
+        )
         if (
             self.fault_injector is not None
             and self.fault_injector.cf_invocation_fails()
@@ -366,20 +627,25 @@ class Coordinator:
             # Failed function time is still billed; retry the fan-out.
             fraction = self.fault_injector.failure_point()
             partial = estimate.duration_s * fraction
-            execution.provider_cost += (
-                estimate.provider_cost * fraction
-            )
+            partial_cost = estimate.provider_cost * fraction
+            execution.provider_cost += partial_cost
+            self._m_provider.inc(partial_cost, venue="cf")
 
             def retry() -> None:
                 if execution.retries >= self.fault_injector.config.max_retries:
+                    invoke_span.finish("error", error="cf invocation failed")
+                    if execute_span is not None:
+                        execute_span.finish("error", error="cf invocation failed")
                     self._fail(
                         execution,
                         "CF invocation failed; gave up after "
                         f"{execution.retries} retries",
                     )
                     return
+                invoke_span.finish("retry", reason="cf invocation failed")
                 execution.retries += 1
-                self._launch_cf(execution, result, estimate)
+                self._m_retries.inc(venue="cf")
+                self._launch_cf(execution, result, estimate, execute_span)
 
             self.cf_service.invoke(
                 execution.query_id, estimate.num_workers, partial,
@@ -387,11 +653,23 @@ class Coordinator:
             )
             return
         execution.provider_cost += estimate.provider_cost
+        self._m_provider.inc(estimate.provider_cost, venue="cf")
+
+        def completed() -> None:
+            invoke_span.finish("ok")
+            if execute_span is not None:
+                execute_span.finish(
+                    "ok",
+                    bytes_scanned=result.stats.bytes_scanned,
+                    provider_cost=execution.provider_cost,
+                )
+            self._succeed(execution, result)
+
         self.cf_service.invoke(
             execution.query_id,
             estimate.num_workers,
             estimate.duration_s,
-            on_complete=lambda: self._succeed(execution, result),
+            on_complete=completed,
         )
 
     # -- batch optimization (paper §5: "opportunities for batch query
@@ -431,10 +709,13 @@ class Coordinator:
             )
             self._executions[query_id] = execution
             executions.append(execution)
+            plan_span = self.obs.tracer.start(query_id, "plan", batch=True)
             try:
                 plans.append(self._plan(sql))
                 members.append(execution)
+                plan_span.finish("ok")
             except PixelsError as error:
+                plan_span.finish("error", error=str(error))
                 self._fail(execution, str(error))
         if not members:
             return executions
@@ -451,14 +732,31 @@ class Coordinator:
         )
 
         def started(worker: VmWorker) -> None:
+            member_spans = []
             for execution in members:
                 execution.started_at = self._sim.now
                 execution.venue = ExecutionVenue.VM
                 execution.provider_cost += per_member_cost
+                self._m_provider.inc(per_member_cost, venue="vm")
+                member_spans.append(
+                    self.obs.tracer.start(
+                        execution.query_id,
+                        "execute",
+                        venue="vm",
+                        batch=True,
+                        batch_size=len(members),
+                        bytes_saved=batch.shared_stats.bytes_saved,
+                    )
+                )
 
             def finish() -> None:
                 self.vm_cluster.release(worker)
-                for execution, result in zip(members, batch.results):
+                for execution, result, span in zip(
+                    members, batch.results, member_spans
+                ):
+                    span.finish(
+                        "ok", bytes_scanned=result.stats.bytes_scanned
+                    )
                     self._succeed(execution, result)
 
             self._sim.schedule(estimate.duration_s, finish)
@@ -502,6 +800,11 @@ class Coordinator:
         self.trace.record(
             "query.finished", self._sim.now, 1, tag=execution.query_id
         )
+        venue = execution.venue.value if execution.venue is not None else "none"
+        self._m_queries.inc(venue=venue, status="ok")
+        self._m_bytes.inc(result.stats.bytes_scanned)
+        if execution.execution_time_s is not None:
+            self._m_exec_seconds.observe(execution.execution_time_s, venue=venue)
         if execution.on_complete is not None:
             execution.on_complete(execution)
 
@@ -511,6 +814,13 @@ class Coordinator:
             execution.started_at = self._sim.now
         execution.error = message
         self.trace.record("query.failed", self._sim.now, 1, tag=execution.query_id)
+        venue = execution.venue.value if execution.venue is not None else "none"
+        status = "cancelled" if "cancelled" in message else "error"
+        self._m_queries.inc(venue=venue, status=status)
+        # Safety net: no failure path may leak an open span — close
+        # whatever remains (execute attempts, queue spans, the root) with
+        # the failure status.
+        self.obs.tracer.end_open(execution.query_id, status, error=message)
         if execution.on_complete is not None:
             execution.on_complete(execution)
 

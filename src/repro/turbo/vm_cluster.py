@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.errors import ScalingError
+from repro.obs import Instrumentation
 from repro.sim import Simulator, Trace
 from repro.turbo.config import VmConfig
 
@@ -65,10 +66,26 @@ class VmCluster:
         sim: Simulator,
         config: VmConfig,
         trace: Trace | None = None,
+        obs: Instrumentation | None = None,
     ) -> None:
         self._sim = sim
         self._config = config
         self.trace = trace if trace is not None else Trace()
+        self.obs = obs if obs is not None else Instrumentation.disabled()
+        registry = self.obs.metrics
+        self._m_workers = registry.gauge(
+            "pixels_vm_workers", "Active VM workers"
+        )
+        self._m_queue = registry.gauge(
+            "pixels_vm_queue_depth", "Tasks waiting for a VM slot"
+        )
+        self._m_concurrency = registry.gauge(
+            "pixels_vm_concurrency", "Running + queued VM tasks"
+        )
+        self._m_watermark = registry.counter(
+            "pixels_vm_watermark_crossings_total",
+            "Autoscaler actions by watermark crossed",
+        )
         self._workers: list[VmWorker] = []
         self._queue: list[VmTask] = []
         self._running_tasks = 0
@@ -272,6 +289,7 @@ class VmCluster:
         self.scale_out_events += 1
         self._last_scale_event = self._sim.now
         self._pending_arrivals += to_add
+        self._m_watermark.inc(watermark="high")
         self.trace.record("vm.scale_out", self._sim.now, to_add)
         self._sim.schedule(
             self._config.scale_out_lag_s, lambda: self._arrive(to_add)
@@ -296,6 +314,7 @@ class VmCluster:
             return
         self.scale_in_events += 1
         self._last_scale_event = self._sim.now
+        self._m_watermark.inc(watermark="low")
         self.trace.record("vm.scale_in", self._sim.now, to_remove)
         # Prefer idle workers; mark busy ones to stop when they drain.
         removable = sorted(
@@ -315,3 +334,6 @@ class VmCluster:
         self.trace.record("vm.workers", now, self.num_workers)
         self.trace.record("vm.concurrency", now, self.concurrency)
         self.trace.record("vm.queue", now, len(self._queue))
+        self._m_workers.set(self.num_workers)
+        self._m_queue.set(len(self._queue))
+        self._m_concurrency.set(self.concurrency)

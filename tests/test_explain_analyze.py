@@ -1,0 +1,126 @@
+"""EXPLAIN / EXPLAIN ANALYZE: parser, executor profiles, renderer, and
+the coordinator/query-server front end."""
+
+from tests.conftest import run_query
+
+from repro.core import QueryStatus, ServiceLevel
+from repro.engine.sql import ast
+from repro.engine.sql.parser import parse_sql
+from repro.obs import render_analyzed_plan
+
+
+class TestParser:
+    def test_explain(self):
+        statement = parse_sql("EXPLAIN SELECT o_orderkey FROM orders")
+        assert isinstance(statement, ast.Explain)
+        assert not statement.analyze
+        assert isinstance(statement.statement, ast.SelectStatement)
+
+    def test_explain_analyze(self):
+        statement = parse_sql("explain analyze SELECT 1")
+        assert isinstance(statement, ast.Explain)
+        assert statement.analyze
+
+    def test_to_sql_round_trip(self):
+        statement = parse_sql("EXPLAIN ANALYZE SELECT o_orderkey FROM orders")
+        assert statement.to_sql().startswith("EXPLAIN ANALYZE SELECT")
+        again = parse_sql(statement.to_sql())
+        assert again == statement
+
+
+class TestExecutorProfile:
+    def test_profile_mirrors_plan_tree(self, mini_engine):
+        planner, optimizer, executor = mini_engine
+        plan = optimizer.optimize(
+            planner.plan_sql(
+                "SELECT o_orderstatus, COUNT(*) FROM orders "
+                "WHERE o_totalprice > 150 GROUP BY o_orderstatus"
+            )
+        )
+        result = executor.execute(plan, analyze=True)
+        profile = result.profile
+        assert profile is not None
+
+        def flatten(node):
+            yield node
+            for child in node.children:
+                yield from flatten(child)
+
+        names = [p.name for p in flatten(profile)]
+        assert names[0] == type(plan).__name__
+        assert "Scan" in names
+        # Root operator produced the final result's rows.
+        assert profile.rows_out == result.data.num_rows
+        assert all(p.time_s >= 0 for p in flatten(profile))
+
+    def test_no_profile_without_analyze(self, mini_engine):
+        result = run_query(mini_engine, "SELECT COUNT(*) FROM orders")
+        assert result.profile is None
+
+    def test_renderer_annotates_every_line(self, mini_store_engine):
+        planner, optimizer, executor = mini_store_engine
+        plan = optimizer.optimize(
+            planner.plan_sql("SELECT COUNT(*) FROM orders WHERE o_totalprice > 150")
+        )
+        result = executor.execute(plan, analyze=True)
+        text = render_analyzed_plan(plan, result.profile, result.stats)
+        lines = text.splitlines()
+        plan_lines = [line for line in lines if line and not line.startswith("totals:")]
+        assert all("[rows=" in line for line in plan_lines)
+        assert lines[-1].startswith("totals: bytes_scanned=")
+        # Object-store execution reports real GET/cache accounting.
+        assert result.stats.get_requests > 0
+        assert f"get_requests={result.stats.get_requests}" in lines[-1]
+
+
+class TestCoordinatorFrontEnd:
+    def test_explain_report_annotations(self, turbo_env):
+        sim, store, catalog, config, coordinator, server = turbo_env
+        text = coordinator.explain(
+            "SELECT l_returnflag, COUNT(*) FROM lineitem GROUP BY l_returnflag"
+        )
+        assert "Scan tpch.lineitem" in text
+        assert "venue: vm — a vm slot is free" in text
+        assert "estimated bytes scanned:" in text
+        assert "vm estimate:" in text
+        assert "cf estimate:" in text
+        assert "cf fan-out:" in text
+
+    def test_explain_reflects_cf_switch(self, turbo_env):
+        sim, store, catalog, config, coordinator, server = turbo_env
+        text = coordinator.explain("SELECT COUNT(*) FROM nation", cf_enabled=False)
+        assert "cf acceleration disabled" in text
+
+    def test_submitted_explain_returns_plan_rows_and_bills_nothing(self, turbo_env):
+        sim, store, catalog, config, coordinator, server = turbo_env
+        record = server.submit(
+            "EXPLAIN SELECT COUNT(*) FROM nation", ServiceLevel.IMMEDIATE
+        )
+        sim.run_until(60)
+        assert record.status is QueryStatus.FINISHED
+        assert record.price == 0.0
+        lines = [row[0] for row in record.result_rows()]
+        assert any(line.startswith("Scan tpch.nation") for line in map(str.strip, lines))
+        assert any("venue:" in line for line in lines)
+
+    def test_submitted_explain_analyze_runs_and_annotates(self, turbo_env):
+        sim, store, catalog, config, coordinator, server = turbo_env
+        record = server.submit(
+            "EXPLAIN ANALYZE SELECT l_returnflag, COUNT(*) FROM lineitem "
+            "GROUP BY l_returnflag",
+            ServiceLevel.IMMEDIATE,
+        )
+        sim.run_until(600)
+        assert record.status is QueryStatus.FINISHED
+        lines = [row[0] for row in record.result_rows()]
+        assert any("[rows=" in line for line in lines)
+        assert lines[-1].startswith("totals:")
+        # ANALYZE really scans, so it bills like the underlying query.
+        assert record.price > 0
+        assert record.execution.venue is not None
+
+    def test_inline_explain_analyze(self, turbo_env):
+        sim, store, catalog, config, coordinator, server = turbo_env
+        text = coordinator.explain_analyze("SELECT COUNT(*) FROM region")
+        assert "[rows=1 " in text
+        assert "totals:" in text

@@ -1,0 +1,118 @@
+"""Unit tests for the metrics registry (repro.obs.metrics)."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, NoopMetricsRegistry
+from repro.obs.metrics import NOOP_INSTRUMENT
+
+
+class TestCounter:
+    def test_inc_and_labels(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests_total", "requests")
+        counter.inc()
+        counter.inc(2, venue="vm")
+        counter.inc(3, venue="vm")
+        assert counter.value() == 1
+        assert counter.value(venue="vm") == 5
+        assert counter.value(venue="cf") == 0
+
+    def test_cannot_decrease(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_set_total_overwrites(self):
+        counter = MetricsRegistry().counter("c")
+        counter.set_total(41, kind="get")
+        counter.set_total(42, kind="get")
+        assert counter.value(kind="get") == 42
+
+    def test_label_order_is_irrelevant(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(1, a="x", b="y")
+        assert gauge.value(b="y", a="x") == 1
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(5)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value() == 4
+
+
+class TestHistogram:
+    def test_observe_counts_and_sums(self):
+        hist = MetricsRegistry().histogram("lat", buckets=(1.0, 10.0))
+        hist.observe(0.5)
+        hist.observe(5.0)
+        hist.observe(100.0)
+        assert hist.count() == 3
+        assert hist.sum() == 105.5
+
+    def test_render_has_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat_seconds", "latency", buckets=(1.0, 10.0))
+        hist.observe(0.5)
+        hist.observe(5.0)
+        text = registry.render()
+        assert 'lat_seconds_bucket{le="1"} 1' in text
+        assert 'lat_seconds_bucket{le="10"} 2' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 2' in text
+        assert "lat_seconds_sum 5.5" in text
+        assert "lat_seconds_count 2" in text
+
+    def test_needs_buckets(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("h", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_render_exposition_format(self):
+        registry = MetricsRegistry()
+        registry.counter("b_total", "bees").inc(2, hive="a")
+        registry.gauge("a_depth").set(3)
+        text = registry.render()
+        lines = text.splitlines()
+        # Sorted by metric name, HELP/TYPE precede samples.
+        assert lines[0] == "# TYPE a_depth gauge"
+        assert lines[1] == "a_depth 3"
+        assert lines[2] == "# HELP b_total bees"
+        assert lines[3] == "# TYPE b_total counter"
+        assert lines[4] == 'b_total{hive="a"} 2'
+        assert text.endswith("\n")
+
+    def test_collectors_run_at_render(self):
+        registry = MetricsRegistry()
+        depth = registry.gauge("queue_depth")
+        queue = [1, 2, 3]
+        registry.add_collector(lambda: depth.set(len(queue)))
+        assert "queue_depth 3" in registry.render()
+        queue.append(4)
+        assert "queue_depth 4" in registry.render()
+
+
+class TestNoopRegistry:
+    def test_swallows_everything(self):
+        registry = NoopMetricsRegistry()
+        assert not registry.enabled
+        counter = registry.counter("c")
+        assert counter is NOOP_INSTRUMENT
+        counter.inc(5)
+        assert counter.value() == 0
+        registry.gauge("g").set(7)
+        registry.histogram("h").observe(1.0)
+        registry.add_collector(lambda: 1 / 0)  # never runs
+        assert registry.render() == ""
