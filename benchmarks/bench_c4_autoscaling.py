@@ -14,7 +14,13 @@ minimum size by the end.
 import numpy as np
 import pytest
 
-from common import HEAVY_SQL, format_row, report, tpch_environment
+from common import (
+    HEAVY_SQL,
+    format_row,
+    report,
+    tpch_environment,
+    write_observability_artifacts,
+)
 from repro.baselines import run_workload
 from repro.baselines.runner import Submission
 from repro.core import ServiceLevel
@@ -34,7 +40,9 @@ def run_experiment():
         Submission(time, HEAVY_SQL, ServiceLevel.RELAXED) for time in arrivals
     ]
     config = TurboConfig.experiment()
-    result = run_workload(submissions, store, catalog, "tpch", config)
+    result = run_workload(
+        submissions, store, catalog, "tpch", config, observe=True
+    )
     return config, result
 
 
@@ -66,6 +74,19 @@ def test_c4_autoscaling(benchmark):
     for point in downsample(worker_series, 120.0):
         bar = "#" * int(point.value)
         lines.append(f"  t={point.time:6.0f}s  {bar} {int(point.value)}")
+    audit = cluster.audit_log
+    lines += ["", "autoscaler decision audit (first 8):"]
+    for decision in audit[:8]:
+        lines.append(
+            f"  t={decision.time:6.0f}s {decision.action:<10} "
+            f"trigger={decision.trigger_value:.2f} vs {decision.threshold:g}  "
+            f"workers {decision.workers_before}{decision.delta:+d} "
+            f"-> {decision.workers_target}"
+        )
+    paths = write_observability_artifacts(
+        "c4", result, "C4 watermark auto-scaling"
+    )
+    lines += ["", f"observability artifacts: {sorted(paths)}"]
     report("C4  Watermark auto-scaling on a bursty workload, paper §3.1", lines)
 
     assert cluster.scale_out_events >= 2  # bursts at ~1200s and ~2400s
@@ -75,3 +96,14 @@ def test_c4_autoscaling(benchmark):
     assert all(q.status.value == "finished" for q in result.queries)
     # Scale-outs happen during/after bursts, not during the quiet start.
     assert min(scale_out_times) >= 1200.0
+    # The audit log is 1:1 with the watermark-crossing counter.
+    crossings = result.obs.metrics.get("pixels_vm_watermark_crossings_total")
+    assert len([d for d in audit if d.action == "scale_out"]) == crossings.value(
+        watermark="high"
+    )
+    assert len([d for d in audit if d.action == "scale_in"]) == crossings.value(
+        watermark="low"
+    )
+    # The scrape loop sampled worker counts on its fixed cadence too.
+    ts_workers = result.timeseries.series("pixels_vm_workers")
+    assert max(v for _, v in ts_workers) == peak_workers

@@ -19,7 +19,13 @@ idle-cluster fast path.
 import numpy as np
 import pytest
 
-from common import HEAVY_SQL, format_row, report, tpch_environment
+from common import (
+    HEAVY_SQL,
+    format_row,
+    report,
+    tpch_environment,
+    write_observability_artifacts,
+)
 from repro.baselines import run_workload
 from repro.baselines.runner import Submission
 from repro.core import ServiceLevel
@@ -38,7 +44,9 @@ def run_experiment():
     for index in range(45):
         level = list(ServiceLevel)[index % 3]
         submissions.append(Submission(300.0 + index * 0.07, HEAVY_SQL, level))
-    result = run_workload(submissions, store, catalog, "tpch", config)
+    result = run_workload(
+        submissions, store, catalog, "tpch", config, observe=True
+    )
     return config, result
 
 
@@ -84,6 +92,21 @@ def test_c5_pending_time(benchmark):
         f"idle-cluster relaxed pending    : {idle_relaxed.pending_time_s:.1f}s",
         f"idle-cluster best-effort pending: {idle_best.pending_time_s:.1f}s",
     ]
+    slo = result.obs.slo.snapshot()["levels"]
+    lines += ["", "SLO compliance (pending-time deadlines):"]
+    for name in ("immediate", "relaxed", "best_effort"):
+        level = slo.get(name, {})
+        compliance = level.get("compliance")
+        rendered = "-" if compliance is None else f"{100 * compliance:.1f}%"
+        lines.append(
+            f"  {name:<12} queries={level.get('queries', 0):>3} "
+            f"violations={level.get('violations', 0):>3} "
+            f"compliance={rendered}"
+        )
+    paths = write_observability_artifacts(
+        "c5", result, "C5 pending-time semantics"
+    )
+    lines += ["", f"observability artifacts: {sorted(paths)}"]
     report("C5  Pending-time semantics of the three levels, paper §3.2", lines)
 
     immediate_mean, immediate_max = stats(ServiceLevel.IMMEDIATE)
@@ -97,3 +120,6 @@ def test_c5_pending_time(benchmark):
     assert idle_relaxed.pending_time_s == 0.0
     assert idle_best.pending_time_s <= 1.0
     assert all(q.status.value == "finished" for q in result.queries)
+    # SLO view agrees: immediate's zero-pending deadline never violates.
+    assert slo["immediate"]["compliance"] == 1.0
+    assert slo["immediate"]["violations"] == 0

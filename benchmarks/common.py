@@ -54,6 +54,38 @@ def logs_environment(num_rows: int = 5000, seed: int = 7):
     return _DATASET_CACHE[key]
 
 
+def write_observability_artifacts(slug: str, result, title: str) -> dict[str, str]:
+    """Persist an observed replay's exports under ``benchmarks/results/``.
+
+    Writes the time-series JSONL, alert transition log, autoscaler audit
+    log, SLO record dump, and the rendered dashboard HTML — all
+    deterministic, so re-runs diff cleanly.  Returns {kind: path}.
+    Requires ``run_workload(observe=True)``.
+    """
+    from repro.obs.dashboard import render_dashboard_html
+
+    results_dir = os.path.join(os.path.dirname(__file__), "results")
+    os.makedirs(results_dir, exist_ok=True)
+    data = result.dashboard_data(title)  # takes the final scrape
+    artifacts = {
+        "timeseries": (f"{slug}_timeseries.jsonl", result.timeseries.export_jsonl()),
+        "alerts": (f"{slug}_alerts.jsonl", result.alerts.export_jsonl()),
+        "audit": (
+            f"{slug}_audit.jsonl",
+            result.coordinator.vm_cluster.export_audit_jsonl(),
+        ),
+        "slo": (f"{slug}_slo.json", result.obs.slo.export_json() + "\n"),
+        "dashboard": (f"{slug}_dashboard.html", render_dashboard_html(data)),
+    }
+    paths: dict[str, str] = {}
+    for kind, (filename, payload) in artifacts.items():
+        path = os.path.join(results_dir, filename)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        paths[kind] = path
+    return paths
+
+
 REPORTS: list[tuple[str, list[str]]] = []
 
 

@@ -35,6 +35,13 @@ from repro.core import QueryServer, QueryStatus, ServerQuery, ServiceLevel
 from repro.errors import PixelsError, TranslationError
 from repro.nl2sql import CodesService
 from repro.obs import Instrumentation
+from repro.obs.alerts import AlertEngine, BurnRateRule, ThresholdRule, default_rules
+from repro.obs.dashboard import (
+    DashboardData,
+    render_dashboard_html,
+    render_dashboard_text,
+)
+from repro.obs.timeseries import ScrapeLoop, TimeSeriesStore
 from repro.rover import RoverServer, UserStore
 from repro.sim import Simulator
 from repro.storage import BufferPool, CacheConfig, Catalog, ObjectStore
@@ -45,11 +52,14 @@ from repro.workloads.tpch import TpchTable
 __version__ = "1.0.0"
 
 __all__ = [
+    "AlertEngine",
     "BufferPool",
+    "BurnRateRule",
     "CacheConfig",
     "Catalog",
     "CodesService",
     "Coordinator",
+    "DashboardData",
     "Instrumentation",
     "ObjectStore",
     "PixelsDB",
@@ -57,12 +67,18 @@ __all__ = [
     "QueryServer",
     "QueryStatus",
     "RoverServer",
+    "ScrapeLoop",
     "ServerQuery",
     "ServiceLevel",
     "Simulator",
+    "ThresholdRule",
+    "TimeSeriesStore",
     "TurboConfig",
     "UserStore",
     "__version__",
+    "default_rules",
+    "render_dashboard_html",
+    "render_dashboard_text",
 ]
 
 
@@ -80,21 +96,44 @@ class PixelsDB:
         config: TurboConfig | None = None,
         seed: int = 0,
         observe: bool = False,
+        scrape_interval_s: float = 30.0,
+        alert_rules: list[BurnRateRule | ThresholdRule] | None = None,
     ) -> None:
-        """``observe=True`` switches on the tracer + metrics registry
-        (:mod:`repro.obs`); the default is the inert no-op pair."""
+        """``observe=True`` switches on the full observability stack
+        (:mod:`repro.obs`): tracer, metrics registry, SLO tracker, a
+        scrape loop snapshotting metrics every ``scrape_interval_s``
+        simulated seconds, and the burn-rate alert engine.  The default
+        is the inert no-op pair — query results and billed prices are
+        identical either way."""
         self.config = config if config is not None else TurboConfig()
+        self.seed = seed
         self.sim = Simulator(seed=seed)
-        self.obs = (
-            Instrumentation.create(clock=lambda: self.sim.now)
-            if observe
-            else Instrumentation.disabled()
-        )
         self.store = ObjectStore()
         self.catalog = Catalog()
         self.codes = CodesService()
         self._coordinators: dict[str, Coordinator] = {}
         self._servers: dict[str, QueryServer] = {}
+        self.timeseries: TimeSeriesStore | None = None
+        self.alerts: AlertEngine | None = None
+        self.scrape_loop: ScrapeLoop | None = None
+        if observe:
+            self.obs = Instrumentation.create(clock=lambda: self.sim.now)
+            self.timeseries = TimeSeriesStore()
+            self.alerts = AlertEngine(
+                rules=alert_rules if alert_rules is not None else default_rules(),
+                registry=self.obs.metrics,
+                slo=self.obs.slo,
+                store=self.timeseries,
+            )
+            self.scrape_loop = ScrapeLoop(
+                self.sim,
+                self.obs.metrics,
+                self.timeseries,
+                interval_s=scrape_interval_s,
+                listeners=[self.alerts.evaluate],
+            )
+        else:
+            self.obs = Instrumentation.disabled()
 
     # -- data loading -------------------------------------------------------------
 
@@ -192,6 +231,75 @@ class PixelsDB:
     def export_traces(self) -> str:
         """Every recorded trace as one JSON document."""
         return self.obs.tracer.export_all_json()
+
+    # -- SLO engine ----------------------------------------------------------------
+
+    def slo_report(self) -> dict:
+        """Per-level compliance ratios, violation counts, and
+        error-budget state (empty without ``observe=True``)."""
+        return self.obs.slo.snapshot()
+
+    def slo_json(self) -> str:
+        """Every SLO record plus the summary, as deterministic JSON."""
+        return self.obs.slo.export_json()
+
+    def timeseries_jsonl(self) -> str:
+        """The scrape loop's time-series store as deterministic JSONL.
+
+        Takes one final scrape first so the tail of the run (after the
+        last cadence tick) is captured."""
+        if self.scrape_loop is None:
+            return ""
+        self.scrape_loop.scrape()
+        return self.scrape_loop.store.export_jsonl()
+
+    def alerts_jsonl(self) -> str:
+        """The alert engine's transition log as deterministic JSONL."""
+        return self.alerts.export_jsonl() if self.alerts is not None else ""
+
+    def autoscaler_audit(self) -> list[dict]:
+        """Every VM cluster's scaling decisions, time-ordered, with the
+        owning schema attached — 1:1 with watermark-crossing counts."""
+        entries: list[dict] = []
+        for schema in sorted(self._coordinators):
+            cluster = self._coordinators[schema].vm_cluster
+            for decision in cluster.audit_log:
+                entries.append({"schema": schema, **decision.to_dict()})
+        entries.sort(key=lambda entry: (entry["time"], entry["schema"]))
+        return entries
+
+    def autoscaler_audit_jsonl(self) -> str:
+        import json as _json
+
+        lines = [
+            _json.dumps(entry, sort_keys=True)
+            for entry in self.autoscaler_audit()
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def dashboard_data(self, title: str = "PixelsDB operator dashboard") -> DashboardData:
+        """The bundle both dashboard renderers consume (final scrape
+        included)."""
+        if self.scrape_loop is not None:
+            self.scrape_loop.scrape()
+        return DashboardData.build(
+            title=title,
+            now=self.sim.now,
+            timeseries=self.timeseries or TimeSeriesStore(),
+            slo=self.obs.slo,
+            alerts=self.alerts,
+            audit=self.autoscaler_audit(),
+            seed=self.seed,
+        )
+
+    def dashboard_html(self, title: str = "PixelsDB operator dashboard") -> str:
+        """Self-contained static HTML operator report — byte-identical
+        across same-seed runs."""
+        return render_dashboard_html(self.dashboard_data(title))
+
+    def dashboard_text(self, title: str = "PixelsDB operator dashboard") -> str:
+        """Console rendering of the same report."""
+        return render_dashboard_text(self.dashboard_data(title))
 
     # -- simulated time ------------------------------------------------------------------
 

@@ -14,6 +14,10 @@ from dataclasses import dataclass, field
 
 from repro.core.query_server import QueryServer, ServerQuery
 from repro.core.service_levels import QueryStatus, ServiceLevel
+from repro.obs import Instrumentation
+from repro.obs.alerts import AlertEngine, BurnRateRule, ThresholdRule, default_rules
+from repro.obs.dashboard import DashboardData
+from repro.obs.timeseries import ScrapeLoop, TimeSeriesStore
 from repro.sim import Simulator
 from repro.storage.catalog import Catalog
 from repro.storage.object_store import ObjectStore
@@ -39,6 +43,11 @@ class WorkloadResult:
     coordinator: Coordinator
     server: QueryServer
     queries: list[ServerQuery] = field(default_factory=list)
+    # Populated only when run_workload(observe=True):
+    obs: Instrumentation | None = None
+    timeseries: TimeSeriesStore | None = None
+    alerts: AlertEngine | None = None
+    scrape: ScrapeLoop | None = None
 
     def of_level(self, level: ServiceLevel) -> list[ServerQuery]:
         return [query for query in self.queries if query.level is level]
@@ -92,6 +101,25 @@ class WorkloadResult:
             total += query.execution.provider_cost
         return total
 
+    def dashboard_data(self, title: str) -> DashboardData:
+        """The operator-dashboard bundle for an observed replay
+        (requires ``run_workload(observe=True)``)."""
+        if self.obs is None or self.timeseries is None:
+            raise ValueError("run the workload with observe=True first")
+        if self.scrape is not None:
+            self.scrape.scrape()
+        return DashboardData.build(
+            title=title,
+            now=self.sim.now,
+            timeseries=self.timeseries,
+            slo=self.obs.slo,
+            alerts=self.alerts,
+            audit=[
+                decision.to_dict()
+                for decision in self.coordinator.vm_cluster.audit_log
+            ],
+        )
+
 
 def run_workload(
     submissions: list[Submission],
@@ -103,6 +131,9 @@ def run_workload(
     seed: int = 0,
     horizon_s: float | None = None,
     coordinator_kwargs: dict | None = None,
+    observe: bool = False,
+    scrape_interval_s: float = 30.0,
+    alert_rules: list[BurnRateRule | ThresholdRule] | None = None,
 ) -> WorkloadResult:
     """Replay ``submissions`` against a fresh engine instance.
 
@@ -114,15 +145,51 @@ def run_workload(
         horizon_s: Stop the simulation at this time even if queries are
             still held (needed for best-effort queries that may never run
             in a saturated-forever scenario); None runs to quiescence.
+        observe: Turn on the observability stack (tracer, metrics, SLO
+            tracker, scrape loop, alert engine); query results and
+            billed prices are unchanged either way.
+        scrape_interval_s: Virtual-time cadence of the scrape loop.
+        alert_rules: Alert rule set; defaults to
+            :func:`repro.obs.alerts.default_rules`.
     """
     if config is None:
         config = TurboConfig()
     sim = Simulator(seed=seed)
-    coordinator = coordinator_cls(
-        sim, config, catalog, store, schema, **(coordinator_kwargs or {})
-    )
+    kwargs = dict(coordinator_kwargs or {})
+    obs: Instrumentation | None = None
+    timeseries: TimeSeriesStore | None = None
+    alerts: AlertEngine | None = None
+    scrape: ScrapeLoop | None = None
+    if observe:
+        obs = kwargs.get("obs")
+        if obs is None:
+            obs = Instrumentation.create(clock=lambda: sim.now)
+            kwargs["obs"] = obs
+        timeseries = TimeSeriesStore()
+        alerts = AlertEngine(
+            rules=alert_rules if alert_rules is not None else default_rules(),
+            registry=obs.metrics,
+            slo=obs.slo,
+            store=timeseries,
+        )
+        scrape = ScrapeLoop(
+            sim,
+            obs.metrics,
+            timeseries,
+            interval_s=scrape_interval_s,
+            listeners=[alerts.evaluate],
+        )
+    coordinator = coordinator_cls(sim, config, catalog, store, schema, **kwargs)
     server = QueryServer(sim, coordinator, config)
-    result = WorkloadResult(sim=sim, coordinator=coordinator, server=server)
+    result = WorkloadResult(
+        sim=sim,
+        coordinator=coordinator,
+        server=server,
+        obs=obs,
+        timeseries=timeseries,
+        alerts=alerts,
+        scrape=scrape,
+    )
 
     def make_submit(submission: Submission):
         def submit() -> None:
@@ -143,6 +210,8 @@ def run_workload(
         sim.run_until(horizon_s)
     else:
         _run_to_quiescence(sim, result, last_arrival)
+    if scrape is not None:
+        scrape.scrape()  # capture the final state past the last tick
     return result
 
 

@@ -25,6 +25,7 @@ from typing import Callable
 from repro.errors import NoSuchQueryError, QueryRejectedError
 from repro.core.service_levels import QueryStatus, ServiceLevel
 from repro.obs import ROOT, Span
+from repro.obs.slo import SLACK_BUCKETS
 from repro.sim import Simulator
 from repro.turbo.coordinator import Coordinator, QueryExecution
 from repro.turbo.config import TurboConfig
@@ -147,6 +148,11 @@ class QueryServer:
             "pixels_server_queue_depth",
             "Queries held in the server's per-level queues",
         )
+        self._m_slack = registry.histogram(
+            "pixels_query_deadline_slack_seconds",
+            "Deadline minus pending time; negative buckets are violations",
+            buckets=SLACK_BUCKETS,
+        )
         registry.add_collector(self._collect_queue_depth)
         sim.schedule(config.scheduler_interval_s, self._tick)
 
@@ -178,6 +184,17 @@ class QueryServer:
         """$/TB-scan rate shown on the submission form (Figure 3)."""
         return self._coordinator.cost_model.price_per_tb(level)
 
+    def deadline_for(self, level: ServiceLevel) -> float | None:
+        """The published pending-time deadline of ``level`` (§3.2):
+        immediate starts at once, relaxed starts before the grace period
+        expires, best-of-effort carries no deadline.  This is the SLO
+        the tracker holds each completed query against."""
+        if level is ServiceLevel.IMMEDIATE:
+            return 0.0
+        if level is ServiceLevel.RELAXED:
+            return self._config.grace_period_s
+        return None
+
     # -- submission ---------------------------------------------------------------
 
     def submit(
@@ -208,8 +225,16 @@ class QueryServer:
         self._m_submitted.inc(level=level.value)
         tracer = self.obs.tracer
         if tracer.enabled:
+            # price_fraction + deadline_s let traces join SLO records by
+            # query id without re-deriving level semantics.
             self._root_spans[query_id] = tracer.start(
-                query_id, "query", parent=ROOT, level=level.value, sql=sql
+                query_id,
+                "query",
+                parent=ROOT,
+                level=level.value,
+                sql=sql,
+                price_fraction=level.price_fraction,
+                deadline_s=self.deadline_for(level),
             )
             tracer.start(query_id, "submit", level=level.value).finish(
                 price_per_tb=self.price_quote(level)
@@ -369,6 +394,25 @@ class QueryServer:
                 execution.result.stats, record.level
             )
             self._m_billed.inc(record.price, level=record.level.value)
+            deadline = self.deadline_for(record.level)
+            pending = record.pending_time_s
+            slack = (
+                deadline - pending
+                if deadline is not None and pending is not None
+                else None
+            )
+            if slack is not None:
+                self._m_slack.observe(slack, level=record.level.value)
+            if pending is not None:
+                self.obs.slo.record(
+                    query_id=record.query_id,
+                    level=record.level.value,
+                    submitted_at=record.submitted_at,
+                    finished_at=self._sim.now,
+                    deadline_s=deadline,
+                    actual_s=pending,
+                    billed=record.price,
+                )
             root = self._root_spans.pop(record.query_id, None)
             if root is not None:
                 self.obs.tracer.start(
@@ -378,7 +422,10 @@ class QueryServer:
                     level=record.level.value,
                     price=record.price,
                     price_per_tb=self.price_quote(record.level),
+                    price_fraction=record.level.price_fraction,
                     bytes_scanned=execution.result.stats.bytes_scanned,
+                    deadline_s=deadline,
+                    slack_s=slack,
                 ).finish()
             self.obs.tracer.end_open(record.query_id, "ok")
         else:

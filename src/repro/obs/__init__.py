@@ -30,6 +30,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NoopMetricsRegistry,
 )
+from repro.obs.slo import NoopSloTracker, SloObjective, SloRecord, SloTracker
 from repro.obs.tracer import NOOP_SPAN, NOOP_TRACER, ROOT, NoopTracer, Span, Tracer
 
 __all__ = [
@@ -40,9 +41,13 @@ __all__ = [
     "Instrumentation",
     "MetricsRegistry",
     "NoopMetricsRegistry",
+    "NoopSloTracker",
     "NoopTracer",
     "NOOP_SPAN",
     "NOOP_TRACER",
+    "SloObjective",
+    "SloRecord",
+    "SloTracker",
     "Span",
     "Tracer",
     "render_analyzed_plan",
@@ -51,22 +56,29 @@ __all__ = [
 
 @dataclass
 class Instrumentation:
-    """A tracer + metrics registry pair threaded through the system."""
+    """A tracer + metrics registry + SLO tracker threaded through the
+    system.  All three default to their inert twins."""
 
     tracer: Tracer = field(default_factory=NoopTracer)
     metrics: MetricsRegistry = field(default_factory=NoopMetricsRegistry)
+    slo: SloTracker = field(default_factory=NoopSloTracker)
 
     @property
     def enabled(self) -> bool:
-        return self.tracer.enabled or self.metrics.enabled
+        return self.tracer.enabled or self.metrics.enabled or self.slo.enabled
 
     @staticmethod
     def disabled() -> "Instrumentation":
         """The no-op default: nothing recorded, near-zero overhead."""
-        return Instrumentation(NoopTracer(), NoopMetricsRegistry())
+        return Instrumentation(NoopTracer(), NoopMetricsRegistry(), NoopSloTracker())
 
     @staticmethod
-    def create(clock: Callable[[], float] | None = None) -> "Instrumentation":
-        """A live pair; pass the simulator's clock (``lambda: sim.now``)
+    def create(
+        clock: Callable[[], float] | None = None,
+        objectives: list[SloObjective] | None = None,
+    ) -> "Instrumentation":
+        """A live triple; pass the simulator's clock (``lambda: sim.now``)
         so span timestamps are virtual and reproducible."""
-        return Instrumentation(Tracer(clock), MetricsRegistry())
+        return Instrumentation(
+            Tracer(clock), MetricsRegistry(), SloTracker(objectives)
+        )

@@ -1,0 +1,422 @@
+"""The operator dashboard: a time-series export rendered as one file.
+
+:func:`render_dashboard_html` turns a :class:`DashboardData` bundle into
+a **self-contained** static HTML report — inline CSS, inline SVG
+sparklines, no scripts, no external fetches — so it can be archived as a
+CI artifact and diffed byte-for-byte between runs.
+:func:`render_dashboard_text` is the console variant (unicode block
+sparklines) for terminals and bench logs.
+
+Determinism rules both renderers: iteration orders are sorted, floats go
+through one fixed formatter, and all inputs come from virtual-clock
+exports — so same-seed runs produce identical bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from html import escape
+
+from repro.obs.alerts import AlertEngine, AlertEvent
+from repro.obs.slo import SloTracker
+from repro.obs.timeseries import TimeSeriesStore
+
+#: Series drawn as sparklines, in display order: (metric, labels, title).
+DEFAULT_PANELS: tuple[tuple[str, tuple[tuple[str, str], ...], str], ...] = (
+    ("pixels_vm_workers", (), "VM workers"),
+    ("pixels_vm_queue_depth", (), "VM queue depth"),
+    ("pixels_vm_concurrency", (), "VM concurrency"),
+    (
+        "pixels_server_queue_depth",
+        (("level", "relaxed"),),
+        "held relaxed queries",
+    ),
+    (
+        "pixels_server_queue_depth",
+        (("level", "best_effort"),),
+        "held best-effort queries",
+    ),
+    ("pixels_vm_watermark_crossings_total", (("watermark", "high"),), "scale-outs"),
+    ("pixels_vm_watermark_crossings_total", (("watermark", "low"),), "scale-ins"),
+)
+
+_LEVEL_ORDER = ("immediate", "relaxed", "best_effort")
+
+
+def _fmt(value: float | None, digits: int = 6) -> str:
+    """The one float formatter: fixed significant digits, no locale."""
+    if value is None:
+        return "-"
+    if value != value:  # NaN
+        return "nan"
+    return f"{value:.{digits}g}"
+
+
+def _pct(value: float | None) -> str:
+    return "-" if value is None else f"{100.0 * value:.2f}%"
+
+
+@dataclass
+class DashboardData:
+    """Everything one dashboard render consumes."""
+
+    title: str
+    generated_at: float  # simulated seconds at export time
+    seed: int | None = None
+    timeseries: TimeSeriesStore = field(default_factory=TimeSeriesStore)
+    slo: dict = field(default_factory=lambda: {"levels": {}})
+    alerts: list[AlertEvent] = field(default_factory=list)
+    firing: list[str] = field(default_factory=list)
+    audit: list[dict] = field(default_factory=list)
+
+    @staticmethod
+    def build(
+        title: str,
+        now: float,
+        timeseries: TimeSeriesStore,
+        slo: SloTracker | None = None,
+        alerts: AlertEngine | None = None,
+        audit: list[dict] | None = None,
+        seed: int | None = None,
+    ) -> "DashboardData":
+        return DashboardData(
+            title=title,
+            generated_at=now,
+            seed=seed,
+            timeseries=timeseries,
+            slo=slo.snapshot() if slo is not None else {"levels": {}},
+            alerts=list(alerts.events) if alerts is not None else [],
+            firing=alerts.firing() if alerts is not None else [],
+            audit=list(audit or []),
+        )
+
+
+def _ordered_levels(levels: dict) -> list[str]:
+    known = [name for name in _LEVEL_ORDER if name in levels]
+    extra = sorted(name for name in levels if name not in _LEVEL_ORDER)
+    return known + extra
+
+
+def _cache_hit_ratio_series(store: TimeSeriesStore) -> list[tuple[float, float]]:
+    """Chunk-cache hit ratio at each scrape, from cumulative counters."""
+    hits = dict(
+        store.series(
+            "pixels_cache_events_total", kind="chunk", outcome="hit"
+        )
+    )
+    misses = dict(
+        store.series(
+            "pixels_cache_events_total", kind="chunk", outcome="miss"
+        )
+    )
+    out: list[tuple[float, float]] = []
+    for time in sorted(set(hits) | set(misses)):
+        hit = hits.get(time, 0.0)
+        total = hit + misses.get(time, 0.0)
+        if total > 0:
+            out.append((time, hit / total))
+    return out
+
+
+def _billed_series(store: TimeSeriesStore, level: str) -> list[tuple[float, float]]:
+    return store.series("pixels_billed_dollars_total", level=level)
+
+
+# -- SVG sparklines -------------------------------------------------------------
+
+_SPARK_W = 220.0
+_SPARK_H = 42.0
+_SPARK_PAD = 3.0
+
+
+def _sparkline_svg(samples: list[tuple[float, float]]) -> str:
+    """A fixed-size inline SVG polyline over ``(time, value)`` samples."""
+    if not samples:
+        return '<svg class="spark" viewBox="0 0 220 42"></svg>'
+    times = [t for t, _ in samples]
+    values = [v for _, v in samples]
+    t0, t1 = min(times), max(times)
+    v0, v1 = min(values), max(values)
+    t_span = (t1 - t0) or 1.0
+    v_span = (v1 - v0) or 1.0
+    points = []
+    for t, v in samples:
+        x = _SPARK_PAD + (t - t0) / t_span * (_SPARK_W - 2 * _SPARK_PAD)
+        y = (
+            _SPARK_H
+            - _SPARK_PAD
+            - (v - v0) / v_span * (_SPARK_H - 2 * _SPARK_PAD)
+        )
+        points.append(f"{x:.2f},{y:.2f}")
+    return (
+        '<svg class="spark" viewBox="0 0 220 42">'
+        f'<polyline fill="none" stroke="#2563ab" stroke-width="1.5" '
+        f'points="{" ".join(points)}"/></svg>'
+    )
+
+
+_SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
+
+
+def _sparkline_text(samples: list[tuple[float, float]], width: int = 40) -> str:
+    """A unicode block sparkline for the console renderer."""
+    if not samples:
+        return ""
+    values = [v for _, v in samples]
+    if len(values) > width:  # last-value downsample into ``width`` cells
+        step = len(values) / width
+        values = [values[min(int((i + 1) * step) - 1, len(values) - 1)]
+                  for i in range(width)]
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    return "".join(
+        _SPARK_GLYPHS[
+            min(
+                int((v - lo) / span * len(_SPARK_GLYPHS)),
+                len(_SPARK_GLYPHS) - 1,
+            )
+        ]
+        for v in values
+    )
+
+
+# -- HTML ----------------------------------------------------------------------
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 24px; color: #1c2733; background: #f7f9fb; }
+h1 { font-size: 20px; margin-bottom: 2px; }
+h2 { font-size: 15px; margin: 22px 0 8px; border-bottom: 1px solid #d5dde5;
+     padding-bottom: 3px; }
+.meta { color: #5b6b7b; font-size: 12px; }
+table { border-collapse: collapse; font-size: 13px; background: #fff; }
+th, td { border: 1px solid #d5dde5; padding: 4px 10px; text-align: right; }
+th { background: #eef2f6; font-weight: 600; }
+td.l, th.l { text-align: left; }
+.panels { display: flex; flex-wrap: wrap; gap: 14px; }
+.panel { background: #fff; border: 1px solid #d5dde5; border-radius: 4px;
+         padding: 8px 10px; }
+.panel .title { font-size: 12px; color: #5b6b7b; }
+.panel .last { font-size: 16px; font-weight: 600; }
+.spark { display: block; margin-top: 4px; }
+.ok { color: #1a7f37; } .bad { color: #b42318; font-weight: 600; }
+.firing { background: #fdecea; }
+"""
+
+
+def render_dashboard_html(data: DashboardData) -> str:
+    """The self-contained static HTML report."""
+    store = data.timeseries
+    out: list[str] = []
+    out.append("<!DOCTYPE html>")
+    out.append('<html lang="en"><head><meta charset="utf-8">')
+    out.append(f"<title>{escape(data.title)}</title>")
+    out.append(f"<style>{_CSS}</style></head><body>")
+    out.append(f"<h1>{escape(data.title)}</h1>")
+    seed_part = f" · seed {data.seed}" if data.seed is not None else ""
+    out.append(
+        f'<div class="meta">simulated time {_fmt(data.generated_at)}s'
+        f" · {len(store)} samples over {len(store.scrape_times)} scrapes"
+        f"{escape(seed_part)}</div>"
+    )
+
+    # -- per-level compliance + price-vs-SLO summary --
+    out.append("<h2>Service levels: deadline compliance &amp; price</h2>")
+    out.append("<table><tr>")
+    for header in (
+        "level", "queries", "violations", "compliance", "rolling",
+        "target", "budget consumed", "budget state", "billed $",
+    ):
+        css = ' class="l"' if header == "level" else ""
+        out.append(f"<th{css}>{header}</th>")
+    out.append("</tr>")
+    levels = data.slo.get("levels", {})
+    for name in _ordered_levels(levels):
+        level = levels[name]
+        budget = level.get("budget", {})
+        exhausted = budget.get("exhausted", False)
+        state_css = "bad" if exhausted else "ok"
+        state = "EXHAUSTED" if exhausted else "ok"
+        out.append(
+            "<tr>"
+            f'<td class="l">{escape(name)}</td>'
+            f"<td>{level.get('queries', 0)}</td>"
+            f"<td>{level.get('violations', 0)}</td>"
+            f"<td>{_pct(level.get('compliance'))}</td>"
+            f"<td>{_pct(level.get('rolling_compliance'))}</td>"
+            f"<td>{_pct(level.get('objective', {}).get('target'))}</td>"
+            f"<td>{_pct(budget.get('consumed_fraction'))}</td>"
+            f'<td class="{state_css}">{state}</td>'
+            f"<td>{_fmt(level.get('billed'))}</td>"
+            "</tr>"
+        )
+    out.append("</table>")
+
+    # -- sparkline panels --
+    out.append("<h2>Cluster over time</h2>")
+    out.append('<div class="panels">')
+    panels = list(DEFAULT_PANELS)
+    for name, labels, title in panels:
+        samples = store.series(name, **dict(labels))
+        if not samples:
+            continue
+        out.append(
+            '<div class="panel">'
+            f'<div class="title">{escape(title)}</div>'
+            f'<div class="last">{_fmt(samples[-1][1])}</div>'
+            f"{_sparkline_svg(samples)}</div>"
+        )
+    ratio = _cache_hit_ratio_series(store)
+    if ratio:
+        out.append(
+            '<div class="panel">'
+            '<div class="title">chunk-cache hit ratio</div>'
+            f'<div class="last">{_pct(ratio[-1][1])}</div>'
+            f"{_sparkline_svg(ratio)}</div>"
+        )
+    for name in _ordered_levels(levels):
+        billed = _billed_series(store, name)
+        if billed:
+            out.append(
+                '<div class="panel">'
+                f'<div class="title">billed $ ({escape(name)})</div>'
+                f'<div class="last">{_fmt(billed[-1][1])}</div>'
+                f"{_sparkline_svg(billed)}</div>"
+            )
+    out.append("</div>")
+
+    # -- alert timeline --
+    out.append("<h2>Alerts</h2>")
+    if data.firing:
+        names = ", ".join(escape(name) for name in data.firing)
+        out.append(f'<div class="meta bad">still firing: {names}</div>')
+    if data.alerts:
+        out.append(
+            '<table><tr><th>time (s)</th><th class="l">rule</th>'
+            '<th class="l">state</th><th>value</th><th class="l">rule text'
+            "</th></tr>"
+        )
+        for event in data.alerts:
+            css = ' class="firing"' if event.state == "firing" else ""
+            out.append(
+                f"<tr{css}><td>{_fmt(event.time)}</td>"
+                f'<td class="l">{escape(event.rule)}</td>'
+                f'<td class="l">{escape(event.state)}</td>'
+                f"<td>{_fmt(event.value)}</td>"
+                f'<td class="l">{escape(event.detail)}</td></tr>'
+            )
+        out.append("</table>")
+    else:
+        out.append('<div class="meta">no alerts fired</div>')
+
+    # -- autoscaler audit log --
+    out.append("<h2>Autoscaler decisions</h2>")
+    if data.audit:
+        out.append(
+            '<table><tr><th>time (s)</th><th class="l">action</th>'
+            '<th class="l">watermark</th><th>trigger</th><th>threshold</th>'
+            "<th>concurrency</th><th>queue</th><th>workers</th><th>Δ</th>"
+            "<th>target</th></tr>"
+        )
+        for entry in data.audit:
+            out.append(
+                f"<tr><td>{_fmt(entry.get('time'))}</td>"
+                f'<td class="l">{escape(str(entry.get("action", "")))}</td>'
+                f'<td class="l">{escape(str(entry.get("watermark", "")))}</td>'
+                f"<td>{_fmt(entry.get('trigger_value'))}</td>"
+                f"<td>{_fmt(entry.get('threshold'))}</td>"
+                f"<td>{entry.get('concurrency', 0)}</td>"
+                f"<td>{entry.get('queue_depth', 0)}</td>"
+                f"<td>{entry.get('workers_before', 0)}</td>"
+                f"<td>{entry.get('delta', 0):+d}</td>"
+                f"<td>{entry.get('workers_target', 0)}</td></tr>"
+            )
+        out.append("</table>")
+    else:
+        out.append('<div class="meta">no scaling decisions recorded</div>')
+
+    out.append("</body></html>")
+    return "\n".join(out) + "\n"
+
+
+# -- plain text ----------------------------------------------------------------
+
+
+def render_dashboard_text(data: DashboardData, width: int = 40) -> str:
+    """The console variant of the dashboard."""
+    store = data.timeseries
+    lines: list[str] = []
+    lines.append(data.title)
+    lines.append("=" * len(data.title))
+    lines.append(
+        f"simulated time {_fmt(data.generated_at)}s · "
+        f"{len(store)} samples over {len(store.scrape_times)} scrapes"
+    )
+    lines.append("")
+    lines.append("service levels")
+    lines.append("-" * 14)
+    levels = data.slo.get("levels", {})
+    header = (
+        f"{'level':<12} {'queries':>8} {'viol':>6} {'compliance':>11} "
+        f"{'target':>8} {'budget':>10} {'billed $':>12}"
+    )
+    lines.append(header)
+    for name in _ordered_levels(levels):
+        level = levels[name]
+        budget = level.get("budget", {})
+        state = "EXHAUSTED" if budget.get("exhausted") else _pct(
+            budget.get("consumed_fraction")
+        )
+        lines.append(
+            f"{name:<12} {level.get('queries', 0):>8} "
+            f"{level.get('violations', 0):>6} "
+            f"{_pct(level.get('compliance')):>11} "
+            f"{_pct(level.get('objective', {}).get('target')):>8} "
+            f"{state:>10} {_fmt(level.get('billed')):>12}"
+        )
+    lines.append("")
+    lines.append("cluster over time")
+    lines.append("-" * 17)
+    for name, labels, title in DEFAULT_PANELS:
+        samples = store.series(name, **dict(labels))
+        if not samples:
+            continue
+        spark = _sparkline_text(samples, width)
+        lines.append(f"{title:<26} {spark}  last={_fmt(samples[-1][1])}")
+    ratio = _cache_hit_ratio_series(store)
+    if ratio:
+        lines.append(
+            f"{'chunk-cache hit ratio':<26} {_sparkline_text(ratio, width)}"
+            f"  last={_pct(ratio[-1][1])}"
+        )
+    lines.append("")
+    lines.append("alerts")
+    lines.append("-" * 6)
+    if data.alerts:
+        for event in data.alerts:
+            lines.append(
+                f"t={_fmt(event.time):>9}s {event.state:<9} {event.rule:<22} "
+                f"value={_fmt(event.value)}  [{event.detail}]"
+            )
+    else:
+        lines.append("(none)")
+    if data.firing:
+        lines.append(f"still firing: {', '.join(data.firing)}")
+    lines.append("")
+    lines.append("autoscaler decisions")
+    lines.append("-" * 20)
+    if data.audit:
+        for entry in data.audit:
+            lines.append(
+                f"t={_fmt(entry.get('time')):>9}s "
+                f"{str(entry.get('action', '')):<10} "
+                f"watermark={str(entry.get('watermark', '')):<5} "
+                f"trigger={_fmt(entry.get('trigger_value'))} "
+                f"vs {_fmt(entry.get('threshold'))}  "
+                f"workers {entry.get('workers_before', 0)} "
+                f"{entry.get('delta', 0):+d} "
+                f"-> target {entry.get('workers_target', 0)}"
+            )
+    else:
+        lines.append("(none)")
+    return "\n".join(lines) + "\n"

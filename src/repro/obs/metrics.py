@@ -26,11 +26,28 @@ def _label_key(labels: dict[str, object]) -> _LabelKey:
     return tuple(sorted((name, str(value)) for name, value in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Prometheus exposition escaping: backslash, double-quote, newline.
+
+    Without this, a label value containing ``"`` or a newline corrupts
+    the whole exposition line; with it the text format round-trips."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    """HELP-line escaping per the exposition format: ``\\`` and newline."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _render_labels(key: _LabelKey, extra: tuple[tuple[str, str], ...] = ()) -> str:
     items = key + extra
     if not items:
         return ""
-    body = ",".join(f'{name}="{value}"' for name, value in items)
+    body = ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in items
+    )
     return "{" + body + "}"
 
 
@@ -201,6 +218,11 @@ class MetricsRegistry:
     def get(self, name: str) -> Counter | Gauge | Histogram | None:
         return self._instruments.get(name)
 
+    def instruments(self) -> list[Counter | Gauge | Histogram]:
+        """Every registered instrument, sorted by name — the stable
+        iteration order the scrape loop and the renderer share."""
+        return [self._instruments[name] for name in sorted(self._instruments)]
+
     def collect(self) -> None:
         for collector in self._collectors:
             collector()
@@ -209,10 +231,10 @@ class MetricsRegistry:
         """The Prometheus text exposition of every instrument."""
         self.collect()
         lines: list[str] = []
-        for name in sorted(self._instruments):
-            instrument = self._instruments[name]
+        for instrument in self.instruments():
+            name = instrument.name
             if instrument.help:
-                lines.append(f"# HELP {name} {instrument.help}")
+                lines.append(f"# HELP {name} {_escape_help(instrument.help)}")
             lines.append(f"# TYPE {name} {instrument.kind}")
             for sample_name, key, value in instrument.samples():
                 lines.append(

@@ -15,6 +15,7 @@ and runs the paper's watermark autoscaler:
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from typing import Callable
 
@@ -22,6 +23,45 @@ from repro.errors import ScalingError
 from repro.obs import Instrumentation
 from repro.sim import Simulator, Trace
 from repro.turbo.config import VmConfig
+
+
+@dataclass(frozen=True)
+class ScalingDecision:
+    """Audit record of one autoscaler action (scale-out or scale-in).
+
+    Exactly one record is appended per
+    ``pixels_vm_watermark_crossings_total`` increment, carrying the
+    metric values the decision was made on — so a burn-rate alert at
+    time *t* can be joined to the scaling decision that caused (or
+    failed to prevent) it.
+    """
+
+    time: float
+    action: str  # "scale_out" | "scale_in"
+    watermark: str  # "high" | "low"
+    trigger_value: float  # per-worker concurrency the rule evaluated
+    threshold: float  # the watermark it crossed
+    concurrency: int
+    queue_depth: int
+    workers_before: int
+    pending_before: int  # workers already requested but not yet arrived
+    delta: int  # +requested / -released
+    workers_target: int  # desired cluster size after the action
+
+    def to_dict(self) -> dict:
+        return {
+            "time": self.time,
+            "action": self.action,
+            "watermark": self.watermark,
+            "trigger_value": self.trigger_value,
+            "threshold": self.threshold,
+            "concurrency": self.concurrency,
+            "queue_depth": self.queue_depth,
+            "workers_before": self.workers_before,
+            "pending_before": self.pending_before,
+            "delta": self.delta,
+            "workers_target": self.workers_target,
+        }
 
 
 @dataclass
@@ -95,6 +135,10 @@ class VmCluster:
         self._retired_worker_seconds = 0.0
         self.scale_out_events = 0
         self.scale_in_events = 0
+        #: Autoscaler decision audit log — 1:1 with watermark-crossing
+        #: counter increments; always recorded (a list append per scale
+        #: event, which is rare and deterministic).
+        self.audit_log: list[ScalingDecision] = []
         for _ in range(config.min_workers):
             self._add_worker()
         self._record_gauges()
@@ -288,6 +332,23 @@ class VmCluster:
             return
         self.scale_out_events += 1
         self._last_scale_event = self._sim.now
+        pending_before = self._pending_arrivals
+        self.audit_log.append(
+            ScalingDecision(
+                time=self._sim.now,
+                action="scale_out",
+                watermark="high",
+                trigger_value=self.concurrency
+                / max(self.num_workers + pending_before, 1),
+                threshold=self._config.high_watermark,
+                concurrency=self.concurrency,
+                queue_depth=len(self._queue),
+                workers_before=self.num_workers,
+                pending_before=pending_before,
+                delta=to_add,
+                workers_target=desired,
+            )
+        )
         self._pending_arrivals += to_add
         self._m_watermark.inc(watermark="high")
         self.trace.record("vm.scale_out", self._sim.now, to_add)
@@ -314,6 +375,21 @@ class VmCluster:
             return
         self.scale_in_events += 1
         self._last_scale_event = self._sim.now
+        self.audit_log.append(
+            ScalingDecision(
+                time=self._sim.now,
+                action="scale_in",
+                watermark="low",
+                trigger_value=avg_concurrency / max(self.num_workers, 1),
+                threshold=self._config.low_watermark,
+                concurrency=self.concurrency,
+                queue_depth=len(self._queue),
+                workers_before=self.num_workers,
+                pending_before=self._pending_arrivals,
+                delta=-to_remove,
+                workers_target=desired,
+            )
+        )
         self._m_watermark.inc(watermark="low")
         self.trace.record("vm.scale_in", self._sim.now, to_remove)
         # Prefer idle workers; mark busy ones to stop when they drain.
@@ -328,6 +404,15 @@ class VmCluster:
             if worker.busy_slots == 0:
                 self._stop_worker(worker)
         self._record_gauges()
+
+    def export_audit_jsonl(self) -> str:
+        """The scaling-decision log, one JSON object per line, in
+        decision order — deterministic across same-seed runs."""
+        lines = [
+            json.dumps(decision.to_dict(), sort_keys=True)
+            for decision in self.audit_log
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
 
     def _record_gauges(self) -> None:
         now = self._sim.now

@@ -1,0 +1,209 @@
+"""Unit tests for the burn-rate/threshold alert engine."""
+
+import json
+
+import pytest
+
+from repro.obs.alerts import (
+    AlertEngine,
+    BurnRateRule,
+    ThresholdRule,
+    default_rules,
+    labels_of,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import SloObjective, SloTracker
+from repro.obs.timeseries import TimeSeriesStore
+
+
+def _slo_with_violations(times: list[float], ok_times: list[float] = ()):
+    """A relaxed-level tracker with violations/passes at given finish times."""
+    tracker = SloTracker(objectives=[SloObjective("relaxed", target=0.99)])
+    for index, time in enumerate(times):
+        tracker.record(
+            query_id=f"v{index}", level="relaxed", submitted_at=time - 99.0,
+            finished_at=time, deadline_s=30.0, actual_s=99.0,
+        )
+    for index, time in enumerate(ok_times):
+        tracker.record(
+            query_id=f"ok{index}", level="relaxed", submitted_at=time,
+            finished_at=time, deadline_s=30.0, actual_s=0.0,
+        )
+    return tracker
+
+
+class TestBurnRateRule:
+    def test_fires_only_when_both_windows_burn(self):
+        rule = BurnRateRule(
+            "relaxed_burn", "relaxed", threshold=6.0,
+            fast_window_s=300.0, slow_window_s=3600.0,
+        )
+        registry = MetricsRegistry()
+        # Violations only in the recent past: both windows hot at t=1000.
+        slo = _slo_with_violations([900.0, 950.0])
+        engine = AlertEngine([rule], registry, slo=slo, hold_s=0.0)
+        engine.evaluate(1000.0)
+        assert engine.firing() == ["relaxed_burn"]
+
+    def test_old_violations_burn_slow_window_only(self):
+        rule = BurnRateRule(
+            "relaxed_burn", "relaxed", threshold=6.0,
+            fast_window_s=300.0, slow_window_s=3600.0,
+        )
+        # Violations are >300 s old at evaluation time: the slow window
+        # still sees them, the fast window does not → no page.
+        slo = _slo_with_violations([100.0, 150.0])
+        engine = AlertEngine([rule], MetricsRegistry(), slo=slo, hold_s=0.0)
+        engine.evaluate(1000.0)
+        assert engine.firing() == []
+
+    def test_resolves_when_violations_age_out(self):
+        rule = BurnRateRule(
+            "relaxed_burn", "relaxed", threshold=6.0,
+            fast_window_s=300.0, slow_window_s=600.0,
+        )
+        slo = _slo_with_violations([100.0])
+        engine = AlertEngine([rule], MetricsRegistry(), slo=slo, hold_s=0.0)
+        engine.evaluate(200.0)
+        assert engine.firing() == ["relaxed_burn"]
+        engine.evaluate(800.0)  # violation left both windows
+        assert engine.firing() == []
+        assert [e.state for e in engine.events] == ["firing", "resolved"]
+
+
+class TestThresholdRule:
+    def test_value_rule_fires_above_threshold(self):
+        registry = MetricsRegistry()
+        depth = registry.gauge("pixels_vm_queue_depth")
+        rule = ThresholdRule("queue", "pixels_vm_queue_depth", threshold=20.0)
+        engine = AlertEngine([rule], registry, hold_s=0.0)
+        depth.set(20)
+        engine.evaluate(10.0)
+        assert engine.firing() == []  # strictly greater-than
+        depth.set(21)
+        engine.evaluate(20.0)
+        assert engine.firing() == ["queue"]
+
+    def test_for_s_requires_sustained_breach(self):
+        registry = MetricsRegistry()
+        depth = registry.gauge("depth")
+        rule = ThresholdRule("queue", "depth", threshold=5.0, for_s=60.0)
+        engine = AlertEngine([rule], registry, hold_s=0.0)
+        depth.set(10)
+        engine.evaluate(0.0)
+        engine.evaluate(30.0)
+        assert engine.firing() == []  # breached but not yet for 60 s
+        engine.evaluate(60.0)
+        assert engine.firing() == ["queue"]
+
+    def test_for_s_resets_when_breach_clears(self):
+        registry = MetricsRegistry()
+        depth = registry.gauge("depth")
+        rule = ThresholdRule("queue", "depth", threshold=5.0, for_s=60.0)
+        engine = AlertEngine([rule], registry, hold_s=0.0)
+        depth.set(10)
+        engine.evaluate(0.0)
+        depth.set(0)
+        engine.evaluate(30.0)  # dip resets the accumulation clock
+        depth.set(10)
+        engine.evaluate(60.0)
+        assert engine.firing() == []
+        engine.evaluate(120.0)
+        assert engine.firing() == ["queue"]
+
+    def test_histogram_mean_rule_uses_windowed_deltas(self):
+        registry = MetricsRegistry()
+        store = TimeSeriesStore()
+        key = labels_of(level="relaxed")
+        # Cumulative sum/count samples: mean over (100, 200] is 600/2=300.
+        store.append(100.0, "pend_sum", key, 100.0)
+        store.append(100.0, "pend_count", key, 10.0)
+        store.append(200.0, "pend_sum", key, 700.0)
+        store.append(200.0, "pend_count", key, 12.0)
+        rule = ThresholdRule(
+            "pending_mean", "pend", threshold=250.0, labels=key,
+            kind="histogram_mean", window_s=100.0,
+        )
+        engine = AlertEngine([rule], registry, store=store, hold_s=0.0)
+        engine.evaluate(200.0)
+        assert engine.firing() == ["pending_mean"]
+        assert engine.events[0].value == pytest.approx(300.0)
+
+    def test_missing_metric_never_fires(self):
+        rule = ThresholdRule("ghost", "missing_metric", threshold=1.0)
+        engine = AlertEngine([rule], MetricsRegistry(), hold_s=0.0)
+        engine.evaluate(10.0)
+        assert engine.firing() == []
+
+
+class TestFlapSuppression:
+    def test_oscillating_signal_produces_one_pair(self):
+        registry = MetricsRegistry()
+        depth = registry.gauge("depth")
+        rule = ThresholdRule("queue", "depth", threshold=5.0)
+        engine = AlertEngine([rule], registry, hold_s=120.0)
+        # The signal flips every 30 s scrape for 10 minutes.
+        for tick in range(20):
+            now = 30.0 * (tick + 1)
+            depth.set(10 if tick % 2 == 0 else 0)
+            engine.evaluate(now)
+        # Without suppression this would be ~20 transitions.
+        states = [event.state for event in engine.events]
+        assert states[:2] == ["firing", "resolved"]
+        assert len(states) <= 6
+        # Transitions are spaced at least hold_s apart.
+        times = [event.time for event in engine.events]
+        assert all(b - a >= 120.0 for a, b in zip(times, times[1:]))
+
+    def test_steady_breach_is_unaffected_by_hold(self):
+        registry = MetricsRegistry()
+        depth = registry.gauge("depth")
+        rule = ThresholdRule("queue", "depth", threshold=5.0)
+        engine = AlertEngine([rule], registry, hold_s=120.0)
+        depth.set(10)
+        for tick in range(10):
+            engine.evaluate(30.0 * (tick + 1))
+        assert [event.state for event in engine.events] == ["firing"]
+        assert engine.firing() == ["queue"]
+
+
+class TestEngine:
+    def test_duplicate_rule_names_rejected(self):
+        rules = [
+            ThresholdRule("dup", "a", threshold=1.0),
+            ThresholdRule("dup", "b", threshold=1.0),
+        ]
+        with pytest.raises(ValueError):
+            AlertEngine(rules, MetricsRegistry())
+
+    def test_export_jsonl_round_trips(self):
+        registry = MetricsRegistry()
+        depth = registry.gauge("depth")
+        engine = AlertEngine(
+            [ThresholdRule("queue", "depth", threshold=5.0)], registry,
+            hold_s=0.0,
+        )
+        depth.set(10)
+        engine.evaluate(30.0)
+        depth.set(0)
+        engine.evaluate(60.0)
+        lines = engine.export_jsonl().splitlines()
+        events = [json.loads(line) for line in lines]
+        assert [e["state"] for e in events] == ["firing", "resolved"]
+        assert events[0]["time"] == 30.0
+        assert events[0]["detail"] == "depth > 5"
+
+    def test_default_rules_shape(self):
+        rules = default_rules()
+        names = [rule.name for rule in rules]
+        assert names == [
+            "immediate_burn_rate", "relaxed_burn_rate",
+            "vm_queue_depth", "pending_time_mean",
+        ]
+        # The default set wires up against a live engine without errors.
+        engine = AlertEngine(
+            rules, MetricsRegistry(), slo=SloTracker(),
+            store=TimeSeriesStore(),
+        )
+        engine.evaluate(30.0)
+        assert engine.firing() == []

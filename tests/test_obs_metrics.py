@@ -104,6 +104,50 @@ class TestRegistry:
         assert "queue_depth 4" in registry.render()
 
 
+class TestExpositionEscaping:
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("q_total")
+        counter.inc(1, sql='SELECT "x"\nFROM t\\u')
+        text = registry.render()
+        assert 'q_total{sql="SELECT \\"x\\"\\nFROM t\\\\u"} 1' in text
+        # The exposition stays line-oriented: no raw newline leaked.
+        assert all(
+            line.startswith(("#", "q_total")) for line in text.splitlines()
+        )
+
+    def test_help_text_is_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "first\nsecond \\ third").inc()
+        text = registry.render()
+        assert "# HELP c_total first\\nsecond \\\\ third" in text
+
+    def test_samples_are_deterministically_ordered(self):
+        def build() -> str:
+            registry = MetricsRegistry()
+            counter = registry.counter("z_total")
+            # Insert label sets in shuffled order.
+            counter.inc(1, venue="vm", level="relaxed")
+            counter.inc(1, level="immediate", venue="cf")
+            registry.gauge("a_depth").set(2, level="b")
+            registry.gauge("a_depth").set(1, level="a")
+            return registry.render()
+
+        text = build()
+        assert text == build()
+        lines = [line for line in text.splitlines() if not line.startswith("#")]
+        assert lines == sorted(lines)
+
+    def test_instruments_listing_is_sorted_and_public(self):
+        registry = MetricsRegistry()
+        registry.gauge("b")
+        registry.counter("a_total")
+        registry.histogram("c_seconds", buckets=(1.0,))
+        assert [i.name for i in registry.instruments()] == [
+            "a_total", "b", "c_seconds",
+        ]
+
+
 class TestNoopRegistry:
     def test_swallows_everything(self):
         registry = NoopMetricsRegistry()
