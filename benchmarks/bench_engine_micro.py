@@ -6,6 +6,9 @@ vectorized execution of TPC-H-style queries, columnar write/read through
 the object store, and single-turn NL translation.
 """
 
+import json
+from pathlib import Path
+
 import pytest
 
 from common import tpch_environment
@@ -16,6 +19,7 @@ from repro.engine.source import ObjectStoreSource
 from repro.engine.sql.parser import parse_sql
 from repro.nl2sql import RuleBasedTranslator
 from repro.storage.cache import BufferPool
+from repro.storage.catalog import Catalog, ColumnMeta
 from repro.storage.file_format import PixelsReader
 from repro.storage.table import TableReader, TableWriter
 from repro.workloads import TPCH_QUERIES, TpchGenerator
@@ -145,6 +149,70 @@ def test_repeated_footer_open(benchmark, chunked_lineitem):
     assert total == data.num_rows
     assert delta.get_requests == 0  # every footer served from the pool
     assert delta.footer_cache_hits >= len(keys)
+
+
+def test_limit_early_exit_vs_full_scan(benchmark, chunked_lineitem):
+    """LIMIT early-exit through the pipeline executor vs the full scan.
+
+    The pull-based pipeline stops fetching row groups once the limit is
+    satisfied, so the limited query must issue strictly fewer storage
+    GETs and scan (and bill) strictly fewer bytes than the full scan of
+    the same projection.  The before/after comparison is written to
+    ``results/limit_early_exit.json`` for the CI artifact.
+    """
+    store, data = chunked_lineitem
+    catalog = Catalog()
+    catalog.create_schema("bench")
+    catalog.create_table(
+        "bench",
+        "lineitem",
+        [ColumnMeta(name, dtype) for name, dtype in data.schema()],
+        bucket="bench",
+        prefix="lineitem",
+    )
+    planner = Planner(catalog, "bench")
+    optimizer = Optimizer()
+    executor = QueryExecutor(ObjectStoreSource(store))
+    full = executor.execute(
+        optimizer.optimize(planner.plan_sql("SELECT l_orderkey FROM lineitem"))
+    )
+
+    def run_limited():
+        return executor.execute(
+            optimizer.optimize(
+                planner.plan_sql("SELECT l_orderkey FROM lineitem LIMIT 100")
+            )
+        )
+
+    limited = benchmark(run_limited)
+    assert limited.num_rows == 100
+    assert limited.stats.get_requests < full.stats.get_requests
+    assert limited.stats.bytes_scanned < full.stats.bytes_scanned
+
+    def snapshot(result):
+        return {
+            "bytes_scanned": result.stats.bytes_scanned,
+            "get_requests": result.stats.get_requests,
+            "rows_scanned": result.stats.rows_scanned,
+            "rows_produced": result.stats.rows_produced,
+        }
+
+    payload = {
+        "table_rows": data.num_rows,
+        "full_scan": snapshot(full),
+        "limit_early_exit": snapshot(limited),
+        "savings": {
+            "bytes_saved": full.stats.bytes_scanned - limited.stats.bytes_scanned,
+            "gets_saved": full.stats.get_requests - limited.stats.get_requests,
+            "bytes_fraction_scanned": limited.stats.bytes_scanned
+            / full.stats.bytes_scanned,
+        },
+    }
+    results_dir = Path(__file__).resolve().parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "limit_early_exit.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
 
 
 def test_nl_translation(benchmark, runtime):

@@ -1,44 +1,28 @@
-"""Plan execution: walk the logical plan, run physical operators, collect
-per-query statistics.
+"""Plan execution: a thin driver over the vectorized pipeline.
 
-The executor is deliberately synchronous and deterministic — in Turbo, each
-VM or CF worker runs one executor over its assigned plan fragment, and the
-simulation charges time from the cost model using the statistics returned
-here (bytes scanned, rows processed).
+The executor lowers the logical plan into a tree of physical operators
+(:mod:`repro.engine.pipeline`) and pulls record batches from the root until
+exhaustion.  It is deliberately synchronous and deterministic — in Turbo,
+each VM or CF worker runs one executor over its assigned plan fragment, and
+the simulation charges time from the cost model using the statistics
+returned here (bytes scanned, rows processed).
+
+:meth:`QueryExecutor.execute_stream` exposes the same pipeline without the
+final concatenation: batches flow out as they are produced, which is how
+the Turbo coordinator merges CF fragment results incrementally instead of
+waiting for whole fragments.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
+from typing import Iterator
 
-from repro.errors import ExecutionError
-from repro.engine.expr import mask_from_predicate
-from repro.engine.physical import (
-    execute_aggregate,
-    execute_distinct,
-    execute_hash_join,
-    execute_limit,
-    execute_sort,
-    join_tables,
-)
-from repro.engine.plan import (
-    Aggregate,
-    Distinct,
-    Filter,
-    HashJoin,
-    JoinType,
-    Limit,
-    MaterializedView,
-    PlanNode,
-    Project,
-    Scan,
-    Sort,
-    UnionAllPlan,
-)
+from repro.engine.batch import DEFAULT_BATCH_SIZE
+from repro.engine.pipeline import PhysicalOperator, build_pipeline
+from repro.engine.plan import PlanNode
 from repro.engine.source import DataSource
 from repro.storage.table import TableData
-from repro.storage.types import ColumnVector
 
 
 @dataclass
@@ -49,7 +33,9 @@ class QueryStats:
     ``row_groups_skipped``) are carried up from each scan's
     :class:`~repro.engine.source.SourceResult`, so EXPLAIN ANALYZE and
     the metrics registry can report them per query without re-deriving
-    from the store's global ``StorageMetrics``.
+    from the store's global ``StorageMetrics``.  Because scans account
+    granule by granule, a query that exits early (LIMIT satisfied) shows
+    — and is billed for — only the row groups actually fetched.
     """
 
     bytes_scanned: int = 0
@@ -89,9 +75,14 @@ class QueryStats:
 class OperatorProfile:
     """Per-operator actuals from one analyzed run (EXPLAIN ANALYZE).
 
-    ``time_s`` is real (wall-clock) execution time, cumulative over the
-    operator's subtree; the storage counters are likewise subtree deltas.
-    The tree mirrors the plan tree node for node.
+    ``time_s`` is deterministic *virtual* time — modelled from the rows,
+    bytes, and batches the operator processed, never the wall clock — and
+    is cumulative over the operator's subtree, as are the storage
+    counters.  ``rows_in``/``batches``/``peak_bytes`` are per-operator:
+    rows pulled from children, batches emitted, and the largest
+    simultaneously-materialized output (a whole table for pipeline
+    breakers, one batch for streaming operators).  The tree mirrors the
+    plan tree node for node.
     """
 
     name: str
@@ -103,6 +94,9 @@ class OperatorProfile:
     cache_misses: int = 0
     cache_evictions: int = 0
     row_groups_skipped: int = 0
+    rows_in: int = 0
+    batches: int = 0
+    peak_bytes: int = 0
     children: list["OperatorProfile"] = field(default_factory=list)
 
 
@@ -127,140 +121,111 @@ class QueryResult:
         return self.data.to_rows()
 
 
-class QueryExecutor:
-    """Executes logical plans against a :class:`DataSource`."""
+def _build_profile(op: PhysicalOperator) -> OperatorProfile:
+    """Fold an executed operator tree into the EXPLAIN ANALYZE profile.
 
-    def __init__(self, source: DataSource) -> None:
+    Time and storage counters accumulate over the subtree (matching how
+    a sampling profiler attributes inclusive time); the batch/row/peak
+    counters stay per-operator.
+    """
+    children = [_build_profile(child) for child in op.children]
+    time_s = op.own_virtual_seconds() + sum(child.time_s for child in children)
+    counters = dict(op.scan_counters)
+    for child in children:
+        counters["bytes_scanned"] += child.bytes_scanned
+        counters["get_requests"] += child.get_requests
+        counters["cache_hits"] += child.cache_hits
+        counters["cache_misses"] += child.cache_misses
+        counters["cache_evictions"] += child.cache_evictions
+        counters["row_groups_skipped"] += child.row_groups_skipped
+    return OperatorProfile(
+        name=type(op.node).__name__,
+        rows_out=op.rows_out,
+        time_s=time_s,
+        rows_in=op.rows_in,
+        batches=op.batches_out,
+        peak_bytes=op.peak_bytes,
+        children=children,
+        **counters,
+    )
+
+
+class StreamingExecution:
+    """A pipeline run exposed batch by batch.
+
+    ``stats`` is live: it reflects the work done so far, and — once the
+    consumer stops (exhaustion *or* abandoning the generator) — the work
+    that was ever done.  An abandoned stream closes the pipeline, so row
+    groups never pulled are never fetched or billed.
+    """
+
+    def __init__(self, plan: PlanNode, root: PhysicalOperator, stats: QueryStats):
+        self.plan = plan
+        self.stats = stats
+        self.batches_emitted = 0
+        self._root = root
+
+    def batches(self) -> Iterator[TableData]:
+        root = self._root
+        root.open()
+        try:
+            while True:
+                batch = root.next_batch()
+                if batch is None:
+                    break
+                self.batches_emitted += 1
+                self.stats.rows_produced += batch.num_rows
+                yield batch.data
+        finally:
+            root.close()
+
+
+class QueryExecutor:
+    """Executes logical plans against a :class:`DataSource`.
+
+    ``batch_size`` caps the rows per record batch flowing between
+    streaming operators; results are bit-identical for any value ≥ 1.
+    """
+
+    def __init__(
+        self, source: DataSource, batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self._source = source
+        self._batch_size = batch_size
 
     def execute(self, plan: PlanNode, analyze: bool = False) -> QueryResult:
-        """Run ``plan``; with ``analyze`` also build the per-operator
-        profile tree that EXPLAIN ANALYZE renders."""
+        """Run ``plan`` to completion; with ``analyze`` also build the
+        per-operator profile tree that EXPLAIN ANALYZE renders."""
         stats = QueryStats()
-        profile: OperatorProfile | None = None
-        if analyze:
-            sink: list[OperatorProfile] = []
-            data = self._run(plan, stats, sink)
-            profile = sink[0]
+        root = build_pipeline(plan, self._source, stats, self._batch_size)
+        stats.operators = root.count_operators()
+        pieces: list[TableData] = []
+        root.open()
+        try:
+            while True:
+                batch = root.next_batch()
+                if batch is None:
+                    break
+                pieces.append(batch.data)
+        finally:
+            root.close()
+        if pieces:
+            data = TableData.concat_all(pieces)
         else:
-            data = self._run(plan, stats)
+            data = TableData.empty(plan.output_schema())
         stats.rows_produced = data.num_rows
+        profile = _build_profile(root) if analyze else None
         return QueryResult(data, stats, profile)
 
-    def _run(
-        self,
-        node: PlanNode,
-        stats: QueryStats,
-        sink: "list[OperatorProfile] | None" = None,
-    ) -> TableData:
-        stats.operators += 1
-        if sink is None:
-            return self._execute_node(node, stats, None)
-        started = time.perf_counter()
-        before = (
-            stats.bytes_scanned,
-            stats.get_requests,
-            stats.cache_hits,
-            stats.cache_misses,
-            stats.cache_evictions,
-            stats.row_groups_skipped,
-        )
-        children: list[OperatorProfile] = []
-        data = self._execute_node(node, stats, children)
-        sink.append(
-            OperatorProfile(
-                name=type(node).__name__,
-                rows_out=data.num_rows,
-                time_s=time.perf_counter() - started,
-                bytes_scanned=stats.bytes_scanned - before[0],
-                get_requests=stats.get_requests - before[1],
-                cache_hits=stats.cache_hits - before[2],
-                cache_misses=stats.cache_misses - before[3],
-                cache_evictions=stats.cache_evictions - before[4],
-                row_groups_skipped=stats.row_groups_skipped - before[5],
-                children=children,
-            )
-        )
-        return data
+    def execute_stream(self, plan: PlanNode) -> StreamingExecution:
+        """Set up ``plan`` for batch-at-a-time consumption.
 
-    def _execute_node(
-        self,
-        node: PlanNode,
-        stats: QueryStats,
-        sink: "list[OperatorProfile] | None",
-    ) -> TableData:
-        if isinstance(node, Scan):
-            return self._run_scan(node, stats)
-        if isinstance(node, MaterializedView):
-            if not isinstance(node.data, TableData):
-                raise ExecutionError(
-                    f"materialized view {node.name!r} has no data attached"
-                )
-            return node.data
-        if isinstance(node, Filter):
-            table = self._run(node.input, stats, sink)
-            if table.num_rows == 0:
-                return table
-            mask = mask_from_predicate(node.predicate.evaluate(table))
-            return table.filter(mask)
-        if isinstance(node, Project):
-            table = self._run(node.input, stats, sink)
-            columns: dict[str, ColumnVector] = {}
-            for name, expr in node.exprs:
-                columns[name] = expr.evaluate(table)
-            return TableData(columns)
-        if isinstance(node, HashJoin):
-            left = self._run(node.left, stats, sink)
-            right = self._run(node.right, stats, sink)
-            if node.join_type in (JoinType.SEMI, JoinType.ANTI):
-                from repro.engine.physical import execute_semi_anti_join
-
-                return execute_semi_anti_join(
-                    left, right, node.left_keys, node.right_keys,
-                    anti=node.join_type is JoinType.ANTI,
-                )
-            left_indices, right_indices = execute_hash_join(
-                left, right, node.left_keys, node.right_keys,
-                node.join_type is JoinType.LEFT,
-            )
-            return join_tables(
-                left, right, left_indices, right_indices,
-                node.join_type is JoinType.LEFT, node.residual,
-            )
-        if isinstance(node, UnionAllPlan):
-            from repro.engine.physical import execute_union_all
-
-            return execute_union_all(
-                [self._run(child, stats, sink) for child in node.inputs],
-                node.output_schema(),
-            )
-        if isinstance(node, Aggregate):
-            table = self._run(node.input, stats, sink)
-            return execute_aggregate(table, node.group_keys, node.aggregates)
-        if isinstance(node, Sort):
-            table = self._run(node.input, stats, sink)
-            return execute_sort(
-                table, [(key.column, key.ascending) for key in node.keys]
-            )
-        if isinstance(node, Distinct):
-            return execute_distinct(self._run(node.input, stats, sink))
-        if isinstance(node, Limit):
-            table = self._run(node.input, stats, sink)
-            return execute_limit(table, node.limit, node.offset)
-        raise ExecutionError(f"unknown plan node {type(node).__name__}")
-
-    def _run_scan(self, node: Scan, stats: QueryStats) -> TableData:
-        result = self._source.scan(node)
-        stats.bytes_scanned += result.bytes_scanned
-        stats.scan_latency_s += result.latency_s
-        stats.rows_scanned += result.data.num_rows
-        stats.get_requests += result.get_requests
-        stats.cache_hits += result.cache_hits
-        stats.cache_misses += result.cache_misses
-        stats.cache_evictions += result.cache_evictions
-        stats.row_groups_skipped += result.row_groups_skipped
-        table = result.data
-        if node.residual is not None and table.num_rows:
-            mask = mask_from_predicate(node.residual.evaluate(table))
-            table = table.filter(mask)
-        return table
+        Nothing runs until the returned execution's :meth:`~
+        StreamingExecution.batches` generator is pulled.
+        """
+        stats = QueryStats()
+        root = build_pipeline(plan, self._source, stats, self._batch_size)
+        stats.operators = root.count_operators()
+        return StreamingExecution(plan, root, stats)

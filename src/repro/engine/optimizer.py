@@ -11,7 +11,14 @@ Four passes, applied in order:
    row-level filter.  LEFT joins only accept pushes to their left side.
 3. **Build-side swap** — each inner hash join builds on its smaller input
    (row estimates from catalog statistics with simple selectivity rules).
-4. **Projection pruning** — scans read only columns actually referenced
+4. **Sort+Limit → Top-N fusion** — a ``Limit`` directly above a ``Sort``
+   (or separated from it only by the planner's helper-column-dropping
+   ``Project``) becomes one :class:`~repro.engine.plan.TopN` node, executed
+   by partial
+   selection (``np.argpartition`` of the top ``k + offset`` rows, then a
+   sort of only the survivors) so ``ORDER BY … LIMIT k`` never fully sorts
+   its input.
+5. **Projection pruning** — scans read only columns actually referenced
    above them, which is what makes bytes-*scanned* (the billing basis)
    track the query rather than the table width.
 """
@@ -31,6 +38,7 @@ from repro.engine.plan import (
     Project,
     Scan,
     Sort,
+    TopN,
     UnionAllPlan,
 )
 
@@ -43,6 +51,7 @@ class Optimizer:
     def optimize(self, plan: PlanNode) -> PlanNode:
         plan = self._rewrite_filters(plan)
         plan = self._swap_build_sides(plan)
+        plan = self._fuse_top_n(plan)
         self._prune_projections(plan, required=None)
         return plan
 
@@ -160,7 +169,42 @@ class Optimizer:
             node.left_keys, node.right_keys = node.right_keys, node.left_keys
         return node
 
-    # -- pass 4: projection pruning ------------------------------------------------
+    # -- pass 4: Sort+Limit fusion ---------------------------------------------------
+
+    def _fuse_top_n(self, node: PlanNode) -> PlanNode:
+        if isinstance(node, UnionAllPlan):
+            node.inputs = [self._fuse_top_n(c) for c in node.inputs]
+            return node
+        for attr in ("input", "left", "right"):
+            child = getattr(node, attr, None)
+            if isinstance(child, PlanNode):
+                setattr(node, attr, self._fuse_top_n(child))
+        if isinstance(node, Limit) and node.limit is not None:
+            if isinstance(node.input, Sort):
+                return TopN(
+                    input=node.input.input,
+                    keys=node.input.keys,
+                    limit=node.limit,
+                    offset=node.offset,
+                )
+            # The planner drops ``__sort_N`` helper columns with a Project
+            # right above the Sort; a row-wise Project preserves order and
+            # cardinality, so the fusion commutes through it.
+            if isinstance(node.input, Project) and isinstance(
+                node.input.input, Sort
+            ):
+                project = node.input
+                sort = project.input
+                project.input = TopN(
+                    input=sort.input,
+                    keys=sort.keys,
+                    limit=node.limit,
+                    offset=node.offset,
+                )
+                return project
+        return node
+
+    # -- pass 5: projection pruning ------------------------------------------------
 
     def _prune_projections(
         self, node: PlanNode, required: set[str] | None
@@ -218,7 +262,7 @@ class Optimizer:
             }
             self._prune_projections(node.input, child_required)
             return
-        if isinstance(node, Sort):
+        if isinstance(node, (Sort, TopN)):
             child_required = (
                 None
                 if required is None
@@ -327,6 +371,8 @@ def estimate_rows(node: PlanNode) -> float:
     if isinstance(node, Aggregate):
         return max(estimate_rows(node.input) ** 0.5, 1.0)
     if isinstance(node, Limit) and node.limit is not None:
+        return float(min(node.limit, estimate_rows(node.input)))
+    if isinstance(node, TopN):
         return float(min(node.limit, estimate_rows(node.input)))
     children = node.children()
     if not children:

@@ -366,23 +366,66 @@ def execute_union_all(
 # ---------------------------------------------------------------------------
 
 
+def _sort_codes(vector: ColumnVector, ascending: bool) -> np.ndarray:
+    """Integer sort keys for one column: dense rank codes with NULLs last.
+
+    Staying in int64 end to end matters: the previous implementation cast
+    codes to float64, which collapses ranks above 2^53 — a silent mis-sort
+    once a column has that many distinct values.  Codes are ranks of the
+    column's sorted uniques, so they order *every* dtype exactly (floats
+    included); descending negates the codes and NULLs are pinned to the
+    int64 maximum so they sort last in both directions.
+    """
+    codes, _ = column_codes(vector)
+    keys = -codes if not ascending else codes.copy()
+    if vector.nulls is not None:
+        keys[vector.nulls] = np.iinfo(np.int64).max
+    return keys
+
+
 def execute_sort(
     table: TableData, keys: list[tuple[str, bool]]
 ) -> TableData:
     """Stable multi-key sort; NULLs last for both directions."""
     if table.num_rows == 0:
         return table
-    indices = np.arange(table.num_rows)
-    for column_name, ascending in reversed(keys):
-        vector = table.column(column_name)
-        codes, _ = column_codes(vector)
-        sort_values = codes.astype(np.float64)
-        if not ascending:
-            sort_values = -sort_values
-        if vector.nulls is not None:
-            sort_values[vector.nulls] = np.nan  # NaN sorts last in argsort
-        indices = indices[np.argsort(sort_values[indices], kind="stable")]
+    key_arrays = [
+        _sort_codes(table.column(name), ascending) for name, ascending in keys
+    ]
+    # np.lexsort is stable and treats its *last* key as primary.
+    indices = np.lexsort(tuple(reversed(key_arrays)))
     return table.take(indices)
+
+
+def execute_top_n(
+    table: TableData,
+    keys: list[tuple[str, bool]],
+    limit: int | None,
+    offset: int = 0,
+) -> TableData:
+    """``ORDER BY … LIMIT k`` without fully sorting the input.
+
+    Partial selection via ``np.argpartition`` on the primary sort key keeps
+    every row that can possibly rank in the top ``limit + offset`` (ties at
+    the boundary included), then only those candidates are sorted.  The
+    candidates are gathered in input order and the final sort is stable, so
+    the result is bit-identical to ``execute_limit(execute_sort(...))``.
+    """
+    num_rows = table.num_rows
+    n = (limit or 0) + offset
+    if limit is None or num_rows == 0 or n >= num_rows:
+        return execute_limit(execute_sort(table, keys), limit, offset)
+    if n == 0:
+        return table.slice(0, 0)
+    primary = _sort_codes(table.column(keys[0][0]), keys[0][1])
+    boundary = primary[np.argpartition(primary, n - 1)[n - 1]]
+    candidates = np.flatnonzero(primary <= boundary)  # ascending input order
+    key_arrays = [
+        _sort_codes(table.column(name), ascending)[candidates]
+        for name, ascending in keys
+    ]
+    order = np.lexsort(tuple(reversed(key_arrays)))
+    return table.take(candidates[order[offset:n]])
 
 
 def execute_distinct(table: TableData) -> TableData:

@@ -217,6 +217,31 @@ class Sort(PlanNode):
 
 
 @dataclass
+class TopN(PlanNode):
+    """Fused ``Sort`` + ``Limit``: the optimizer rewrites
+    ``ORDER BY … LIMIT k [OFFSET m]`` into one node so the executor can use
+    partial selection (argpartition over the top ``k + m``) instead of a
+    full sort.  Semantics are exactly ``Limit(Sort(input))``."""
+
+    input: PlanNode
+    keys: list[SortKey]
+    limit: int
+    offset: int = 0
+
+    def children(self) -> list[PlanNode]:
+        return [self.input]
+
+    def output_schema(self) -> list[tuple[str, DataType]]:
+        return self.input.output_schema()
+
+    def _describe(self) -> str:
+        keys = ", ".join(
+            f"{key.column} {'ASC' if key.ascending else 'DESC'}" for key in self.keys
+        )
+        return f"TopN {keys} LIMIT {self.limit} OFFSET {self.offset}"
+
+
+@dataclass
 class Limit(PlanNode):
     input: PlanNode
     limit: int | None

@@ -9,11 +9,12 @@ makes $/TB-scan billing real); tests and CF materialized views use
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Protocol
+from typing import Iterator, Protocol
 
 from repro.errors import ExecutionError
 from repro.engine.plan import Scan
 from repro.storage.cache import BufferPool
+from repro.storage.file_format import PixelsReader
 from repro.storage.object_store import ObjectStore
 from repro.storage.table import TableData, TableReader
 
@@ -46,6 +47,32 @@ class DataSource(Protocol):
         return columns under the scan's *qualified* output names."""
         ...
 
+    def scan_batches(self, node: Scan) -> Iterator[SourceResult]:
+        """Stream the scan as a sequence of bounded granules.
+
+        Each yielded :class:`SourceResult` carries one granule of rows
+        (row-group granularity for object-store scans) plus the cost
+        accounting *delta* for producing exactly that granule, so a
+        consumer that stops iterating early is only charged for what was
+        actually fetched.  Sources without a natural granule may yield a
+        single result equal to :meth:`scan`.
+        """
+        ...
+
+
+def iter_source_batches(source: DataSource, node: Scan) -> Iterator[SourceResult]:
+    """``source.scan_batches`` when available, else one whole-scan granule.
+
+    This keeps third-party / test doubles that only implement ``scan``
+    working under the pipeline executor (they just lose early-exit
+    laziness).
+    """
+    scan_batches = getattr(source, "scan_batches", None)
+    if scan_batches is None:
+        yield source.scan(node)
+        return
+    yield from scan_batches(node)
+
 
 class ObjectStoreSource:
     """Reads base tables from the object store via :class:`TableReader`.
@@ -73,24 +100,15 @@ class ObjectStoreSource:
         self._cache = cache
 
     def scan(self, node: Scan) -> SourceResult:
-        if not node.table.bucket or not node.table.prefix:
-            raise ExecutionError(
-                f"table {node.table.name!r} has no storage location"
-            )
-        reader = TableReader(
-            self._store, node.table.bucket, node.table.prefix, cache=self._cache
-        )
+        reader = self._table_reader(node)
         base_columns = [base for _, base in node.columns]
         result = reader.scan(
             columns=base_columns,
             ranges=node.ranges or None,
             keys=self._keys,
         )
-        renamed = result.data.rename(
-            {base: out for out, base in node.columns}
-        ).select([out for out, _ in node.columns])
         return SourceResult(
-            renamed,
+            self._rename(result.data, node),
             result.bytes_scanned,
             result.latency_s,
             get_requests=result.get_requests,
@@ -98,6 +116,87 @@ class ObjectStoreSource:
             cache_misses=result.cache_misses,
             cache_evictions=result.cache_evictions,
             row_groups_skipped=result.row_groups_skipped,
+        )
+
+    def scan_batches(self, node: Scan) -> Iterator[SourceResult]:
+        """Stream the scan one row group at a time, fetching lazily.
+
+        Footers are read when a file is first touched; a row group's
+        chunks are fetched only when the pipeline pulls that granule.  A
+        consumer that abandons the iterator (LIMIT satisfied) therefore
+        never pays — in GETs, bytes, or billed logical bytes — for the row
+        groups and files it did not reach.  Per-granule accounting is the
+        metrics delta since the previous yield, so summing the yielded
+        counters reproduces :meth:`scan`'s totals exactly when the stream
+        is drained in full.
+        """
+        from repro.storage.object_store import StorageMetrics
+
+        reader = self._table_reader(node)
+        base_columns = [base for _, base in node.columns]
+        ranges = node.ranges or None
+        file_keys = self._keys if self._keys is not None else reader.file_keys()
+        metrics = self._store.metrics
+        for key in file_keys:
+            # Deltas are snapshotted tightly around each fetch (not across
+            # yields) so work other code does between pulls is never
+            # attributed to this scan.
+            before = metrics.snapshot()
+            file_reader = PixelsReader(
+                self._store, node.table.bucket, key, cache=self._cache
+            )
+            pending = metrics.delta(before)  # the footer read
+            pending_skipped = (
+                file_reader.count_pruned_groups(ranges) if ranges else 0
+            )
+            groups = file_reader.iter_groups(columns=base_columns, ranges=ranges)
+            yielded = False
+            while True:
+                before = metrics.snapshot()
+                vectors = next(groups, None)
+                if vectors is None:
+                    break
+                delta = metrics.delta(before)
+                delta.merge(pending)
+                pending = StorageMetrics()
+                yield self._granule(
+                    self._rename(TableData(vectors), node), delta, pending_skipped
+                )
+                pending_skipped = 0
+                yielded = True
+            if not yielded:
+                # Fully pruned (or empty) file: still surface the footer
+                # read and the skip count so accounting stays exact.
+                yield self._granule(
+                    TableData.empty(node.output_schema()), pending, pending_skipped
+                )
+
+    def _table_reader(self, node: Scan) -> TableReader:
+        if not node.table.bucket or not node.table.prefix:
+            raise ExecutionError(
+                f"table {node.table.name!r} has no storage location"
+            )
+        return TableReader(
+            self._store, node.table.bucket, node.table.prefix, cache=self._cache
+        )
+
+    @staticmethod
+    def _rename(data: TableData, node: Scan) -> TableData:
+        return data.rename({base: out for out, base in node.columns}).select(
+            [out for out, _ in node.columns]
+        )
+
+    @staticmethod
+    def _granule(data: TableData, delta, skipped: int) -> SourceResult:
+        return SourceResult(
+            data,
+            delta.logical_bytes_scanned,
+            delta.read_time_s,
+            get_requests=delta.get_requests,
+            cache_hits=delta.footer_cache_hits + delta.chunk_cache_hits,
+            cache_misses=delta.footer_cache_misses + delta.chunk_cache_misses,
+            cache_evictions=delta.chunk_cache_evictions,
+            row_groups_skipped=skipped,
         )
 
 
@@ -123,3 +222,8 @@ class InMemorySource:
             {base: out for out, base in node.columns}
         )
         return SourceResult(projected, projected.nbytes(), 0.0)
+
+    def scan_batches(self, node: Scan) -> Iterator[SourceResult]:
+        """One granule: in-memory tables have no fetch cost to defer (the
+        pipeline's scan operator re-slices it into record batches)."""
+        yield self.scan(node)

@@ -3,9 +3,11 @@
 The executor (run with ``analyze=True``) produces an
 :class:`~repro.engine.executor.OperatorProfile` tree shaped exactly like
 the plan tree; :func:`render_analyzed_plan` walks both in parallel and
-annotates every plan line with the operator's actual rows, bytes, GETs,
-cache hits, and elapsed wall-clock time (cumulative over its subtree,
-PostgreSQL-style).
+annotates every plan line with the operator's actual rows, batches, bytes,
+GETs, cache hits, peak materialized bytes, and virtual execution time
+(cumulative over its subtree, PostgreSQL-style).  Times are deterministic
+— modelled from work done, not wall-clock — so the rendered output is
+byte-reproducible for a given plan and data.
 """
 
 from __future__ import annotations
@@ -16,6 +18,10 @@ from repro.engine.plan import PlanNode
 
 def _annotation(profile: OperatorProfile) -> str:
     parts = [f"rows={profile.rows_out}", f"time={profile.time_s * 1000:.3f}ms"]
+    if profile.rows_in:
+        parts.append(f"rows_in={profile.rows_in}")
+    if profile.batches:
+        parts.append(f"batches={profile.batches}")
     if profile.bytes_scanned:
         parts.append(f"bytes={profile.bytes_scanned}")
     if profile.get_requests:
@@ -24,6 +30,8 @@ def _annotation(profile: OperatorProfile) -> str:
         parts.append(f"cache={profile.cache_hits}/{profile.cache_hits + profile.cache_misses}")
     if profile.row_groups_skipped:
         parts.append(f"rg_skipped={profile.row_groups_skipped}")
+    if profile.peak_bytes:
+        parts.append(f"peak={profile.peak_bytes}")
     return "  [" + " ".join(parts) + "]"
 
 

@@ -308,28 +308,12 @@ class PixelsReader:
             Mapping of column name to a single concatenated ColumnVector.
             Returns empty vectors (length 0) if every group is pruned.
         """
-        names = [name for name, _ in self._footer.schema]
         if columns is None:
-            columns = names
-        for column in columns:
-            if column not in names:
-                raise NoSuchColumnError(f"no column {column!r} in {self._key}")
-        column_types = {column: self.column_type(column) for column in columns}
+            columns = [name for name, _ in self._footer.schema]
         pieces: dict[str, list[ColumnVector]] = {column: [] for column in columns}
-        for group in self._footer.row_groups:
-            if ranges and self._pruned(group, ranges):
-                continue
-            blobs = self._fetch_group_chunks(
-                [group.chunks[column] for column in columns]
-            )
-            for column in columns:
-                pieces[column].append(
-                    decode_chunk(
-                        blobs[column],
-                        column_types[column],
-                        group.chunks[column].encoding,
-                    )
-                )
+        for group_vectors in self.iter_groups(columns=columns, ranges=ranges):
+            for column, vector in group_vectors.items():
+                pieces[column].append(vector)
         result: dict[str, ColumnVector] = {}
         for column in columns:
             vectors = pieces[column]
@@ -341,6 +325,50 @@ class PixelsReader:
                 continue
             result[column] = ColumnVector.concat_all(vectors)
         return result
+
+    def iter_groups(
+        self,
+        columns: list[str] | None = None,
+        ranges: dict[str, tuple[object | None, object | None]] | None = None,
+    ):
+        """Yield each unpruned row group's projected columns, *lazily*.
+
+        Chunks for a row group are fetched (and accounted as logical
+        scanned bytes) only when the group is actually pulled — this is
+        what lets a LIMIT-satisfied pipeline abandon the iterator and skip
+        the GETs for every remaining row group.
+
+        Yields:
+            One ``{column: ColumnVector}`` mapping per surviving row group,
+            in file order.
+        """
+        names = [name for name, _ in self._footer.schema]
+        if columns is None:
+            columns = names
+        for column in columns:
+            if column not in names:
+                raise NoSuchColumnError(f"no column {column!r} in {self._key}")
+        column_types = {column: self.column_type(column) for column in columns}
+        for group in self._footer.row_groups:
+            if ranges and self._pruned(group, ranges):
+                continue
+            blobs = self._fetch_group_chunks(
+                [group.chunks[column] for column in columns]
+            )
+            yield {
+                column: decode_chunk(
+                    blobs[column],
+                    column_types[column],
+                    group.chunks[column].encoding,
+                )
+                for column in columns
+            }
+
+    def count_pruned_groups(
+        self, ranges: dict[str, tuple[object | None, object | None]]
+    ) -> int:
+        """Row groups of this file that ``ranges`` rules out entirely."""
+        return sum(1 for group in self._footer.row_groups if self._pruned(group, ranges))
 
     def _fetch_group_chunks(self, chunks: list[ChunkMeta]) -> dict[str, bytes]:
         """Payloads for one row group's projected chunks, by column name.

@@ -66,6 +66,19 @@ class _SharedSource:
         except Exception:
             return self._fallback.scan(node)
 
+    def scan_batches(self, node: Scan):
+        # Resolve the venue eagerly (a lazy generator would defer the
+        # shared-vs-fallback probe to first pull); shared tables stream as
+        # one in-memory granule, everything else keeps the fallback's
+        # laziness.
+        from repro.engine.source import iter_source_batches
+
+        try:
+            result = self._shared.scan(node)
+        except Exception:
+            return iter_source_batches(self._fallback, node)
+        return iter([result])
+
 
 def union_columns(plans: list[PlanNode]) -> dict[tuple[str, str], set[str]]:
     """Per (schema, table): the union of base columns any plan scans."""

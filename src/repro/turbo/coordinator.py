@@ -377,10 +377,12 @@ class Coordinator:
     def explain_analyze(self, sql: str) -> str:
         """Execute ``sql`` inline (VM buffer pool, no queueing or venue
         scheduling) and render the plan annotated with each operator's
-        actual rows, bytes, GETs, cache hits, and wall-clock time."""
+        actual rows, batches, bytes, GETs, cache hits, and deterministic
+        virtual execution time."""
         plan, _ = self._prepare(sql)
         executor = QueryExecutor(
-            ObjectStoreSource(self._store, cache=self.vm_buffer_pool)
+            ObjectStoreSource(self._store, cache=self.vm_buffer_pool),
+            batch_size=self._config.batch_size,
         )
         result = executor.execute(plan, analyze=True)
         assert result.profile is not None
@@ -470,7 +472,8 @@ class Coordinator:
         )
         try:
             executor = QueryExecutor(
-                ObjectStoreSource(self._store, cache=self.vm_buffer_pool)
+                ObjectStoreSource(self._store, cache=self.vm_buffer_pool),
+                batch_size=self._config.batch_size,
             )
             result = executor.execute(plan, analyze=analyze)
         except PixelsError as error:
@@ -567,44 +570,55 @@ class Coordinator:
             # the query, but no warmth carries across invocations.
             cf_pool = BufferPool.from_config(self._store, self._config.cache)
             executor = QueryExecutor(
-                ObjectStoreSource(self._store, cache=cf_pool)
+                ObjectStoreSource(self._store, cache=cf_pool),
+                batch_size=self._config.batch_size,
             )
-            sub_result = executor.execute(split.sub)
-            split.attach(sub_result.data)
+            # Incremental merge: the sub-plan's result flows into the
+            # top-level plan as a batch stream, so the merge step consumes
+            # fragment output as it is produced instead of waiting for the
+            # whole materialized view — and a top that stops early (LIMIT)
+            # stops the sub-plan's remaining scan work.
+            sub_exec = executor.execute_stream(split.sub)
+            split.attach_stream(sub_exec.batches())
             top_result = executor.execute(split.top)
         except PixelsError as error:
             execute_span.finish("error", error=str(error))
             self._fail(execution, str(error))
             return
+        # ``sub_exec.stats`` is read after the top plan drained (or
+        # abandoned) the stream, so it reflects exactly the sub-plan work
+        # performed — the CF billing basis.
+        sub_stats = sub_exec.stats
         # The top-level plan consumes the materialized view; the heavy
         # statistics (bytes scanned, GETs, cache traffic) come from the CF
         # sub-plan; the merge step contributes its own operator counts.
         merged_stats = QueryStats(
-            bytes_scanned=sub_result.stats.bytes_scanned,
-            scan_latency_s=sub_result.stats.scan_latency_s,
-            rows_scanned=sub_result.stats.rows_scanned,
+            bytes_scanned=sub_stats.bytes_scanned,
+            scan_latency_s=sub_stats.scan_latency_s,
+            rows_scanned=sub_stats.rows_scanned,
             rows_produced=top_result.stats.rows_produced,
-            operators=sub_result.stats.operators + top_result.stats.operators,
-            get_requests=sub_result.stats.get_requests
+            operators=sub_stats.operators + top_result.stats.operators,
+            get_requests=sub_stats.get_requests
             + top_result.stats.get_requests,
-            cache_hits=sub_result.stats.cache_hits + top_result.stats.cache_hits,
-            cache_misses=sub_result.stats.cache_misses
+            cache_hits=sub_stats.cache_hits + top_result.stats.cache_hits,
+            cache_misses=sub_stats.cache_misses
             + top_result.stats.cache_misses,
-            cache_evictions=sub_result.stats.cache_evictions
+            cache_evictions=sub_stats.cache_evictions
             + top_result.stats.cache_evictions,
-            row_groups_skipped=sub_result.stats.row_groups_skipped
+            row_groups_skipped=sub_stats.row_groups_skipped
             + top_result.stats.row_groups_skipped,
         )
         result = QueryResult(top_result.data, merged_stats)
-        estimate = self.cost_model.cf_execution(sub_result.stats)
+        estimate = self.cost_model.cf_execution(sub_stats)
         execution.cf_workers = estimate.num_workers
-        self._record_scan_span(execution.query_id, execute_span, sub_result.stats)
+        self._record_scan_span(execution.query_id, execute_span, sub_stats)
         if self.obs.tracer.enabled:
             self.obs.tracer.start(
                 execution.query_id,
                 "merge",
                 parent=execute_span,
                 rows_produced=top_result.stats.rows_produced,
+                batches=sub_exec.batches_emitted,
             ).finish("ok")
         execute_span.set(cf_workers=estimate.num_workers)
         self._launch_cf(execution, result, estimate, execute_span)

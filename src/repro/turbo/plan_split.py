@@ -16,7 +16,9 @@ taken by a :class:`~repro.engine.plan.MaterializedView` leaf.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Iterator
 
+from repro.engine.batch import BatchStream
 from repro.engine.plan import (
     Aggregate,
     Distinct,
@@ -28,11 +30,12 @@ from repro.engine.plan import (
     Project,
     Scan,
     Sort,
+    TopN,
 )
 from repro.storage.table import TableData
 
 EXPENSIVE_NODES = (Scan, HashJoin, Aggregate)
-CHEAP_TAIL_NODES = (Project, Filter, Sort, Limit, Distinct)
+CHEAP_TAIL_NODES = (Project, Filter, Sort, TopN, Limit, Distinct)
 
 
 @dataclass
@@ -55,6 +58,21 @@ class SplitPlan:
     def attach(self, data: TableData) -> None:
         """Wire the CF workers' result into the top-level plan."""
         self.view.data = data
+
+    def attach_stream(
+        self,
+        batches: Iterator[TableData],
+        on_close: "Callable[[], None] | None" = None,
+    ) -> None:
+        """Wire the CF workers' result in as a batch stream.
+
+        The top-level plan then pulls the sub-plan's output incrementally
+        (the coordinator's merge step consumes fragment batches as they
+        arrive instead of waiting for a whole materialized table), and a
+        top that stops early — e.g. a LIMIT above the view — stops the
+        sub-plan's remaining work via generator close.
+        """
+        self.view.data = BatchStream(batches, self.sub.output_schema(), on_close)
 
 
 def split_plan(plan: PlanNode) -> SplitPlan:

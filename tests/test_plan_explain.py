@@ -53,13 +53,20 @@ class TestExplain:
         assert "sum(aggarg_0)" in text
 
     def test_sort_limit_distinct_rendered(self, planner):
+        # ORDER BY + LIMIT fuses into one TopN node during optimization.
         text = explain(
             planner,
             "SELECT DISTINCT o_custkey FROM orders ORDER BY o_custkey LIMIT 3",
         )
-        assert "Sort o_custkey ASC" in text
-        assert "Limit 3 OFFSET 0" in text
+        assert "TopN o_custkey ASC LIMIT 3 OFFSET 0" in text
         assert "Distinct" in text
+
+    def test_sort_without_limit_stays_sort(self, planner):
+        text = explain(
+            planner, "SELECT o_custkey FROM orders ORDER BY o_custkey DESC"
+        )
+        assert "Sort o_custkey DESC" in text
+        assert "TopN" not in text
 
     def test_union_rendered(self, planner):
         text = explain(

@@ -12,6 +12,7 @@ from repro.engine.plan import (
     Project,
     Scan,
     Sort,
+    TopN,
     walk_plan,
 )
 from repro.engine.planner import Planner
@@ -44,7 +45,8 @@ class TestSplitBoundary:
         assert Scan not in top_types
         assert Aggregate not in top_types
         assert MaterializedView in top_types
-        assert Sort in top_types and Limit in top_types
+        # ORDER BY + LIMIT arrives fused as a TopN cheap-tail node.
+        assert TopN in top_types
 
     def test_join_goes_to_subplan(self, planner):
         plan = plan_for(
@@ -134,7 +136,8 @@ class TestSplitWithExtendedPlans:
         )
         split = split_plan(plan)
         top_types = {type(n) for n in walk_plan(split.top)}
-        assert Limit in top_types and Sort in top_types
+        assert TopN in top_types
+        assert Limit not in top_types and Sort not in top_types
 
     def test_semi_join_pushed_to_subplan_and_equivalent(self, mini_engine):
         planner, optimizer, executor = mini_engine
