@@ -11,7 +11,15 @@ price table.
 
 import pytest
 
-from common import HEAVY_SQL, MEDIUM_SQL, format_row, report, tpch_environment
+from common import (
+    HEAVY_SQL,
+    MEDIUM_SQL,
+    bench_record,
+    format_row,
+    report,
+    tpch_environment,
+    workload_metrics,
+)
 from repro.baselines import run_workload
 from repro.baselines.runner import Submission
 from repro.core import ServiceLevel
@@ -37,7 +45,10 @@ def run_experiment():
 
 
 def test_c1_price_levels(benchmark):
-    result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    result = benchmark.pedantic(
+        lambda: bench_record("c1", run_experiment, workload_metrics),
+        rounds=1, iterations=1,
+    )
     lines = [
         format_row("service level", "paper $/TB", "measured $/TB", "ratio vs immediate"),
     ]

@@ -13,7 +13,14 @@ per query between the two populations.
 
 import pytest
 
-from common import HEAVY_SQL, format_row, report, tpch_environment
+from common import (
+    HEAVY_SQL,
+    bench_record,
+    format_row,
+    report,
+    tpch_environment,
+    workload_metrics,
+)
 from repro.baselines import run_workload
 from repro.baselines.runner import Submission
 from repro.core import ServiceLevel
@@ -37,7 +44,12 @@ def run_experiment():
 
 
 def test_c2_cost_ratio(benchmark):
-    config, result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    config, result = benchmark.pedantic(
+        lambda: bench_record(
+            "c2", run_experiment, lambda pair: workload_metrics(pair[1])
+        ),
+        rounds=1, iterations=1,
+    )
 
     unit_ratio = (
         config.cf.price_per_worker_s(config.vm) / config.vm.price_per_worker_s

@@ -12,7 +12,7 @@ scale-out lag has elapsed.
 
 import pytest
 
-from common import format_row, report
+from common import bench_record, format_row, report
 from repro.sim import Simulator
 from repro.turbo.cf_service import CfService
 from repro.turbo.config import CfConfig, VmConfig
@@ -48,8 +48,26 @@ def first_growth_time(curve):
     return float("inf")
 
 
+def curve_metrics(curves):
+    """Deterministic trajectory metrics for the perf gate (no workload
+    here, so the generic workload set does not apply)."""
+    cf_curve, vm_curve = curves
+    return {
+        "cf_seconds_to_full": round(
+            next(t for t, n in cf_curve if n >= DEMAND), 9
+        ),
+        "vm_first_growth_s": round(first_growth_time(vm_curve), 9),
+        "vm_peak_workers": max(n for _, n in vm_curve),
+        "cf_curve_points": len(cf_curve),
+        "vm_curve_points": len(vm_curve),
+    }
+
+
 def test_c3_elasticity(benchmark):
-    cf_curve, vm_curve = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    cf_curve, vm_curve = benchmark.pedantic(
+        lambda: bench_record("c3", run_experiment, curve_metrics),
+        rounds=1, iterations=1,
+    )
 
     cf_full = next(t for t, n in cf_curve if n >= DEMAND)
     vm_first = first_growth_time(vm_curve)

@@ -16,9 +16,11 @@ import pytest
 
 from common import (
     HEAVY_SQL,
+    bench_record,
     format_row,
     report,
     tpch_environment,
+    workload_metrics,
     write_observability_artifacts,
 )
 from repro.baselines import run_workload
@@ -47,7 +49,12 @@ def run_experiment():
 
 
 def test_c4_autoscaling(benchmark):
-    config, result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    config, result = benchmark.pedantic(
+        lambda: bench_record(
+            "c4", run_experiment, lambda pair: workload_metrics(pair[1])
+        ),
+        rounds=1, iterations=1,
+    )
     cluster = result.coordinator.vm_cluster
     trace = result.coordinator.trace
 

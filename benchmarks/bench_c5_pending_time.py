@@ -21,9 +21,11 @@ import pytest
 
 from common import (
     HEAVY_SQL,
+    bench_record,
     format_row,
     report,
     tpch_environment,
+    workload_metrics,
     write_observability_artifacts,
 )
 from repro.baselines import run_workload
@@ -51,7 +53,12 @@ def run_experiment():
 
 
 def test_c5_pending_time(benchmark):
-    config, result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    config, result = benchmark.pedantic(
+        lambda: bench_record(
+            "c5", run_experiment, lambda pair: workload_metrics(pair[1])
+        ),
+        rounds=1, iterations=1,
+    )
 
     idle_relaxed, idle_best = result.queries[0], result.queries[1]
     spike = result.queries[2:]

@@ -14,7 +14,7 @@ queries do not increase VM-cluster concurrency.
 
 import pytest
 
-from common import format_row, report, tpch_environment
+from common import bench_record, format_row, report, tpch_environment
 from repro.engine.executor import QueryExecutor
 from repro.engine.optimizer import Optimizer
 from repro.engine.plan import Aggregate, HashJoin, Scan, walk_plan
@@ -79,8 +79,20 @@ def run_concurrency_probe():
     return before, after, len(coordinator.cf_service.invocations)
 
 
+def split_metrics(rows):
+    return {
+        "queries_split": len(rows),
+        "results_identical": sum(1 for row in rows if row["match"]),
+        "expensive_ops_pushed": sum(len(row["pushed"]) for row in rows),
+        "expensive_ops_leaked": sum(len(row["leaked"]) for row in rows),
+    }
+
+
 def test_c6_pushdown(benchmark):
-    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = benchmark.pedantic(
+        lambda: bench_record("c6", run_experiment, split_metrics),
+        rounds=1, iterations=1,
+    )
     before, after, invocations = run_concurrency_probe()
 
     lines = [format_row("query", "results identical", "ops pushed to CF sub-plan")]

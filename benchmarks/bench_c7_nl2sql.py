@@ -14,7 +14,13 @@ context truncation on a 1500-column table.
 
 import pytest
 
-from common import format_row, logs_environment, report, tpch_environment
+from common import (
+    bench_record,
+    format_row,
+    logs_environment,
+    report,
+    tpch_environment,
+)
 from repro.engine.executor import QueryExecutor
 from repro.engine.optimizer import Optimizer
 from repro.engine.planner import Planner
@@ -71,8 +77,19 @@ def wide_schema_contrast(num_columns=1500, budget=12):
     return pruning_hit, truncation_hit, translation.sql, len(pruned.serialize())
 
 
+def accuracy_metrics(reports):
+    metrics = {}
+    for name, rep in sorted(reports.items()):
+        metrics[f"{name}_correct"] = rep.correct
+        metrics[f"{name}_total"] = rep.total
+    return metrics
+
+
 def test_c7_nl2sql(benchmark):
-    reports = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    reports = benchmark.pedantic(
+        lambda: bench_record("c7", run_experiment, accuracy_metrics),
+        rounds=1, iterations=1,
+    )
     pruning_hit, truncation_hit, wide_sql, serialized_len = wide_schema_contrast()
 
     lines = [format_row("dataset", "paper accuracy", "measured accuracy")]

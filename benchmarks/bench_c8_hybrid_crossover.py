@@ -16,7 +16,13 @@ end; the hybrid tracks VM cost while keeping spike pending at zero.
 import numpy as np
 import pytest
 
-from common import HEAVY_SQL, format_row, report, tpch_environment
+from common import (
+    HEAVY_SQL,
+    bench_record,
+    format_row,
+    report,
+    tpch_environment,
+)
 from repro.baselines import PureCfCoordinator, PureVmCoordinator, run_workload
 from repro.baselines.runner import Submission
 from repro.core import ServiceLevel
@@ -77,8 +83,19 @@ def run_experiment():
     return grid
 
 
+def grid_metrics(grid):
+    return {
+        f"{engine}@{fraction:.1f}:{key}": round(value, 9)
+        for (fraction, engine), cell in sorted(grid.items())
+        for key, value in sorted(cell.items())
+    }
+
+
 def test_c8_hybrid_crossover(benchmark):
-    grid = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    grid = benchmark.pedantic(
+        lambda: bench_record("c8", run_experiment, grid_metrics),
+        rounds=1, iterations=1,
+    )
 
     lines = [
         format_row(

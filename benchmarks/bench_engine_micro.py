@@ -11,7 +11,7 @@ from pathlib import Path
 
 import pytest
 
-from common import tpch_environment
+from common import bench_record, tpch_environment
 from repro.engine.executor import QueryExecutor
 from repro.engine.optimizer import Optimizer
 from repro.engine.planner import Planner
@@ -213,6 +213,73 @@ def test_limit_early_exit_vs_full_scan(benchmark, chunked_lineitem):
     (results_dir / "limit_early_exit.json").write_text(
         json.dumps(payload, indent=2) + "\n"
     )
+
+
+def test_engine_micro_trajectory(benchmark, runtime, chunked_lineitem):
+    """Record the engine's deterministic micro-metrics as a perf-gate
+    baseline (``BENCH_engine_micro.json``).
+
+    Everything recorded is an exact engine output — result cardinalities,
+    per-query logical bytes/GETs, LIMIT early-exit savings, warm-scan
+    cache behavior — so the gate can demand exact matches.  Wall times
+    stay in the regular pytest-benchmark tests above.
+    """
+    _, _, planner, optimizer, executor = runtime
+    chunked_store, data = chunked_lineitem
+
+    def run_micro():
+        q1 = executor.execute(optimizer.optimize(planner.plan_sql(Q1)))
+        q3 = executor.execute(optimizer.optimize(planner.plan_sql(Q3)))
+        catalog = Catalog()
+        catalog.create_schema("bench")
+        catalog.create_table(
+            "bench",
+            "lineitem",
+            [ColumnMeta(name, dtype) for name, dtype in data.schema()],
+            bucket="bench",
+            prefix="lineitem",
+        )
+        chunked_planner = Planner(catalog, "bench")
+        chunked_executor = QueryExecutor(ObjectStoreSource(chunked_store))
+        full = chunked_executor.execute(
+            optimizer.optimize(
+                chunked_planner.plan_sql("SELECT l_orderkey FROM lineitem")
+            )
+        )
+        limited = chunked_executor.execute(
+            optimizer.optimize(
+                chunked_planner.plan_sql(
+                    "SELECT l_orderkey FROM lineitem LIMIT 100"
+                )
+            )
+        )
+        pool = BufferPool(chunked_store)
+        reader = TableReader(chunked_store, "bench", "lineitem", cache=pool)
+        cold = reader.scan(["l_extendedprice", "l_discount"])
+        warm = reader.scan(["l_extendedprice", "l_discount"])
+        return {
+            "q1_rows": q1.num_rows,
+            "q1_bytes_scanned": q1.stats.bytes_scanned,
+            "q1_get_requests": q1.stats.get_requests,
+            "q3_rows": q3.num_rows,
+            "q3_bytes_scanned": q3.stats.bytes_scanned,
+            "q3_get_requests": q3.stats.get_requests,
+            "full_scan_bytes": full.stats.bytes_scanned,
+            "full_scan_gets": full.stats.get_requests,
+            "limit100_bytes": limited.stats.bytes_scanned,
+            "limit100_gets": limited.stats.get_requests,
+            "cold_scan_gets": cold.get_requests,
+            "warm_scan_gets": warm.get_requests,
+            "warm_scan_cache_hits": warm.cache_hits,
+        }
+
+    metrics = benchmark.pedantic(
+        lambda: bench_record("engine_micro", run_micro, lambda m: m),
+        rounds=1, iterations=1,
+    )
+    assert metrics["q1_rows"] == 6
+    assert metrics["limit100_gets"] < metrics["full_scan_gets"]
+    assert metrics["warm_scan_cache_hits"] > 0
 
 
 def test_nl_translation(benchmark, runtime):

@@ -11,7 +11,10 @@ session — loading dominates bench start-up otherwise.
 
 from __future__ import annotations
 
+import json
 import os
+import statistics
+import time
 
 from repro.storage.catalog import Catalog
 from repro.storage.object_store import ObjectStore
@@ -84,6 +87,111 @@ def write_observability_artifacts(slug: str, result, title: str) -> dict[str, st
             handle.write(payload)
         paths[kind] = path
     return paths
+
+
+# -- benchmark trajectory (BENCH_<slug>.json + perf gate) -----------------------
+
+#: Bumped when the record layout changes; the gate refuses cross-version
+#: comparisons instead of mis-reading old baselines.
+BENCH_SCHEMA_VERSION = 1
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+def baseline_path(slug: str) -> str:
+    """The committed baseline for ``slug`` (repo root, tracked by git)."""
+    return os.path.join(_REPO_ROOT, f"BENCH_{slug}.json")
+
+
+def fresh_path(slug: str) -> str:
+    """The fresh-run record for ``slug`` (results dir, gitignored)."""
+    return os.path.join(_RESULTS_DIR, f"bench_{slug}.json")
+
+
+def workload_metrics(result) -> dict:
+    """The deterministic metric set every workload bench records.
+
+    All five are exact simulation outputs — identical across runs and
+    machines for the same seed — which is what lets the perf gate demand
+    exact matches.  Bytes/GETs come from per-query :class:`QueryStats`
+    (not the store's global counters) so the numbers are independent of
+    test execution order against the session-cached dataset.
+    """
+    finished = result.finished()
+    stats = [
+        q.execution.result.stats
+        for q in finished
+        if q.execution is not None and q.execution.result is not None
+    ]
+    return {
+        "finished_queries": len(finished),
+        "billed_dollars": round(result.billed(), 12),
+        "logical_bytes_scanned": sum(s.bytes_scanned for s in stats),
+        "get_requests": sum(s.get_requests for s in stats),
+        "sim_seconds": round(result.sim.now, 9),
+    }
+
+
+def bench_record(slug: str, run, metrics, *, rounds: int = 2, warmup: int = 0,
+                 meta: dict | None = None):
+    """Run ``run()`` ``warmup + rounds`` times and record the trajectory.
+
+    ``metrics(result)`` must return the bench's *deterministic* metric
+    dict; it is computed every round and asserted identical across rounds
+    (a built-in determinism self-check — a bench whose simulated numbers
+    wobble cannot seed a baseline).  Wall time gets robust stats instead:
+    median and MAD over the measured rounds.
+
+    The record is always written to ``benchmarks/results/bench_<slug>.json``
+    (gitignored; the perf gate's "fresh" side).  With ``BENCH_UPDATE=1``
+    in the environment it is also written to the committed baseline
+    ``BENCH_<slug>.json`` at the repo root — the refresh flow after an
+    intentional perf change.  Returns the last round's result object.
+    """
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
+    for _ in range(warmup):
+        run()
+    wall_samples: list[float] = []
+    reference: dict | None = None
+    result = None
+    for round_index in range(rounds):
+        started = time.perf_counter()
+        result = run()
+        wall_samples.append(time.perf_counter() - started)
+        observed = metrics(result)
+        if reference is None:
+            reference = observed
+        elif observed != reference:
+            raise AssertionError(
+                f"bench {slug!r} is not deterministic: round 0 metrics "
+                f"{reference} != round {round_index} metrics {observed}"
+            )
+    median = statistics.median(wall_samples)
+    mad = statistics.median(abs(s - median) for s in wall_samples)
+    record = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "slug": slug,
+        "rounds": rounds,
+        "warmup": warmup,
+        "metrics": reference,
+        "wall": {
+            "median_s": round(median, 6),
+            "mad_s": round(mad, 6),
+            "samples_s": [round(s, 6) for s in wall_samples],
+        },
+    }
+    if meta:
+        record["meta"] = meta
+    payload = json.dumps(record, indent=2, sort_keys=True) + "\n"
+    os.makedirs(_RESULTS_DIR, exist_ok=True)
+    with open(fresh_path(slug), "w", encoding="utf-8") as handle:
+        handle.write(payload)
+    if os.environ.get("BENCH_UPDATE"):
+        with open(baseline_path(slug), "w", encoding="utf-8") as handle:
+            handle.write(payload)
+    return result
 
 
 REPORTS: list[tuple[str, list[str]]] = []

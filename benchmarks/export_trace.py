@@ -1,11 +1,14 @@
-"""Export a demo session's span timelines as deterministic JSON.
+"""Export a demo session's span timelines and profiles, deterministically.
 
 Runs a small three-level session against a TPC-H-style dataset with
 observability on and writes ``Tracer.export_all_json()`` to the given
-path (default ``results/demo_traces.json``).  Because span timestamps
-come from the virtual clock and span ids from a counter, the output is
-byte-identical across same-seed runs — CI uploads it as an artifact so
-trace-shape changes show up as a reviewable diff.
+path (default ``results/demo_traces.json``).  For the demo GROUP BY
+query it also writes the profiler's exports next to the traces: folded
+stacks (``demo_profile_time.folded``, ``demo_profile_dollars.folded``)
+plus the two flame-graph SVGs.  Because span timestamps come from the
+virtual clock and span ids from a counter, every output is
+byte-identical across same-seed runs — CI uploads them as artifacts so
+trace- and attribution-shape changes show up as reviewable diffs.
 
 Usage: PYTHONPATH=../src python export_trace.py [output.json]
 """
@@ -22,7 +25,7 @@ def export(path: pathlib.Path) -> None:
     db = PixelsDB(observe=True, seed=5)
     db.load_tpch("tpch", scale=0.01)
     db.submit("tpch", "SELECT COUNT(*) FROM nation", ServiceLevel.IMMEDIATE)
-    db.submit(
+    demo = db.submit(
         "tpch",
         "SELECT c_mktsegment, COUNT(*) FROM customer GROUP BY c_mktsegment",
         ServiceLevel.RELAXED,
@@ -35,6 +38,20 @@ def export(path: pathlib.Path) -> None:
     path.write_text(db.export_traces() + "\n")
     trace_count = len(db.obs.tracer.trace_ids())
     print(f"wrote {trace_count} traces to {path}")
+
+    profile = db.profile("tpch", demo.query_id)
+    exports = {
+        "demo_profile_time.folded": profile.folded_time(),
+        "demo_profile_dollars.folded": profile.folded_dollars(),
+        "demo_profile_time.svg": profile.flamegraph_time_svg(),
+        "demo_profile_dollars.svg": profile.flamegraph_dollars_svg(),
+    }
+    for filename, payload in exports.items():
+        (path.parent / filename).write_text(payload)
+    print(
+        f"wrote profile exports for {demo.query_id} "
+        f"(billed {profile.billed_nanodollars} nano$) to {path.parent}"
+    )
 
 
 if __name__ == "__main__":

@@ -1,0 +1,181 @@
+"""The CI perf gate: fresh bench records vs committed baselines.
+
+Every bench routed through :func:`common.bench_record` writes a fresh
+record to ``benchmarks/results/bench_<slug>.json``; the committed
+baseline lives at ``BENCH_<slug>.json`` in the repo root.  This script
+compares the two with per-metric tolerance:
+
+* **deterministic metrics** (logical bytes scanned, GET counts, billed
+  $, finished queries, simulated seconds) must match **exactly** —
+  they are simulation outputs, so any drift is a real behavior change,
+  not noise;
+* **wall time** is only compared when ``--wall-band`` is given (a
+  fractional regression allowance, e.g. ``0.5`` = fresh median may be
+  up to 50% above baseline).  CI leaves it off so the gate is
+  flake-free on shared runners.
+
+Exit status is non-zero on any violation.  After an *intentional* perf
+change, refresh the baselines with ``BENCH_UPDATE=1`` (see
+``bench_record``) or ``python benchmarks/perf_gate.py --update`` and
+commit the new ``BENCH_*.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import math
+import os
+import shutil
+import sys
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+#: Relative tolerance for float-valued deterministic metrics: covers
+#: serialization round-trip only, not behavior drift.
+FLOAT_RTOL = 1e-9
+
+
+def baseline_path(slug: str) -> str:
+    return os.path.join(_REPO_ROOT, f"BENCH_{slug}.json")
+
+
+def fresh_path(slug: str) -> str:
+    return os.path.join(_RESULTS_DIR, f"bench_{slug}.json")
+
+
+def discover_slugs() -> list[str]:
+    """Slugs of every committed ``BENCH_<slug>.json`` baseline."""
+    slugs = []
+    for path in sorted(glob.glob(os.path.join(_REPO_ROOT, "BENCH_*.json"))):
+        name = os.path.basename(path)
+        slugs.append(name[len("BENCH_"):-len(".json")])
+    return slugs
+
+
+def _values_match(baseline, fresh) -> bool:
+    if isinstance(baseline, bool) or isinstance(fresh, bool):
+        return baseline == fresh
+    if isinstance(baseline, (int, float)) and isinstance(fresh, (int, float)):
+        if isinstance(baseline, int) and isinstance(fresh, int):
+            return baseline == fresh
+        return math.isclose(baseline, fresh, rel_tol=FLOAT_RTOL, abs_tol=0.0)
+    return baseline == fresh
+
+
+def compare_records(
+    baseline: dict, fresh: dict, wall_band: float | None = None
+) -> list[str]:
+    """Violations (empty list = pass) between one baseline/fresh pair.
+
+    Deterministic metrics: exact (ints) or FLOAT_RTOL (floats).
+    Wall: fresh median ≤ baseline median × (1 + wall_band), only when a
+    band is supplied.
+    """
+    slug = baseline.get("slug", "?")
+    violations: list[str] = []
+    if baseline.get("schema_version") != fresh.get("schema_version"):
+        return [
+            f"{slug}: schema_version mismatch "
+            f"(baseline {baseline.get('schema_version')}, "
+            f"fresh {fresh.get('schema_version')}) — refresh the baseline"
+        ]
+    base_metrics = baseline.get("metrics", {}) or {}
+    fresh_metrics = fresh.get("metrics", {}) or {}
+    for name in sorted(base_metrics):
+        if name not in fresh_metrics:
+            violations.append(f"{slug}: metric {name!r} missing from fresh run")
+            continue
+        if not _values_match(base_metrics[name], fresh_metrics[name]):
+            violations.append(
+                f"{slug}: {name} regressed/changed: "
+                f"baseline {base_metrics[name]!r} != fresh {fresh_metrics[name]!r}"
+            )
+    for name in sorted(set(fresh_metrics) - set(base_metrics)):
+        violations.append(
+            f"{slug}: new metric {name!r} not in baseline — refresh the baseline"
+        )
+    if wall_band is not None:
+        base_wall = (baseline.get("wall") or {}).get("median_s")
+        fresh_wall = (fresh.get("wall") or {}).get("median_s")
+        if base_wall and fresh_wall and fresh_wall > base_wall * (1.0 + wall_band):
+            violations.append(
+                f"{slug}: wall median {fresh_wall:.3f}s exceeds baseline "
+                f"{base_wall:.3f}s by more than {wall_band:.0%}"
+            )
+    return violations
+
+
+def _load(path: str) -> dict:
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def run_gate(
+    slugs: list[str] | None = None,
+    wall_band: float | None = None,
+    update: bool = False,
+) -> tuple[list[str], list[str]]:
+    """Gate every requested slug; returns (checked, violations)."""
+    slugs = slugs if slugs else discover_slugs()
+    checked: list[str] = []
+    violations: list[str] = []
+    for slug in slugs:
+        base = baseline_path(slug)
+        fresh = fresh_path(slug)
+        if not os.path.exists(fresh):
+            violations.append(
+                f"{slug}: no fresh record at {os.path.relpath(fresh, _REPO_ROOT)}"
+                " — did the bench run?"
+            )
+            continue
+        if update:
+            shutil.copyfile(fresh, base)
+            checked.append(slug)
+            continue
+        if not os.path.exists(base):
+            violations.append(
+                f"{slug}: no committed baseline BENCH_{slug}.json — run with"
+                " --update (or BENCH_UPDATE=1) and commit it"
+            )
+            continue
+        checked.append(slug)
+        violations.extend(compare_records(_load(base), _load(fresh), wall_band))
+    return checked, violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "slugs", nargs="*",
+        help="slugs to gate (default: every committed BENCH_*.json)",
+    )
+    parser.add_argument(
+        "--wall-band", type=float, default=None, metavar="FRACTION",
+        help="also gate wall-time medians with this fractional allowance",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="copy fresh records over the committed baselines instead of gating",
+    )
+    args = parser.parse_args(argv)
+    checked, violations = run_gate(
+        slugs=args.slugs or None, wall_band=args.wall_band, update=args.update
+    )
+    if args.update:
+        print(f"perf-gate: refreshed {len(checked)} baseline(s): "
+              + ", ".join(checked))
+        return 0
+    for violation in violations:
+        print(f"perf-gate: FAIL {violation}", file=sys.stderr)
+    print(
+        f"perf-gate: {len(checked)} baseline(s) checked, "
+        f"{len(violations)} violation(s)"
+    )
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

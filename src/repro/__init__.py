@@ -232,6 +232,14 @@ class PixelsDB:
         """Every recorded trace as one JSON document."""
         return self.obs.tracer.export_all_json()
 
+    def profile(self, schema: str, query_id: str):
+        """The finished query's cost/time attribution profile
+        (:class:`~repro.obs.profiler.QueryProfile`): span tree fused with
+        the per-operator profile, billed dollars attributed per node.
+        Its folded/flame-graph exports are byte-reproducible for
+        same-seed runs."""
+        return self.query_server(schema).query_profile(query_id)
+
     # -- SLO engine ----------------------------------------------------------------
 
     def slo_report(self) -> dict:
@@ -290,6 +298,7 @@ class PixelsDB:
             alerts=self.alerts,
             audit=self.autoscaler_audit(),
             seed=self.seed,
+            registry=self.obs.metrics,
         )
 
     def dashboard_html(self, title: str = "PixelsDB operator dashboard") -> str:

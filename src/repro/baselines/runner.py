@@ -118,6 +118,7 @@ class WorkloadResult:
                 decision.to_dict()
                 for decision in self.coordinator.vm_cluster.audit_log
             ],
+            registry=self.obs.metrics,
         )
 
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.errors import NoSuchQueryError, QueryRejectedError
+from repro.errors import NoSuchQueryError, PixelsError, QueryRejectedError
 from repro.core.service_levels import QueryStatus, ServiceLevel
 from repro.obs import ROOT, Span
 from repro.obs.slo import SLACK_BUCKETS
@@ -444,6 +444,49 @@ class QueryServer:
         # A finished query frees capacity: give held queries a chance now
         # rather than waiting for the next tick.
         self._drain()
+
+    # -- profiling ----------------------------------------------------------------------
+
+    def query_profile(self, query_id: str):
+        """The finished query's deterministic cost/time attribution profile.
+
+        Fuses the tracer's span tree (when tracing is on), the executor's
+        operator profile, and the billed price split by resource into one
+        :class:`~repro.obs.profiler.QueryProfile` — the input for folded
+        stacks and the time/$ flame graphs.  The server owns this endpoint
+        because it is the one component that knows the bill.
+        """
+        from repro.engine.executor import QueryStats
+        from repro.obs.profiler import build_query_profile
+
+        record = self.query(query_id)
+        execution = record.execution
+        if execution is None or execution.finished_at is None:
+            raise PixelsError(f"query {query_id!r} has not finished")
+        timeline = (
+            self.obs.tracer.timeline(query_id)
+            if self.obs.tracer.enabled
+            else None
+        )
+        venue = (
+            execution.venue.value if execution.venue is not None else "none"
+        )
+        stats = (
+            execution.result.stats
+            if execution.result is not None
+            else QueryStats()
+        )
+        attribution = self._coordinator.cost_model.attribution(
+            stats,
+            venue,
+            record.price,
+            get_price_per_1000=(
+                self._coordinator.store.profile.get_price_per_1000
+            ),
+        )
+        return build_query_profile(
+            query_id, timeline, execution.profile, attribution
+        )
 
     # -- aggregate statistics ----------------------------------------------------------
 

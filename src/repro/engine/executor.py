@@ -19,7 +19,11 @@ from dataclasses import dataclass, field
 from typing import Iterator
 
 from repro.engine.batch import DEFAULT_BATCH_SIZE
-from repro.engine.pipeline import PhysicalOperator, build_pipeline
+from repro.engine.pipeline import (
+    PhysicalOperator,
+    build_pipeline,
+    enable_wall_clock,
+)
 from repro.engine.plan import PlanNode
 from repro.engine.source import DataSource
 from repro.storage.table import TableData
@@ -78,18 +82,26 @@ class OperatorProfile:
     ``time_s`` is deterministic *virtual* time — modelled from the rows,
     bytes, and batches the operator processed, never the wall clock — and
     is cumulative over the operator's subtree, as are the storage
-    counters.  ``rows_in``/``batches``/``peak_bytes`` are per-operator:
-    rows pulled from children, batches emitted, and the largest
-    simultaneously-materialized output (a whole table for pipeline
-    breakers, one batch for streaming operators).  The tree mirrors the
-    plan tree node for node.
+    counters; ``self_time_s`` is this operator's own share (the profiler
+    builds flame graphs from selfs so grafted subtrees stay consistent).
+    ``rows_in``/``batches``/``peak_bytes`` are per-operator: rows pulled
+    from children, batches emitted, and the largest simultaneously-
+    materialized output (a whole table for pipeline breakers, one batch
+    for streaming operators).  ``wall_time_s`` is inclusive wall-clock
+    time, populated only under the executor's opt-in ``wall_clock`` mode
+    (zero otherwise) — it never appears in deterministic exports.  The
+    tree mirrors the plan tree node for node.
     """
 
     name: str
     rows_out: int
     time_s: float
+    self_time_s: float = 0.0
+    wall_time_s: float = 0.0
     bytes_scanned: int = 0
     get_requests: int = 0
+    footer_gets: int = 0  # request-class split of get_requests
+    chunk_gets: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
     cache_evictions: int = 0
@@ -129,11 +141,14 @@ def _build_profile(op: PhysicalOperator) -> OperatorProfile:
     counters stay per-operator.
     """
     children = [_build_profile(child) for child in op.children]
-    time_s = op.own_virtual_seconds() + sum(child.time_s for child in children)
+    self_time_s = op.own_virtual_seconds()
+    time_s = self_time_s + sum(child.time_s for child in children)
     counters = dict(op.scan_counters)
     for child in children:
         counters["bytes_scanned"] += child.bytes_scanned
         counters["get_requests"] += child.get_requests
+        counters["footer_gets"] += child.footer_gets
+        counters["chunk_gets"] += child.chunk_gets
         counters["cache_hits"] += child.cache_hits
         counters["cache_misses"] += child.cache_misses
         counters["cache_evictions"] += child.cache_evictions
@@ -142,6 +157,8 @@ def _build_profile(op: PhysicalOperator) -> OperatorProfile:
         name=type(op.node).__name__,
         rows_out=op.rows_out,
         time_s=time_s,
+        self_time_s=self_time_s,
+        wall_time_s=op.wall_seconds,
         rows_in=op.rows_in,
         batches=op.batches_out,
         peak_bytes=op.peak_bytes,
@@ -179,27 +196,41 @@ class StreamingExecution:
         finally:
             root.close()
 
+    def profile(self) -> OperatorProfile:
+        """Per-operator profile of the work done so far (or ever, once the
+        stream is exhausted or abandoned)."""
+        return _build_profile(self._root)
+
 
 class QueryExecutor:
     """Executes logical plans against a :class:`DataSource`.
 
     ``batch_size`` caps the rows per record batch flowing between
     streaming operators; results are bit-identical for any value ≥ 1.
+    ``wall_clock`` opts into per-operator wall-clock sampling
+    (:func:`~repro.engine.pipeline.enable_wall_clock`); it changes no
+    results, only fills ``OperatorProfile.wall_time_s``.
     """
 
     def __init__(
-        self, source: DataSource, batch_size: int = DEFAULT_BATCH_SIZE
+        self,
+        source: DataSource,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        wall_clock: bool = False,
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self._source = source
         self._batch_size = batch_size
+        self._wall_clock = wall_clock
 
     def execute(self, plan: PlanNode, analyze: bool = False) -> QueryResult:
         """Run ``plan`` to completion; with ``analyze`` also build the
         per-operator profile tree that EXPLAIN ANALYZE renders."""
         stats = QueryStats()
         root = build_pipeline(plan, self._source, stats, self._batch_size)
+        if self._wall_clock:
+            enable_wall_clock(root)
         stats.operators = root.count_operators()
         pieces: list[TableData] = []
         root.open()
@@ -227,5 +258,7 @@ class QueryExecutor:
         """
         stats = QueryStats()
         root = build_pipeline(plan, self._source, stats, self._batch_size)
+        if self._wall_clock:
+            enable_wall_clock(root)
         stats.operators = root.count_operators()
         return StreamingExecution(plan, root, stats)

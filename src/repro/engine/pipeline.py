@@ -26,6 +26,7 @@ deterministic-trace tests rely on.
 
 from __future__ import annotations
 
+import time
 from typing import Iterator
 
 from repro.errors import ExecutionError
@@ -73,6 +74,8 @@ VIRTUAL_SECONDS_PER_BATCH = 1e-6
 _SCAN_COUNTERS = (
     "bytes_scanned",
     "get_requests",
+    "footer_gets",
+    "chunk_gets",
     "cache_hits",
     "cache_misses",
     "cache_evictions",
@@ -96,6 +99,9 @@ class PhysicalOperator:
         self.rows_out = 0
         self.batches_out = 0
         self.peak_bytes = 0
+        # Inclusive wall-clock seconds spent in next_batch (self + children),
+        # populated only when enable_wall_clock() wrapped this operator.
+        self.wall_seconds = 0.0
         self.scan_counters = dict.fromkeys(_SCAN_COUNTERS, 0)
 
     # -- lifecycle ---------------------------------------------------------
@@ -207,6 +213,8 @@ class ScanOperator(PhysicalOperator):
         counters = self.scan_counters
         counters["bytes_scanned"] += granule.bytes_scanned
         counters["get_requests"] += granule.get_requests
+        counters["footer_gets"] += granule.footer_gets
+        counters["chunk_gets"] += granule.chunk_gets
         counters["cache_hits"] += granule.cache_hits
         counters["cache_misses"] += granule.cache_misses
         counters["cache_evictions"] += granule.cache_evictions
@@ -423,6 +431,35 @@ class UnionAllOperator(BlockingOperator):
             [self._drain_child(child) for child in self.children],
             self.node.output_schema(),
         )
+
+
+def enable_wall_clock(root: PhysicalOperator) -> None:
+    """Opt-in wall-clock profiling of the real numpy kernels.
+
+    Wraps every operator's ``next_batch`` so the *inclusive* time spent in
+    it (self plus everything it pulled from children) accumulates into
+    ``wall_seconds`` via ``time.perf_counter``.  The profiler later derives
+    self time as inclusive minus the children's inclusive.  This is the
+    one deliberately non-deterministic measurement in the engine: it never
+    feeds EXPLAIN ANALYZE, billing, or the byte-reproducible exports —
+    only the opt-in wall-clock flame graph.
+    """
+
+    def instrument(op: PhysicalOperator) -> None:
+        inner = op.next_batch
+
+        def timed_next_batch() -> RecordBatch | None:
+            start = time.perf_counter()
+            try:
+                return inner()
+            finally:
+                op.wall_seconds += time.perf_counter() - start
+
+        op.next_batch = timed_next_batch  # type: ignore[method-assign]
+        for child in op.children:
+            instrument(child)
+
+    instrument(root)
 
 
 def build_pipeline(

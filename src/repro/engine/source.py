@@ -33,6 +33,8 @@ class SourceResult:
     bytes_scanned: int
     latency_s: float
     get_requests: int = 0
+    footer_gets: int = 0  # request-class split of get_requests
+    chunk_gets: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
     cache_evictions: int = 0
@@ -112,6 +114,8 @@ class ObjectStoreSource:
             result.bytes_scanned,
             result.latency_s,
             get_requests=result.get_requests,
+            footer_gets=result.footer_gets,
+            chunk_gets=result.chunk_gets,
             cache_hits=result.cache_hits,
             cache_misses=result.cache_misses,
             cache_evictions=result.cache_evictions,
@@ -193,6 +197,8 @@ class ObjectStoreSource:
             delta.logical_bytes_scanned,
             delta.read_time_s,
             get_requests=delta.get_requests,
+            footer_gets=delta.footer_get_requests,
+            chunk_gets=delta.chunk_get_requests,
             cache_hits=delta.footer_cache_hits + delta.chunk_cache_hits,
             cache_misses=delta.footer_cache_misses + delta.chunk_cache_misses,
             cache_evictions=delta.chunk_cache_evictions,

@@ -23,6 +23,13 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.obs.explain import render_analyzed_plan
+from repro.obs.flamegraph import render_flamegraph_svg
+from repro.obs.profiler import (
+    ProfileNode,
+    QueryProfile,
+    build_query_profile,
+    render_folded,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -45,12 +52,17 @@ __all__ = [
     "NoopTracer",
     "NOOP_SPAN",
     "NOOP_TRACER",
+    "ProfileNode",
+    "QueryProfile",
     "SloObjective",
     "SloRecord",
     "SloTracker",
     "Span",
     "Tracer",
+    "build_query_profile",
     "render_analyzed_plan",
+    "render_flamegraph_svg",
+    "render_folded",
 ]
 
 

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from html import escape
 
 from repro.obs.alerts import AlertEngine, AlertEvent
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.slo import SloTracker
 from repro.obs.timeseries import TimeSeriesStore
 
@@ -68,6 +69,9 @@ class DashboardData:
     alerts: list[AlertEvent] = field(default_factory=list)
     firing: list[str] = field(default_factory=list)
     audit: list[dict] = field(default_factory=list)
+    #: Per-level pending-time percentiles (``level -> {p50, p95, p99}``),
+    #: bucket-estimated from the ``pixels_query_pending_seconds`` histogram.
+    pending_percentiles: dict = field(default_factory=dict)
 
     @staticmethod
     def build(
@@ -78,6 +82,7 @@ class DashboardData:
         alerts: AlertEngine | None = None,
         audit: list[dict] | None = None,
         seed: int | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> "DashboardData":
         return DashboardData(
             title=title,
@@ -88,7 +93,25 @@ class DashboardData:
             alerts=list(alerts.events) if alerts is not None else [],
             firing=alerts.firing() if alerts is not None else [],
             audit=list(audit or []),
+            pending_percentiles=_pending_percentiles(registry),
         )
+
+
+def _pending_percentiles(registry: MetricsRegistry | None) -> dict:
+    """p50/p95/p99 pending time per level from the registry's histogram."""
+    if registry is None:
+        return {}
+    histogram = registry.get("pixels_query_pending_seconds")
+    if histogram is None or not hasattr(histogram, "quantile"):
+        return {}
+    out: dict = {}
+    for name in _LEVEL_ORDER:
+        if histogram.count(level=name):
+            out[name] = {
+                label: histogram.quantile(q, level=name)
+                for label, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+            }
+    return out
 
 
 def _ordered_levels(levels: dict) -> list[str]:
@@ -226,6 +249,7 @@ def render_dashboard_html(data: DashboardData) -> str:
     for header in (
         "level", "queries", "violations", "compliance", "rolling",
         "target", "budget consumed", "budget state", "billed $",
+        "pending p50 (s)", "pending p95 (s)", "pending p99 (s)",
     ):
         css = ' class="l"' if header == "level" else ""
         out.append(f"<th{css}>{header}</th>")
@@ -237,6 +261,7 @@ def render_dashboard_html(data: DashboardData) -> str:
         exhausted = budget.get("exhausted", False)
         state_css = "bad" if exhausted else "ok"
         state = "EXHAUSTED" if exhausted else "ok"
+        percentiles = data.pending_percentiles.get(name, {})
         out.append(
             "<tr>"
             f'<td class="l">{escape(name)}</td>'
@@ -248,6 +273,9 @@ def render_dashboard_html(data: DashboardData) -> str:
             f"<td>{_pct(budget.get('consumed_fraction'))}</td>"
             f'<td class="{state_css}">{state}</td>'
             f"<td>{_fmt(level.get('billed'))}</td>"
+            f"<td>{_fmt(percentiles.get('p50'))}</td>"
+            f"<td>{_fmt(percentiles.get('p95'))}</td>"
+            f"<td>{_fmt(percentiles.get('p99'))}</td>"
             "</tr>"
         )
     out.append("</table>")
@@ -358,7 +386,8 @@ def render_dashboard_text(data: DashboardData, width: int = 40) -> str:
     levels = data.slo.get("levels", {})
     header = (
         f"{'level':<12} {'queries':>8} {'viol':>6} {'compliance':>11} "
-        f"{'target':>8} {'budget':>10} {'billed $':>12}"
+        f"{'target':>8} {'budget':>10} {'billed $':>12} "
+        f"{'pend p50/p95/p99 (s)':>22}"
     )
     lines.append(header)
     for name in _ordered_levels(levels):
@@ -367,12 +396,18 @@ def render_dashboard_text(data: DashboardData, width: int = 40) -> str:
         state = "EXHAUSTED" if budget.get("exhausted") else _pct(
             budget.get("consumed_fraction")
         )
+        percentiles = data.pending_percentiles.get(name, {})
+        pend = "/".join(
+            _fmt(percentiles.get(label), 4)
+            for label in ("p50", "p95", "p99")
+        )
         lines.append(
             f"{name:<12} {level.get('queries', 0):>8} "
             f"{level.get('violations', 0):>6} "
             f"{_pct(level.get('compliance')):>11} "
             f"{_pct(level.get('objective', {}).get('target')):>8} "
-            f"{state:>10} {_fmt(level.get('billed')):>12}"
+            f"{state:>10} {_fmt(level.get('billed')):>12} "
+            f"{pend:>22}"
         )
     lines.append("")
     lines.append("cluster over time")

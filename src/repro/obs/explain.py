@@ -15,6 +15,34 @@ from __future__ import annotations
 from repro.engine.executor import OperatorProfile, QueryStats
 from repro.engine.plan import PlanNode
 
+#: Millisecond-flavoured buckets for the per-operator self-time summary —
+#: fine enough that micro-operators don't all collapse into one bucket.
+_OP_TIME_MS_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0, 10000.0,
+)
+
+
+def _self_time_percentiles(profile: OperatorProfile) -> str:
+    """p50/p95/p99 of per-operator *self* time, estimated through the same
+    bucket-based quantile the metrics histograms use (so EXPLAIN and the
+    dashboard never disagree about what a percentile means)."""
+    from repro.obs.metrics import Histogram
+
+    histogram = Histogram("op_self_time_ms", buckets=_OP_TIME_MS_BUCKETS)
+
+    def observe(prof: OperatorProfile) -> None:
+        histogram.observe(prof.self_time_s * 1000.0)
+        for child in prof.children:
+            observe(child)
+
+    observe(profile)
+    parts = []
+    for label, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
+        value = histogram.quantile(q)
+        parts.append(f"op_self_ms_{label}={value:.4f}")
+    return " ".join(parts)
+
 
 def _annotation(profile: OperatorProfile) -> str:
     parts = [f"rows={profile.rows_out}", f"time={profile.time_s * 1000:.3f}ms"]
@@ -60,6 +88,7 @@ def render_analyzed_plan(
             f"get_requests={stats.get_requests} "
             f"cache_hits={stats.cache_hits} "
             f"cache_misses={stats.cache_misses} "
-            f"scan_latency_s={stats.scan_latency_s:.6f}"
+            f"scan_latency_s={stats.scan_latency_s:.6f} "
+            + _self_time_percentiles(profile)
         )
     return "\n".join(lines)

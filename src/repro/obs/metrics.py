@@ -154,6 +154,38 @@ class Histogram:
     def sum(self, **labels: object) -> float:
         return self._sums.get(_label_key(labels), 0.0)
 
+    def quantile(self, q: float, **labels: object) -> float | None:
+        """Bucket-based quantile estimate (``histogram_quantile`` rules).
+
+        Linear interpolation within the bucket the rank falls in; the
+        first bucket interpolates from 0 (when its upper bound is
+        positive), and a rank beyond the last finite bucket clamps to
+        that bucket's upper bound — exactly Prometheus's conventions, so
+        dashboard percentiles match what a scrape would show.  Returns
+        ``None`` when the label set has no observations.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        key = _label_key(labels)
+        count = self._counts.get(key, 0)
+        if count == 0:
+            return None
+        counts = self._bucket_counts[key]
+        rank = q * count
+        for index, upper in enumerate(self.buckets):
+            cumulative = counts[index]
+            if cumulative == 0 or cumulative < rank:
+                continue
+            previous = counts[index - 1] if index > 0 else 0
+            in_bucket = cumulative - previous
+            if index > 0:
+                lower = self.buckets[index - 1]
+            else:
+                lower = min(0.0, upper)
+            fraction = (rank - previous) / in_bucket if in_bucket else 1.0
+            return lower + (upper - lower) * max(0.0, fraction)
+        return self.buckets[-1]  # beyond the largest finite bucket
+
     def samples(self) -> list[tuple[str, _LabelKey, float]]:
         out: list[tuple[str, _LabelKey, float]] = []
         for key in sorted(self._counts):
@@ -274,6 +306,9 @@ class _NoopInstrument:
 
     def sum(self, **labels: object) -> float:
         return 0.0
+
+    def quantile(self, q: float, **labels: object) -> float | None:
+        return None
 
     def samples(self) -> list:
         return []

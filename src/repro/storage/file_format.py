@@ -275,6 +275,7 @@ class PixelsReader:
         if size < 12:
             raise CorruptFileError(f"{self._key}: too small to be a Pixels file")
         tail = self._store.get(self._bucket, self._key, start=size - 8, length=8).data
+        self._store.metrics.footer_get_requests += 1
         (footer_len,) = struct.unpack_from("<I", tail, 0)
         if tail[4:] != MAGIC:
             raise CorruptFileError(f"{self._key}: bad trailing magic")
@@ -284,6 +285,7 @@ class PixelsReader:
         blob = self._store.get(
             self._bucket, self._key, start=footer_start, length=footer_len
         ).data
+        self._store.metrics.footer_get_requests += 1
         footer = FileFooter.from_bytes(blob)
         logical_bytes = 8 + footer_len
         self._store.metrics.logical_bytes_scanned += logical_bytes
@@ -397,6 +399,7 @@ class PixelsReader:
             payload = self._store.get(
                 self._bucket, self._key, start=start, length=length
             ).data
+            self._store.metrics.chunk_get_requests += 1
             for chunk in run:
                 blob = payload[chunk.offset - start : chunk.offset - start + chunk.length]
                 blobs[chunk.column] = blob

@@ -60,6 +60,11 @@ class StorageMetrics:
     """
 
     get_requests: int = 0
+    # Request-class split of get_requests, stamped by PixelsReader: footer
+    # reads vs (coalesced) column-chunk reads.  GETs issued outside the
+    # reader (raw store.get calls) belong to neither class.
+    footer_get_requests: int = 0
+    chunk_get_requests: int = 0
     put_requests: int = 0
     delete_requests: int = 0
     list_requests: int = 0

@@ -219,6 +219,8 @@ class ScanResult:
     latency_s: float
     row_groups_skipped: int
     get_requests: int = 0
+    footer_gets: int = 0  # request-class split of get_requests
+    chunk_gets: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
     cache_evictions: int = 0
@@ -303,6 +305,8 @@ class TableReader:
             latency_s=delta.read_time_s,
             row_groups_skipped=max(skipped, 0),
             get_requests=delta.get_requests,
+            footer_gets=delta.footer_get_requests,
+            chunk_gets=delta.chunk_get_requests,
             cache_hits=delta.footer_cache_hits + delta.chunk_cache_hits,
             cache_misses=delta.footer_cache_misses + delta.chunk_cache_misses,
             cache_evictions=delta.chunk_cache_evictions,

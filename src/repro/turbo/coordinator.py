@@ -24,7 +24,12 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.errors import NoSuchQueryError, PixelsError
-from repro.engine.executor import QueryExecutor, QueryResult, QueryStats
+from repro.engine.executor import (
+    OperatorProfile,
+    QueryExecutor,
+    QueryResult,
+    QueryStats,
+)
 from repro.engine.optimizer import Optimizer
 from repro.engine.planner import Planner
 from repro.engine.source import ObjectStoreSource
@@ -65,6 +70,9 @@ class QueryExecution:
     cf_workers: int = 0
     retries: int = 0
     explain_text: str | None = None
+    #: Per-operator profile of the final successful attempt, captured when
+    #: observability is on (the profiler's input); None otherwise.
+    profile: OperatorProfile | None = None
     on_complete: Callable[["QueryExecution"], None] | None = field(
         default=None, repr=False
     )
@@ -88,6 +96,27 @@ class QueryExecution:
     @property
     def bytes_scanned(self) -> int:
         return self.result.stats.bytes_scanned if self.result else 0
+
+
+def _graft_cf_profile(
+    top: OperatorProfile, sub: OperatorProfile
+) -> OperatorProfile:
+    """Attach the CF sub-plan's operator profile under the top plan's
+    MaterializedView leaf, rebuilding one end-to-end tree for the profiler.
+
+    Only the per-operator ``self_time_s`` (and self storage deltas) stay
+    meaningful across the graft — the top tree's cumulative fields predate
+    the splice — which is exactly why the profiler works from selfs.
+    """
+    anchor = None
+    stack = [top]
+    while stack:
+        node = stack.pop()
+        if node.name == "MaterializedView":
+            anchor = node
+        stack.extend(node.children)
+    (anchor if anchor is not None else top).children.append(sub)
+    return top
 
 
 def _text_table(text: str):
@@ -205,6 +234,10 @@ class Coordinator:
     @property
     def config(self) -> TurboConfig:
         return self._config
+
+    @property
+    def store(self) -> ObjectStore:
+        return self._store
 
     # -- load-status API (paper §2: "check the system's load status") -----------
 
@@ -470,17 +503,22 @@ class Coordinator:
         execute_span = tracer.start(
             execution.query_id, "execute", venue="vm", worker=worker.worker_id
         )
+        # Profiles are captured whenever tracing is on (the profiler fuses
+        # them with the span tree); building one changes neither the result
+        # nor the stats billing derives from, preserving observe-invariance.
+        capture_profile = analyze or tracer.enabled
         try:
             executor = QueryExecutor(
                 ObjectStoreSource(self._store, cache=self.vm_buffer_pool),
                 batch_size=self._config.batch_size,
             )
-            result = executor.execute(plan, analyze=analyze)
+            result = executor.execute(plan, analyze=capture_profile)
         except PixelsError as error:
             execute_span.finish("error", error=str(error))
             self.vm_cluster.release(worker)
             self._fail(execution, str(error))
             return
+        execution.profile = result.profile
         if analyze and result.profile is not None:
             execution.explain_text = render_analyzed_plan(
                 plan, result.profile, result.stats
@@ -580,11 +618,16 @@ class Coordinator:
             # stops the sub-plan's remaining scan work.
             sub_exec = executor.execute_stream(split.sub)
             split.attach_stream(sub_exec.batches())
-            top_result = executor.execute(split.top)
+            capture_profile = self.obs.tracer.enabled
+            top_result = executor.execute(split.top, analyze=capture_profile)
         except PixelsError as error:
             execute_span.finish("error", error=str(error))
             self._fail(execution, str(error))
             return
+        if capture_profile and top_result.profile is not None:
+            execution.profile = _graft_cf_profile(
+                top_result.profile, sub_exec.profile()
+            )
         # ``sub_exec.stats`` is read after the top plan drained (or
         # abandoned) the stream, so it reflects exactly the sub-plan work
         # performed — the CF billing basis.

@@ -45,6 +45,36 @@ class CfEstimate:
     provider_cost: float
 
 
+@dataclass(frozen=True)
+class CostAttribution:
+    """One query's billed price decomposed by the resource that earned it.
+
+    The profiler distributes each component over the query's profile tree
+    by the resource it measures: ``bandwidth_dollars`` over self bytes
+    scanned, ``compute_dollars`` over self execution time, and
+    ``request_dollars`` over self GET counts; ``fixed_dollars`` (startup
+    and merge overheads that no operator caused) stays at the root.  The
+    four components always sum to ``billed`` — attribution re-slices the
+    bill, it never changes it.
+    """
+
+    billed: float
+    venue: str  # "vm" | "cf" | "none"
+    bandwidth_dollars: float
+    compute_dollars: float
+    request_dollars: float
+    fixed_dollars: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.bandwidth_dollars
+            + self.compute_dollars
+            + self.request_dollars
+            + self.fixed_dollars
+        )
+
+
 class CostModel:
     """Turns executor statistics into durations and dollars."""
 
@@ -104,6 +134,61 @@ class CostModel:
             provider_cost=worker_seconds
             * cf.price_per_worker_s(self._config.vm),
         )
+
+    # -- attribution -----------------------------------------------------------
+
+    def attribution(
+        self,
+        stats: QueryStats,
+        venue: str,
+        billed: float,
+        get_price_per_1000: float = 0.0004,
+    ) -> CostAttribution:
+        """Split ``billed`` into per-resource components (profiler input).
+
+        The split weights are the *provider-side* costs of each resource:
+        the venue's modelled duration decomposes into a byte term, a row
+        term, and fixed startup/merge overhead (each priced at the venue's
+        worker rate — CF GB-s or VM-s), and GET requests carry the object
+        store's request price.  The billed price is then divided in
+        proportion to those weights, so a scan-bound query attributes its
+        bill to bandwidth while a join-heavy one attributes it to compute.
+        Weights that are all zero (e.g. a pure EXPLAIN) put the whole bill
+        in ``fixed_dollars``.
+        """
+        num_bytes, num_rows = self._inflated(stats)
+        if venue == "cf":
+            cf = self._config.cf
+            rate = cf.price_per_worker_s(self._config.vm)
+            bytes_s = num_bytes / cf.scan_throughput_bytes_per_s
+            rows_s = num_rows / cf.row_throughput_rows_per_s
+            # Startup is billed once per worker; merge once per query.
+            workers = self.cf_execution(stats).num_workers
+            fixed_s = cf.startup_s * workers + cf.merge_overhead_s
+        elif venue == "vm":
+            vm = self._config.vm
+            rate = vm.price_per_worker_s / vm.slots_per_worker
+            bytes_s = num_bytes / vm.scan_throughput_bytes_per_s
+            rows_s = num_rows / vm.row_throughput_rows_per_s
+            fixed_s = vm.startup_overhead_s
+        else:
+            return CostAttribution(billed, venue, 0.0, 0.0, 0.0, billed)
+        weights = {
+            "bandwidth": bytes_s * rate,
+            "compute": rows_s * rate,
+            "fixed": fixed_s * rate,
+            "requests": stats.get_requests * get_price_per_1000 / 1000.0,
+        }
+        total = sum(weights.values())
+        if total <= 0.0:
+            return CostAttribution(billed, venue, 0.0, 0.0, 0.0, billed)
+        bandwidth = billed * weights["bandwidth"] / total
+        compute = billed * weights["compute"] / total
+        requests = billed * weights["requests"] / total
+        # The fixed component absorbs the float residue so the four parts
+        # sum to the bill by construction.
+        fixed = billed - bandwidth - compute - requests
+        return CostAttribution(billed, venue, bandwidth, compute, requests, fixed)
 
     # -- user-facing prices ------------------------------------------------------
 

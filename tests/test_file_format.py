@@ -150,6 +150,79 @@ class TestReader:
         assert len(data["id"]) == 8
 
 
+class TestIterGroupsCacheAccounting:
+    """Metrics-delta accounting of ``iter_groups`` under buffer-pool hits.
+
+    The billing basis is *logical* bytes: a warm re-scan served entirely
+    from the pool must account the full logical byte count while issuing
+    zero GETs and reading zero physical bytes."""
+
+    def warm_reader(self, store, groups=4, rows=64):
+        from repro.storage.cache import BufferPool
+
+        key = write_sample(store, groups=groups, rows=rows)
+        pool = BufferPool(store)
+        reader = PixelsReader(store, "b", key, cache=pool)
+        for _ in reader.iter_groups():  # fill the pool (cold pass)
+            pass
+        return reader
+
+    def test_warm_iteration_is_logical_bytes_only(self, store):
+        reader = self.warm_reader(store)
+        before = store.metrics.snapshot()
+        rows = sum(len(group["id"]) for group in reader.iter_groups())
+        delta = store.metrics.delta(before)
+        assert rows == 4 * 64
+        assert delta.get_requests == 0
+        assert delta.bytes_read == 0
+        assert delta.chunk_cache_hits > 0
+        assert delta.logical_bytes_scanned > 0
+
+    def test_warm_logical_bytes_equal_cold_logical_bytes(self, store):
+        key = write_sample(store, groups=4, rows=64)
+        from repro.storage.cache import BufferPool
+
+        pool = BufferPool(store)
+        reader = PixelsReader(store, "b", key, cache=pool)
+        before_cold = store.metrics.snapshot()
+        for _ in reader.iter_groups(["id", "price"]):
+            pass
+        cold = store.metrics.delta(before_cold)
+        before_warm = store.metrics.snapshot()
+        for _ in reader.iter_groups(["id", "price"]):
+            pass
+        warm = store.metrics.delta(before_warm)
+        assert cold.get_requests > 0
+        assert warm.get_requests == 0
+        assert warm.logical_bytes_scanned == cold.logical_bytes_scanned
+        assert warm.bytes_read == 0
+        # Request-class accounting: the reader was constructed before the
+        # cold snapshot, so every cold GET here is a chunk read.
+        assert cold.chunk_get_requests == cold.get_requests
+        assert warm.chunk_get_requests == 0
+
+    def test_footer_gets_are_classed(self, store):
+        key = write_sample(store)
+        before = store.metrics.snapshot()
+        PixelsReader(store, "b", key)
+        delta = store.metrics.delta(before)
+        assert delta.footer_get_requests == 2  # tail probe + footer blob
+        assert delta.footer_get_requests == delta.get_requests
+        assert delta.chunk_get_requests == 0
+
+    def test_abandoned_warm_iterator_accounts_partially(self, store):
+        reader = self.warm_reader(store)
+        before = store.metrics.snapshot()
+        iterator = reader.iter_groups(["id"])
+        next(iterator)  # pull exactly one group, then abandon
+        partial = store.metrics.delta(before)
+        for _ in iterator:
+            pass
+        full = store.metrics.delta(before)
+        assert 0 < partial.logical_bytes_scanned < full.logical_bytes_scanned
+        assert partial.chunk_cache_hits == 1
+
+
 class TestCorruption:
     def test_truncated_file(self, store):
         store.put("b", "bad", b"PI")

@@ -69,6 +69,60 @@ class TestHistogram:
             MetricsRegistry().histogram("h", buckets=())
 
 
+class TestHistogramQuantile:
+    def make(self, values, buckets=(1.0, 5.0, 10.0)):
+        hist = MetricsRegistry().histogram("lat", buckets=buckets)
+        for value in values:
+            hist.observe(value)
+        return hist
+
+    def test_empty_histogram_returns_none(self):
+        assert self.make([]).quantile(0.5) is None
+
+    def test_interpolates_within_bucket(self):
+        # 4 observations in (1, 5]: rank 2 of 4 -> midpoint of the bucket.
+        hist = self.make([2.0, 3.0, 4.0, 4.5])
+        assert hist.quantile(0.5) == pytest.approx(3.0)
+
+    def test_first_bucket_lower_bound_is_zero(self):
+        # All mass in the first bucket: interpolation starts at 0, the
+        # Prometheus histogram_quantile convention.
+        hist = self.make([0.5, 0.5])
+        assert 0.0 <= hist.quantile(0.5) <= 1.0
+
+    def test_beyond_last_finite_bucket_clamps(self):
+        hist = self.make([100.0, 200.0])
+        assert hist.quantile(0.99) == 10.0
+
+    def test_p50_p95_p99_ordering(self):
+        hist = self.make([0.5] * 90 + [7.0] * 9 + [100.0])
+        p50 = hist.quantile(0.50)
+        p95 = hist.quantile(0.95)
+        p99 = hist.quantile(0.99)
+        assert p50 <= p95 <= p99
+        assert p50 <= 1.0
+        assert 5.0 <= p95 <= 10.0
+
+    def test_labels_are_independent(self):
+        hist = MetricsRegistry().histogram("lat", buckets=(1.0, 10.0))
+        hist.observe(0.5, level="immediate")
+        hist.observe(9.0, level="relaxed")
+        assert hist.quantile(0.5, level="immediate") <= 1.0
+        assert hist.quantile(0.5, level="relaxed") > 1.0
+        assert hist.quantile(0.5, level="best_effort") is None
+
+    def test_rejects_out_of_range_q(self):
+        hist = self.make([1.0])
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+        with pytest.raises(ValueError):
+            hist.quantile(-0.1)
+
+    def test_noop_registry_returns_none(self):
+        hist = NoopMetricsRegistry().histogram("lat", buckets=(1.0,))
+        assert hist.quantile(0.5) is None
+
+
 class TestRegistry:
     def test_get_or_create_returns_same_instrument(self):
         registry = MetricsRegistry()

@@ -1,0 +1,148 @@
+"""Tests for the perf gate (benchmarks/perf_gate.py).
+
+The gate's contract: deterministic simulation metrics (logical bytes,
+GET counts, billed dollars, ...) must match the committed baseline
+exactly; wall time is only compared when a band is supplied.  The
+regression-demonstration tests here are the acceptance check that a
+changed byte count / GET count / billed price actually fails CI.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+_GATE_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "benchmarks"
+    / "perf_gate.py"
+)
+_spec = importlib.util.spec_from_file_location("perf_gate", _GATE_PATH)
+perf_gate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(perf_gate)
+
+
+def make_record(**metric_overrides):
+    metrics = {
+        "billed_dollars": 0.000695306426,
+        "finished_queries": 30,
+        "get_requests": 8,
+        "logical_bytes_scanned": 3528450,
+        "sim_seconds": 300.0,
+    }
+    metrics.update(metric_overrides)
+    return {
+        "schema_version": 1,
+        "slug": "c1",
+        "rounds": 2,
+        "warmup": 0,
+        "metrics": metrics,
+        "wall": {"median_s": 0.1, "mad_s": 0.01, "samples_s": [0.09, 0.11]},
+    }
+
+
+class TestCompareRecords:
+    def test_identical_records_pass(self):
+        assert perf_gate.compare_records(make_record(), make_record()) == []
+
+    @pytest.mark.parametrize(
+        "metric, regressed",
+        [
+            ("logical_bytes_scanned", 3528451),
+            ("get_requests", 9),
+            ("billed_dollars", 0.0007),
+            ("finished_queries", 29),
+        ],
+    )
+    def test_deterministic_metric_regression_fails(self, metric, regressed):
+        violations = perf_gate.compare_records(
+            make_record(), make_record(**{metric: regressed})
+        )
+        assert len(violations) == 1
+        assert metric in violations[0]
+
+    def test_float_serialization_jitter_is_tolerated(self):
+        base = make_record()
+        fresh = make_record(
+            billed_dollars=base["metrics"]["billed_dollars"] * (1 + 1e-12)
+        )
+        assert perf_gate.compare_records(base, fresh) == []
+
+    def test_missing_metric_fails(self):
+        fresh = make_record()
+        del fresh["metrics"]["get_requests"]
+        violations = perf_gate.compare_records(make_record(), fresh)
+        assert violations and "missing" in violations[0]
+
+    def test_new_metric_requires_baseline_refresh(self):
+        fresh = make_record(extra_counter=1)
+        violations = perf_gate.compare_records(make_record(), fresh)
+        assert violations and "refresh the baseline" in violations[0]
+
+    def test_schema_version_mismatch_short_circuits(self):
+        fresh = make_record(get_requests=999)
+        fresh["schema_version"] = 2
+        violations = perf_gate.compare_records(make_record(), fresh)
+        assert len(violations) == 1
+        assert "schema_version" in violations[0]
+
+    def test_wall_time_ignored_without_band(self):
+        fresh = make_record()
+        fresh["wall"]["median_s"] = 100.0
+        assert perf_gate.compare_records(make_record(), fresh) == []
+
+    def test_wall_time_gated_with_band(self):
+        fresh = make_record()
+        fresh["wall"]["median_s"] = 0.5
+        violations = perf_gate.compare_records(
+            make_record(), fresh, wall_band=0.5
+        )
+        assert violations and "wall median" in violations[0]
+        fresh["wall"]["median_s"] = 0.12
+        assert (
+            perf_gate.compare_records(make_record(), fresh, wall_band=0.5)
+            == []
+        )
+
+
+class TestRunGate:
+    def test_missing_fresh_record_is_a_violation(self, monkeypatch, tmp_path):
+        monkeypatch.setattr(perf_gate, "_REPO_ROOT", str(tmp_path))
+        monkeypatch.setattr(perf_gate, "_RESULTS_DIR", str(tmp_path / "r"))
+        checked, violations = perf_gate.run_gate(slugs=["ghost"])
+        assert checked == []
+        assert violations and "no fresh record" in violations[0]
+
+    def test_gate_round_trip_on_disk(self, monkeypatch, tmp_path):
+        import json
+
+        results = tmp_path / "results"
+        results.mkdir()
+        monkeypatch.setattr(perf_gate, "_REPO_ROOT", str(tmp_path))
+        monkeypatch.setattr(perf_gate, "_RESULTS_DIR", str(results))
+        record = make_record()
+        (results / "bench_c1.json").write_text(json.dumps(record))
+        # No baseline yet: the gate demands one.
+        checked, violations = perf_gate.run_gate(slugs=["c1"])
+        assert violations and "no committed baseline" in violations[0]
+        # --update promotes the fresh record, after which the gate passes.
+        perf_gate.run_gate(slugs=["c1"], update=True)
+        checked, violations = perf_gate.run_gate(slugs=["c1"])
+        assert checked == ["c1"]
+        assert violations == []
+
+    def test_main_exit_codes(self, monkeypatch, tmp_path, capsys):
+        import json
+
+        results = tmp_path / "results"
+        results.mkdir()
+        monkeypatch.setattr(perf_gate, "_REPO_ROOT", str(tmp_path))
+        monkeypatch.setattr(perf_gate, "_RESULTS_DIR", str(results))
+        (results / "bench_c1.json").write_text(json.dumps(make_record()))
+        perf_gate.run_gate(slugs=["c1"], update=True)
+        assert perf_gate.main(["c1"]) == 0
+        tampered = make_record(get_requests=9)
+        (results / "bench_c1.json").write_text(json.dumps(tampered))
+        assert perf_gate.main(["c1"]) == 1
+        captured = capsys.readouterr()
+        assert "get_requests" in captured.err
