@@ -15,6 +15,7 @@ waiting for whole fragments.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -109,6 +110,10 @@ class OperatorProfile:
     rows_in: int = 0
     batches: int = 0
     peak_bytes: int = 0
+    # Source granules processed in this subtree (row groups for object-store
+    # scans); cumulative like the storage counters, and invariant to the
+    # morsel driver's worker count.
+    morsels: int = 0
     children: list["OperatorProfile"] = field(default_factory=list)
 
 
@@ -144,7 +149,9 @@ def _build_profile(op: PhysicalOperator) -> OperatorProfile:
     self_time_s = op.own_virtual_seconds()
     time_s = self_time_s + sum(child.time_s for child in children)
     counters = dict(op.scan_counters)
+    counters["morsels"] = op.morsels
     for child in children:
+        counters["morsels"] += child.morsels
         counters["bytes_scanned"] += child.bytes_scanned
         counters["get_requests"] += child.get_requests
         counters["footer_gets"] += child.footer_gets
@@ -207,6 +214,9 @@ class QueryExecutor:
 
     ``batch_size`` caps the rows per record batch flowing between
     streaming operators; results are bit-identical for any value ≥ 1.
+    ``workers`` enables morsel-driven parallel scans when > 1 (results,
+    billing, and EXPLAIN ANALYZE stay bit-identical for any value); None
+    reads the ``REPRO_WORKERS`` environment variable, defaulting to 1.
     ``wall_clock`` opts into per-operator wall-clock sampling
     (:func:`~repro.engine.pipeline.enable_wall_clock`); it changes no
     results, only fills ``OperatorProfile.wall_time_s``.
@@ -217,18 +227,32 @@ class QueryExecutor:
         source: DataSource,
         batch_size: int = DEFAULT_BATCH_SIZE,
         wall_clock: bool = False,
+        workers: int | None = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if workers is None:
+            workers = int(os.environ.get("REPRO_WORKERS", "1") or 1)
         self._source = source
         self._batch_size = batch_size
         self._wall_clock = wall_clock
+        self._workers = max(1, workers)
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    @property
+    def batch_size(self) -> int:
+        return self._batch_size
 
     def execute(self, plan: PlanNode, analyze: bool = False) -> QueryResult:
         """Run ``plan`` to completion; with ``analyze`` also build the
         per-operator profile tree that EXPLAIN ANALYZE renders."""
         stats = QueryStats()
-        root = build_pipeline(plan, self._source, stats, self._batch_size)
+        root = build_pipeline(
+            plan, self._source, stats, self._batch_size, self._workers
+        )
         if self._wall_clock:
             enable_wall_clock(root)
         stats.operators = root.count_operators()
@@ -257,7 +281,9 @@ class QueryExecutor:
         StreamingExecution.batches` generator is pulled.
         """
         stats = QueryStats()
-        root = build_pipeline(plan, self._source, stats, self._batch_size)
+        root = build_pipeline(
+            plan, self._source, stats, self._batch_size, self._workers
+        )
         if self._wall_clock:
             enable_wall_clock(root)
         stats.operators = root.count_operators()

@@ -10,8 +10,12 @@ propagate NULL, AND/OR follow Kleene logic, and WHERE treats NULL as false
 
 from __future__ import annotations
 
+import dataclasses
 import re
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -40,15 +44,48 @@ class BoundExpr:
         raise NotImplementedError
 
 
+#: Broadcast vectors are interned per (dtype, value, batch length): constant
+#: expressions in tight per-batch loops reuse one shared vector instead of
+#: rebuilding ``np.full`` / ``[""] * n`` buffers every batch.  Entries are
+#: read-only by convention — every consumer that writes (CASE, coalesce)
+#: copies first.
+_BROADCAST_CACHE: OrderedDict[tuple, ColumnVector] = OrderedDict()
+_BROADCAST_CACHE_ENTRIES = 256
+_BROADCAST_LOCK = threading.Lock()
+
+
+def clear_broadcast_cache() -> None:
+    with _BROADCAST_LOCK:
+        _BROADCAST_CACHE.clear()
+
+
 def _broadcast_scalar(dtype: DataType, value: object, num_rows: int) -> ColumnVector:
+    try:
+        key = (dtype, value, num_rows)
+        hash(key)
+    except TypeError:
+        key = None
+    if key is not None:
+        with _BROADCAST_LOCK:
+            cached = _BROADCAST_CACHE.get(key)
+            if cached is not None:
+                _BROADCAST_CACHE.move_to_end(key)
+                return cached
     if value is None:
         data = np.zeros(num_rows, dtype=dtype.numpy_dtype)
         if dtype is DataType.VARCHAR:
             data = np.array([""] * num_rows, dtype=object)
-        return ColumnVector(dtype, data, np.ones(num_rows, dtype=bool))
-    if dtype is DataType.VARCHAR:
-        return ColumnVector(dtype, np.array([value] * num_rows, dtype=object))
-    return ColumnVector(dtype, np.full(num_rows, value, dtype=dtype.numpy_dtype))
+        vector = ColumnVector(dtype, data, np.ones(num_rows, dtype=bool))
+    elif dtype is DataType.VARCHAR:
+        vector = ColumnVector(dtype, np.array([value] * num_rows, dtype=object))
+    else:
+        vector = ColumnVector(dtype, np.full(num_rows, value, dtype=dtype.numpy_dtype))
+    if key is not None:
+        with _BROADCAST_LOCK:
+            _BROADCAST_CACHE[key] = vector
+            while len(_BROADCAST_CACHE) > _BROADCAST_CACHE_ENTRIES:
+                _BROADCAST_CACHE.popitem(last=False)
+    return vector
 
 
 @dataclass
@@ -645,3 +682,344 @@ def mask_from_predicate(vector: ColumnVector) -> np.ndarray:
     if vector.nulls is not None:
         mask = mask & ~vector.nulls
     return mask
+
+
+# ---------------------------------------------------------------------------
+# Expression fusion: constant folding, CSE, and compiled closures
+# ---------------------------------------------------------------------------
+
+#: A compiled expression: one call per batch instead of one interpreted
+#: ``evaluate`` dispatch per tree node.
+CompiledExpr = Callable[[TableData], ColumnVector]
+
+_FOLD_PROBE: TableData | None = None
+
+
+def _fold_probe() -> TableData:
+    """A one-row dummy batch used to evaluate reference-free subtrees."""
+    global _FOLD_PROBE
+    if _FOLD_PROBE is None:
+        _FOLD_PROBE = TableData(
+            {"__fold__": ColumnVector(DataType.BIGINT, np.zeros(1, dtype=np.int64))}
+        )
+    return _FOLD_PROBE
+
+
+def _expr_children(expr: BoundExpr) -> tuple[BoundExpr, ...]:
+    if isinstance(expr, (BoundArithmetic, BoundComparison, BoundLogical, BoundConcat)):
+        return (expr.left, expr.right)
+    if isinstance(
+        expr, (BoundNot, BoundNegate, BoundIsNull, BoundInList, BoundLike, BoundCast)
+    ):
+        return (expr.operand,)
+    if isinstance(expr, BoundCase):
+        kids = [child for pair in expr.whens for child in pair]
+        if expr.else_ is not None:
+            kids.append(expr.else_)
+        return tuple(kids)
+    if isinstance(expr, BoundScalarFunction):
+        return expr.args
+    return ()
+
+
+def fold_constants(expr: BoundExpr) -> BoundExpr:
+    """Collapse reference-free subtrees into :class:`BoundLiteral` nodes.
+
+    The subtree is evaluated once against a one-row probe batch; the
+    resulting scalar (or NULL) replaces it.  Subtrees whose evaluation
+    raises are left alone so runtime errors keep their runtime timing.
+    Folding is semantics-preserving per batch: a constant subtree produces
+    the same broadcast vector the original would have, just without
+    recomputing it.
+    """
+    folded = _fold_children(expr)
+    if isinstance(folded, (BoundLiteral, BoundColumn)) or folded.references():
+        return folded
+    try:
+        probe = folded.evaluate(_fold_probe())
+    except Exception:
+        return folded
+    if probe.nulls is not None and bool(probe.nulls[0]):
+        return BoundLiteral(None, folded.dtype)
+    raw = probe.data[0]
+    value = raw.item() if hasattr(raw, "item") else raw
+    if folded.dtype is DataType.VARCHAR:
+        value = str(value)
+    return BoundLiteral(value, folded.dtype)
+
+
+def _fold_children(expr: BoundExpr) -> BoundExpr:
+    if isinstance(expr, (BoundArithmetic, BoundComparison, BoundLogical, BoundConcat)):
+        return dataclasses.replace(
+            expr, left=fold_constants(expr.left), right=fold_constants(expr.right)
+        )
+    if isinstance(
+        expr, (BoundNot, BoundNegate, BoundIsNull, BoundInList, BoundLike, BoundCast)
+    ):
+        return dataclasses.replace(expr, operand=fold_constants(expr.operand))
+    if isinstance(expr, BoundCase):
+        whens = tuple(
+            (fold_constants(condition), fold_constants(branch))
+            for condition, branch in expr.whens
+        )
+        else_ = fold_constants(expr.else_) if expr.else_ is not None else None
+        return dataclasses.replace(expr, whens=whens, else_=else_)
+    if isinstance(expr, BoundScalarFunction):
+        return dataclasses.replace(
+            expr, args=tuple(fold_constants(arg) for arg in expr.args)
+        )
+    return expr
+
+
+def compile_expr(expr: BoundExpr) -> CompiledExpr:
+    """Fuse a ``BoundExpr`` tree into one closure over numpy kernels.
+
+    Three optimizations over interpreted ``evaluate``:
+
+    * **constant folding** — reference-free subtrees are pre-evaluated and
+      served from the broadcast cache;
+    * **common-subexpression elimination** — structurally identical
+      subtrees (keyed by their SQL rendering + dtype) compile to one
+      shared kernel memoized per batch;
+    * **fused kernels** — comparison/logic/arithmetic nodes become plain
+      closures over numpy ufuncs with operator dispatch resolved at
+      compile time, so a batch costs one call into the compiled chain
+      instead of O(tree nodes) method dispatches.
+
+    The compiled callable is bit-for-bit equivalent to ``expr.evaluate``,
+    including NULL masks and Kleene three-valued logic (node types without
+    a fused kernel fall back to the interpreter).
+    """
+    folded = fold_constants(expr)
+    counts: dict[str, int] = {}
+    _count_subtrees(folded, counts)
+    kernel = _compile_node(folded, counts, {})
+
+    def compiled(table: TableData) -> ColumnVector:
+        return kernel(table, {})
+
+    compiled.source = folded  # type: ignore[attr-defined]
+    return compiled
+
+
+def _cse_key(expr: BoundExpr) -> str:
+    return f"{expr.dtype.value}:{expr.to_sql()}"
+
+
+def _count_subtrees(expr: BoundExpr, counts: dict[str, int]) -> None:
+    key = _cse_key(expr)
+    counts[key] = counts.get(key, 0) + 1
+    for child in _expr_children(expr):
+        _count_subtrees(child, counts)
+
+
+def _compile_node(
+    expr: BoundExpr, counts: dict[str, int], kernels: dict[str, Callable]
+) -> Callable[[TableData, dict], ColumnVector]:
+    key = _cse_key(expr)
+    cached = kernels.get(key)
+    if cached is not None:
+        return cached
+    fn = _compile_body(expr, counts, kernels)
+    if counts.get(key, 0) > 1:
+        inner = fn
+
+        def fn(table: TableData, memo: dict, _key=key, _inner=inner) -> ColumnVector:
+            hit = memo.get(_key)
+            if hit is None:
+                hit = _inner(table, memo)
+                memo[_key] = hit
+            return hit
+
+    kernels[key] = fn
+    return fn
+
+
+def _compile_body(
+    expr: BoundExpr, counts: dict[str, int], kernels: dict[str, Callable]
+) -> Callable[[TableData, dict], ColumnVector]:
+    if isinstance(expr, BoundLiteral):
+        dtype, value = expr.dtype, expr.value
+        return lambda table, memo: _broadcast_scalar(dtype, value, table.num_rows)
+    if isinstance(expr, BoundColumn):
+        name = expr.name
+        return lambda table, memo: table.column(name)
+    if isinstance(expr, BoundArithmetic):
+        return _compile_arithmetic(expr, counts, kernels)
+    if isinstance(expr, BoundComparison):
+        return _compile_comparison(expr, counts, kernels)
+    if isinstance(expr, BoundLogical):
+        return _compile_logical(expr, counts, kernels)
+    if isinstance(expr, BoundNot):
+        operand = _compile_node(expr.operand, counts, kernels)
+
+        def not_kernel(table: TableData, memo: dict) -> ColumnVector:
+            value = operand(table, memo)
+            return ColumnVector(DataType.BOOLEAN, ~value.data, value.nulls)
+
+        return not_kernel
+    if isinstance(expr, BoundNegate):
+        operand = _compile_node(expr.operand, counts, kernels)
+        dtype = expr.dtype
+
+        def negate_kernel(table: TableData, memo: dict) -> ColumnVector:
+            value = operand(table, memo)
+            return ColumnVector(dtype, -value.data, value.nulls)
+
+        return negate_kernel
+    if isinstance(expr, BoundIsNull):
+        operand = _compile_node(expr.operand, counts, kernels)
+        negated = expr.negated
+
+        def is_null_kernel(table: TableData, memo: dict) -> ColumnVector:
+            value = operand(table, memo)
+            nulls = (
+                value.nulls
+                if value.nulls is not None
+                else np.zeros(len(value), dtype=bool)
+            )
+            data = ~nulls if negated else nulls.copy()
+            return ColumnVector(DataType.BOOLEAN, data)
+
+        return is_null_kernel
+    if isinstance(expr, BoundInList):
+        return _compile_in_list(expr, counts, kernels)
+    # LIKE / CASE / CAST / scalar functions / concat keep the interpreter —
+    # they are either already per-item loops or rare in hot predicates.
+    node = expr
+    return lambda table, memo: node.evaluate(table)
+
+
+def _compile_arithmetic(
+    expr: BoundArithmetic, counts: dict[str, int], kernels: dict[str, Callable]
+) -> Callable[[TableData, dict], ColumnVector]:
+    left = _compile_node(expr.left, counts, kernels)
+    right = _compile_node(expr.right, counts, kernels)
+    dtype = expr.dtype
+    np_dtype = dtype.numpy_dtype
+    if expr.op == "/":
+
+        def divide_kernel(table: TableData, memo: dict) -> ColumnVector:
+            l, r = left(table, memo), right(table, memo)
+            nulls = _combine_nulls(l, r)
+            lhs = l.data.astype(np.float64)
+            rhs = r.data.astype(np.float64)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                data = lhs / rhs
+            zero_division = rhs == 0
+            if zero_division.any():
+                nulls = zero_division if nulls is None else (nulls | zero_division)
+                data = np.where(zero_division, 0.0, data)
+            return ColumnVector(dtype, data.astype(np_dtype), nulls)
+
+        return divide_kernel
+    if expr.op == "%":
+
+        def modulo_kernel(table: TableData, memo: dict) -> ColumnVector:
+            l, r = left(table, memo), right(table, memo)
+            nulls = _combine_nulls(l, r)
+            rhs = r.data
+            rhs_safe = np.where(rhs == 0, 1, rhs)
+            data = l.data % rhs_safe
+            zero_division = rhs == 0
+            if zero_division.any():
+                nulls = zero_division if nulls is None else (nulls | zero_division)
+            return ColumnVector(dtype, data.astype(np_dtype), nulls)
+
+        return modulo_kernel
+    ufunc = {"+": np.add, "-": np.subtract, "*": np.multiply}[expr.op]
+
+    def arithmetic_kernel(table: TableData, memo: dict) -> ColumnVector:
+        l, r = left(table, memo), right(table, memo)
+        data = ufunc(l.data, r.data)
+        return ColumnVector(dtype, data.astype(np_dtype), _combine_nulls(l, r))
+
+    return arithmetic_kernel
+
+
+def _compile_comparison(
+    expr: BoundComparison, counts: dict[str, int], kernels: dict[str, Callable]
+) -> Callable[[TableData, dict], ColumnVector]:
+    left = _compile_node(expr.left, counts, kernels)
+    right = _compile_node(expr.right, counts, kernels)
+    ufunc = {
+        "=": np.equal,
+        "<>": np.not_equal,
+        "<": np.less,
+        "<=": np.less_equal,
+        ">": np.greater,
+        ">=": np.greater_equal,
+    }[expr.op]
+    varchar = expr.left.dtype is DataType.VARCHAR
+
+    def comparison_kernel(table: TableData, memo: dict) -> ColumnVector:
+        l, r = left(table, memo), right(table, memo)
+        lhs, rhs = l.data, r.data
+        if varchar:
+            lhs = lhs.astype(str)
+            rhs = rhs.astype(str)
+        data = ufunc(lhs, rhs)
+        return ColumnVector(
+            DataType.BOOLEAN, np.asarray(data, dtype=bool), _combine_nulls(l, r)
+        )
+
+    return comparison_kernel
+
+
+def _compile_logical(
+    expr: BoundLogical, counts: dict[str, int], kernels: dict[str, Callable]
+) -> Callable[[TableData, dict], ColumnVector]:
+    left = _compile_node(expr.left, counts, kernels)
+    right = _compile_node(expr.right, counts, kernels)
+    is_and = expr.op == "and"
+
+    def logical_kernel(table: TableData, memo: dict) -> ColumnVector:
+        l, r = left(table, memo), right(table, memo)
+        if l.nulls is None and r.nulls is None:
+            # Fused two-valued fast path: one mask op, no Kleene bookkeeping.
+            data = (l.data & r.data) if is_and else (l.data | r.data)
+            return ColumnVector(DataType.BOOLEAN, data, None)
+        num_rows = len(l)
+        left_null = l.nulls if l.nulls is not None else np.zeros(num_rows, dtype=bool)
+        right_null = r.nulls if r.nulls is not None else np.zeros(num_rows, dtype=bool)
+        left_value = l.data & ~left_null
+        right_value = r.data & ~right_null
+        if is_and:
+            definite_false = (~l.data & ~left_null) | (~r.data & ~right_null)
+            data = left_value & right_value
+            nulls = (left_null | right_null) & ~definite_false
+        else:
+            definite_true = left_value | right_value
+            data = definite_true
+            nulls = (left_null | right_null) & ~definite_true
+        return ColumnVector(DataType.BOOLEAN, data, nulls if nulls.any() else None)
+
+    return logical_kernel
+
+
+def _compile_in_list(
+    expr: BoundInList, counts: dict[str, int], kernels: dict[str, Callable]
+) -> Callable[[TableData, dict], ColumnVector]:
+    operand = _compile_node(expr.operand, counts, kernels)
+    negated = expr.negated
+    if expr.operand.dtype is DataType.VARCHAR:
+        members = set(str(item) for item in expr.values)
+
+        def in_varchar_kernel(table: TableData, memo: dict) -> ColumnVector:
+            value = operand(table, memo)
+            data = np.array([str(item) in members for item in value.data], dtype=bool)
+            if negated:
+                data = ~data
+            return ColumnVector(DataType.BOOLEAN, data, value.nulls)
+
+        return in_varchar_kernel
+    candidates = np.array(list(expr.values))
+
+    def in_list_kernel(table: TableData, memo: dict) -> ColumnVector:
+        value = operand(table, memo)
+        data = np.isin(value.data, candidates)
+        if negated:
+            data = ~data
+        return ColumnVector(DataType.BOOLEAN, data, value.nulls)
+
+    return in_list_kernel

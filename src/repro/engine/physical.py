@@ -195,6 +195,139 @@ def _min_max(
 
 
 # ---------------------------------------------------------------------------
+# Partial -> final aggregation (morsel-parallel breakers)
+# ---------------------------------------------------------------------------
+
+
+def aggregate_supports_partial(
+    aggregates: list[AggSpec], input_types: dict[str, DataType]
+) -> bool:
+    """Whether partial->final decomposition is *bit-identical* to one pass.
+
+    COUNT / MIN / MAX always are (integer counters; codes-based extrema).
+    SUM and AVG are only admitted over integral inputs: their accumulators
+    are exact in float64 there, so any grouping of the additions produces
+    the same value.  DOUBLE accumulation is order-sensitive (float addition
+    is non-associative) and DISTINCT needs global value sets — both fall
+    back to gather mode, where the coordinator runs the one-pass kernel
+    over morsel-ordered batches and is trivially identical.
+    """
+    for spec in aggregates:
+        if spec.distinct:
+            return False
+        if spec.func is AggFunc.COUNT:
+            continue
+        if spec.func in (AggFunc.MIN, AggFunc.MAX):
+            continue
+        if spec.input_column is None:
+            return False
+        input_dtype = input_types.get(spec.input_column)
+        if input_dtype is None or input_dtype is DataType.DOUBLE:
+            return False
+    return True
+
+
+def _partial_specs(aggregates: list[AggSpec]) -> list[AggSpec]:
+    specs: list[AggSpec] = []
+    for spec in aggregates:
+        if spec.func is AggFunc.AVG:
+            specs.append(
+                AggSpec(
+                    AggFunc.SUM,
+                    spec.input_column,
+                    spec.output + "__psum",
+                    dtype=DataType.DOUBLE,
+                )
+            )
+            specs.append(
+                AggSpec(AggFunc.COUNT, spec.input_column, spec.output + "__pcount")
+            )
+        elif spec.func is AggFunc.COUNT:
+            specs.append(AggSpec(AggFunc.COUNT, spec.input_column, spec.output))
+        else:
+            specs.append(
+                AggSpec(spec.func, spec.input_column, spec.output, dtype=spec.dtype)
+            )
+    return specs
+
+
+def partial_aggregate(
+    table: TableData, group_keys: list[str], aggregates: list[AggSpec]
+) -> TableData:
+    """One morsel's aggregation state as a table (the worker-side phase).
+
+    COUNT becomes per-group counts, SUM/MIN/MAX their per-group partials,
+    and AVG splits into an exact (sum, count) pair — everything
+    :func:`final_aggregate` can merge without losing bit-identity.
+    """
+    return execute_aggregate(table, group_keys, _partial_specs(aggregates))
+
+
+def final_aggregate(
+    partials: TableData, group_keys: list[str], aggregates: list[AggSpec]
+) -> TableData:
+    """Merge concatenated partial states (the coordinator-side phase).
+
+    ``partials`` must be the morsel partial tables concatenated in morsel
+    order: group output order is first appearance, which then matches the
+    sequential single-pass order exactly.
+    """
+    merge_specs: list[AggSpec] = []
+    for spec in aggregates:
+        if spec.func is AggFunc.AVG:
+            merge_specs.append(
+                AggSpec(
+                    AggFunc.SUM,
+                    spec.output + "__psum",
+                    spec.output + "__psum",
+                    dtype=DataType.DOUBLE,
+                )
+            )
+            merge_specs.append(
+                AggSpec(
+                    AggFunc.SUM,
+                    spec.output + "__pcount",
+                    spec.output + "__pcount",
+                    dtype=DataType.BIGINT,
+                )
+            )
+        elif spec.func in (AggFunc.COUNT, AggFunc.SUM):
+            merge_specs.append(
+                AggSpec(AggFunc.SUM, spec.output, spec.output, dtype=spec.dtype)
+            )
+        else:
+            merge_specs.append(
+                AggSpec(spec.func, spec.output, spec.output, dtype=spec.dtype)
+            )
+    merged = execute_aggregate(partials, group_keys, merge_specs)
+    columns: dict[str, ColumnVector] = {}
+    for key in group_keys:
+        columns[key] = merged.column(key)
+    for spec in aggregates:
+        if spec.func is AggFunc.AVG:
+            sums = merged.column(spec.output + "__psum").data.astype(np.float64)
+            counts = merged.column(spec.output + "__pcount").data.astype(np.int64)
+            # The same division as the one-pass kernel, on exact operands.
+            with np.errstate(invalid="ignore", divide="ignore"):
+                data = np.where(counts > 0, sums / np.maximum(counts, 1), 0.0)
+            empty = counts == 0
+            columns[spec.output] = ColumnVector(
+                DataType.DOUBLE, data, empty if empty.any() else None
+            )
+        elif spec.func is AggFunc.COUNT:
+            # Groups absent from every partial cannot occur; counts of 0
+            # (all-NULL inputs) are valid zeros, never NULL.
+            vector = merged.column(spec.output)
+            data = vector.data.astype(np.int64)
+            if vector.nulls is not None:
+                data = np.where(vector.nulls, 0, data)
+            columns[spec.output] = ColumnVector(DataType.BIGINT, data)
+        else:
+            columns[spec.output] = merged.column(spec.output)
+    return TableData(columns)
+
+
+# ---------------------------------------------------------------------------
 # Join
 # ---------------------------------------------------------------------------
 

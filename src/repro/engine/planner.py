@@ -52,7 +52,9 @@ class Planner:
         plan = self._plan_from(statement.from_clause, scope)
         plan, where = self._plan_subquery_conjuncts(statement.where, scope, plan)
         if where is not None:
-            plan = Filter(plan, self._binder.bind_scalar(where, scope))
+            plan = Filter(
+                plan, bound.fold_constants(self._binder.bind_scalar(where, scope))
+            )
         if self._is_aggregate_query(statement):
             return self._plan_aggregate(statement, scope, plan)
         return self._plan_simple(statement, scope, plan)
@@ -248,7 +250,10 @@ class Planner:
             statement, visible, select_asts, aliases,
             lambda order_ast: self._binder.bind_post(order_ast, scope, collector),
         )
-        pre_exprs = key_exprs + collector.arg_exprs
+        pre_exprs = [
+            (name, bound.fold_constants(expr))
+            for name, expr in key_exprs + collector.arg_exprs
+        ]
         # A bare COUNT(*) needs no computed inputs; a zero-expression
         # projection would lose the row count, so feed the input directly.
         pre_project = Project(plan, pre_exprs) if pre_exprs else plan
@@ -258,7 +263,7 @@ class Planner:
             aggregates=collector.specs,
         )
         if having_expr is not None:
-            aggregated = Filter(aggregated, having_expr)
+            aggregated = Filter(aggregated, bound.fold_constants(having_expr))
         return self._finish(statement, aggregated, visible, hidden, sort_keys)
 
     # -- non-aggregate pipeline ------------------------------------------------
@@ -347,7 +352,10 @@ class Planner:
         hidden: list[tuple[str, bound.BoundExpr]],
         sort_keys: list[SortKey],
     ) -> PlanNode:
-        result: PlanNode = Project(plan, visible + hidden)
+        result: PlanNode = Project(
+            plan,
+            [(name, bound.fold_constants(expr)) for name, expr in visible + hidden],
+        )
         if statement.distinct:
             result = Distinct(result)
         if sort_keys:

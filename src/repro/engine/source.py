@@ -14,8 +14,8 @@ from typing import Iterator, Protocol
 from repro.errors import ExecutionError
 from repro.engine.plan import Scan
 from repro.storage.cache import BufferPool
-from repro.storage.file_format import PixelsReader
-from repro.storage.object_store import ObjectStore
+from repro.storage.file_format import FileFooter, PixelsReader
+from repro.storage.object_store import ObjectStore, StorageMetrics, StoreView
 from repro.storage.table import TableData, TableReader
 
 
@@ -39,6 +39,25 @@ class SourceResult:
     cache_misses: int = 0
     cache_evictions: int = 0
     row_groups_skipped: int = 0
+
+
+@dataclass(frozen=True)
+class Morsel:
+    """One unit of parallel scan work: a single row group of one file.
+
+    ``group_index`` is None for the degenerate "empty file" morsel (every
+    group pruned, or a file with no rows) — it exists only to carry the
+    footer accounting and skip count that the sequential path surfaces.
+    ``footer_delta`` is attached to a file's *first* morsel: the footer
+    read happens once on the coordinator during enumeration, and its
+    counters must land on exactly one granule, like the sequential path.
+    """
+
+    file_key: str
+    group_index: int | None
+    footer: FileFooter
+    footer_delta: StorageMetrics | None
+    row_groups_skipped: int
 
 
 class DataSource(Protocol):
@@ -175,6 +194,88 @@ class ObjectStoreSource:
                     TableData.empty(node.output_schema()), pending, pending_skipped
                 )
 
+    # -- morsel-driven parallel scan path -----------------------------------
+
+    def morsel_granules(self, node: Scan) -> list[Morsel]:
+        """Enumerate the scan as row-group morsels (coordinator side).
+
+        Footers are read here, sequentially, through the *real* store and
+        the configured pool — byte-for-byte the same footer GET/cache
+        accounting as the sequential path, charged to the shared metrics
+        immediately.  The per-file footer delta is captured and attached
+        to that file's first morsel so operator-level counters also match.
+        """
+        base_columns = [base for _, base in node.columns]
+        del base_columns  # validated at read time; enumeration needs none
+        ranges = node.ranges or None
+        reader = self._table_reader(node)
+        file_keys = self._keys if self._keys is not None else reader.file_keys()
+        metrics = self._store.metrics
+        morsels: list[Morsel] = []
+        for key in file_keys:
+            before = metrics.snapshot()
+            file_reader = PixelsReader(
+                self._store, node.table.bucket, key, cache=self._cache
+            )
+            footer_delta: StorageMetrics | None = metrics.delta(before)
+            skipped = file_reader.count_pruned_groups(ranges) if ranges else 0
+            surviving = file_reader.surviving_group_indexes(ranges)
+            if not surviving:
+                morsels.append(
+                    Morsel(key, None, file_reader.footer, footer_delta, skipped)
+                )
+                continue
+            for group_index in surviving:
+                morsels.append(
+                    Morsel(
+                        key, group_index, file_reader.footer, footer_delta, skipped
+                    )
+                )
+                footer_delta = None
+                skipped = 0
+        return morsels
+
+    def read_morsel(self, node: Scan, morsel: Morsel, view: StoreView) -> SourceResult:
+        """Materialize one morsel through ``view`` (worker side).
+
+        Chunk GETs and pool hit/miss accounting land in ``view.metrics``
+        only; the caller merges views into the shared store metrics after
+        the barrier, in morsel order.  The returned granule's counters
+        (chunks + any attached footer delta) equal what the sequential
+        stream would have yielded for the same row group.
+        """
+        delta = StorageMetrics()
+        if morsel.footer_delta is not None:
+            delta.merge(morsel.footer_delta)
+        if morsel.group_index is None:
+            return self._granule(
+                TableData.empty(node.output_schema()), delta, morsel.row_groups_skipped
+            )
+        file_reader = PixelsReader(
+            view,
+            node.table.bucket,
+            morsel.file_key,
+            cache=self._cache,
+            footer=morsel.footer,
+        )
+        before = view.metrics.snapshot()
+        vectors = file_reader.read_group(
+            morsel.group_index, [base for _, base in node.columns]
+        )
+        delta.merge(view.metrics.delta(before))
+        return self._granule(
+            self._rename(TableData(vectors), node), delta, morsel.row_groups_skipped
+        )
+
+    def store_view(self) -> StoreView:
+        """A fresh private-metrics view over this source's store."""
+        return StoreView(self._store)
+
+    def merge_view_metrics(self, views: list[StoreView]) -> None:
+        """Fold worker views into the shared store metrics, in order."""
+        for view in views:
+            self._store.metrics.merge(view.metrics)
+
     def _table_reader(self, node: Scan) -> TableReader:
         if not node.table.bucket or not node.table.prefix:
             raise ExecutionError(
@@ -204,6 +305,25 @@ class ObjectStoreSource:
             cache_evictions=delta.chunk_cache_evictions,
             row_groups_skipped=skipped,
         )
+
+
+class SingleGranuleSource:
+    """A source serving exactly one pre-fetched granule.
+
+    The morsel driver reads a row group up front (through a private
+    :class:`~repro.storage.object_store.StoreView`) and then runs a normal
+    pipeline instance over it; this adapter feeds that granule — with its
+    accounting — into the instance's scan operator unchanged.
+    """
+
+    def __init__(self, granule: SourceResult) -> None:
+        self._granule = granule
+
+    def scan(self, node: Scan) -> SourceResult:
+        return self._granule
+
+    def scan_batches(self, node: Scan) -> Iterator[SourceResult]:
+        yield self._granule
 
 
 class InMemorySource:

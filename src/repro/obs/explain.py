@@ -50,6 +50,8 @@ def _annotation(profile: OperatorProfile) -> str:
         parts.append(f"rows_in={profile.rows_in}")
     if profile.batches:
         parts.append(f"batches={profile.batches}")
+    if profile.morsels:
+        parts.append(f"morsels={profile.morsels}")
     if profile.bytes_scanned:
         parts.append(f"bytes={profile.bytes_scanned}")
     if profile.get_requests:
@@ -67,9 +69,19 @@ def render_analyzed_plan(
     plan: PlanNode,
     profile: OperatorProfile,
     stats: QueryStats | None = None,
+    context: dict | None = None,
 ) -> str:
-    """The plan tree with per-operator actuals, plus a totals footer."""
+    """The plan tree with per-operator actuals, plus a totals footer.
+
+    ``context`` optionally prepends an execution-settings header (e.g.
+    ``workers`` and ``batch_size``).  It is a separate opt-in precisely
+    because the plan body below is worker-count invariant: rendering the
+    same run at 1 or 8 workers differs only in this header line.
+    """
     lines: list[str] = []
+    if context:
+        parts = " ".join(f"{key}={value}" for key, value in context.items())
+        lines.append(f"execution: {parts}")
 
     def walk(node: PlanNode, prof: OperatorProfile, indent: int) -> None:
         pad = "  " * indent

@@ -108,10 +108,13 @@ def render_flamegraph_svg(
         )
         if node.kind == "operator":
             tooltip += (
-                f"; rows_out={node.rows_out} bytes={node.bytes_scanned}"
+                f"; rows_out={node.rows_out} batches={node.batches}"
+                f" bytes={node.bytes_scanned}"
                 f" gets={node.get_requests}"
                 f" (footer {node.footer_gets}, chunk {node.chunk_gets})"
             )
+            if node.morsels:
+                tooltip += f" morsels={node.morsels}"
         parts.append(
             f'<g><rect x="{x0:.2f}" y="{y}" width="{max(span, 0.5):.2f}" '
             f'height="{ROW_HEIGHT - 1}" fill="{_color(node.name, node.kind)}" '

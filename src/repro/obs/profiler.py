@@ -65,6 +65,7 @@ class ProfileNode:
     rows_out: int = 0
     batches: int = 0
     peak_bytes: int = 0
+    morsels: int = 0  # self source granules (row groups) processed
     self_nanodollars: int = 0
     children: list["ProfileNode"] = field(default_factory=list)
 
@@ -151,6 +152,7 @@ def _operator_to_node(profile: OperatorProfile) -> ProfileNode:
     self_wall = profile.wall_time_s - sum(
         c.wall_time_s for c in profile.children
     )
+    self_morsels = profile.morsels - sum(c.morsels for c in profile.children)
     return ProfileNode(
         name=profile.name,
         kind="operator",
@@ -163,6 +165,7 @@ def _operator_to_node(profile: OperatorProfile) -> ProfileNode:
         rows_out=profile.rows_out,
         batches=profile.batches,
         peak_bytes=profile.peak_bytes,
+        morsels=max(0, self_morsels),
         children=children,
     )
 

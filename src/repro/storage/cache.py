@@ -28,10 +28,11 @@ byte-stable under caching.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
-from repro.storage.object_store import ObjectStore
+from repro.storage.object_store import ObjectStore, StorageMetrics
 
 #: Merge adjacent range-GETs whose gap is at most this many bytes when no
 #: explicit :class:`CacheConfig` governs the reader (see
@@ -105,6 +106,9 @@ class BufferPool:
         self._store = store
         self.config = config if config is not None else CacheConfig()
         self.stats = CacheStats()
+        # Morsel workers share one pool across threads; entry bookkeeping
+        # (OrderedDict moves, byte budget) must stay consistent under that.
+        self._lock = threading.Lock()
         # (bucket, key) -> (etag, footer object, logical footer bytes)
         self._footers: OrderedDict[tuple[str, str], tuple[int, object, int]] = (
             OrderedDict()
@@ -147,24 +151,30 @@ class BufferPool:
 
     # -- footer cache --------------------------------------------------------
 
-    def footer(self, bucket: str, key: str) -> tuple[object, int] | None:
+    def footer(
+        self, bucket: str, key: str, metrics: StorageMetrics | None = None
+    ) -> tuple[object, int] | None:
         """``(footer, logical_footer_bytes)`` if cached and still current.
 
         Entries whose etag no longer matches the stored object (it was
         overwritten or deleted) are evicted and reported as misses.
+        ``metrics`` redirects hit/miss accounting (morsel workers pass
+        their private view metrics); it defaults to the store's.
         """
-        entry = self._footers.get((bucket, key))
+        metrics = metrics if metrics is not None else self._store.metrics
         current = self._store.etag(bucket, key)
-        if entry is not None and current is not None and entry[0] == current:
-            self._footers.move_to_end((bucket, key))
-            self.stats.footer_hits += 1
-            self._store.metrics.footer_cache_hits += 1
-            return entry[1], entry[2]
-        if entry is not None:
-            del self._footers[(bucket, key)]
-        self.stats.footer_misses += 1
-        self._store.metrics.footer_cache_misses += 1
-        return None
+        with self._lock:
+            entry = self._footers.get((bucket, key))
+            if entry is not None and current is not None and entry[0] == current:
+                self._footers.move_to_end((bucket, key))
+                self.stats.footer_hits += 1
+                metrics.footer_cache_hits += 1
+                return entry[1], entry[2]
+            if entry is not None:
+                del self._footers[(bucket, key)]
+            self.stats.footer_misses += 1
+            metrics.footer_cache_misses += 1
+            return None
 
     def put_footer(
         self, bucket: str, key: str, footer: object, logical_bytes: int
@@ -175,54 +185,79 @@ class BufferPool:
         etag = self._store.etag(bucket, key)
         if etag is None:
             return
-        self._footers[(bucket, key)] = (etag, footer, logical_bytes)
-        self._footers.move_to_end((bucket, key))
-        while len(self._footers) > self.config.footer_entries:
-            self._footers.popitem(last=False)
+        with self._lock:
+            self._footers[(bucket, key)] = (etag, footer, logical_bytes)
+            self._footers.move_to_end((bucket, key))
+            while len(self._footers) > self.config.footer_entries:
+                self._footers.popitem(last=False)
 
     # -- column-chunk pool ---------------------------------------------------
 
-    def chunk(self, bucket: str, key: str, offset: int, length: int) -> bytes | None:
+    def chunk(
+        self,
+        bucket: str,
+        key: str,
+        offset: int,
+        length: int,
+        metrics: StorageMetrics | None = None,
+    ) -> bytes | None:
         """The chunk's payload if pooled and still current, else None."""
+        metrics = metrics if metrics is not None else self._store.metrics
         pool_key = (bucket, key, offset, length)
-        entry = self._chunks.get(pool_key)
         current = self._store.etag(bucket, key)
-        if entry is not None and current is not None and entry[0] == current:
-            self._chunks.move_to_end(pool_key)
-            self.stats.chunk_hits += 1
-            self._store.metrics.chunk_cache_hits += 1
-            return entry[1]
-        if entry is not None:
-            # Stale etag: an invalidation, counted as the miss below rather
-            # than as a budget eviction.
-            self._evict(pool_key, count=False)
-        self.stats.chunk_misses += 1
-        self._store.metrics.chunk_cache_misses += 1
-        return None
+        with self._lock:
+            entry = self._chunks.get(pool_key)
+            if entry is not None and current is not None and entry[0] == current:
+                self._chunks.move_to_end(pool_key)
+                self.stats.chunk_hits += 1
+                metrics.chunk_cache_hits += 1
+                return entry[1]
+            if entry is not None:
+                # Stale etag: an invalidation, counted as the miss below
+                # rather than as a budget eviction.
+                self._evict(pool_key, count=False)
+            self.stats.chunk_misses += 1
+            metrics.chunk_cache_misses += 1
+            return None
 
-    def put_chunk(self, bucket: str, key: str, offset: int, payload: bytes) -> None:
+    def put_chunk(
+        self,
+        bucket: str,
+        key: str,
+        offset: int,
+        payload: bytes,
+        metrics: StorageMetrics | None = None,
+    ) -> None:
         """Pool a chunk's bytes, evicting LRU entries to stay in budget.
 
         A payload larger than the whole budget is not cached at all —
         admitting it would flush every other entry for a single chunk.
         """
+        metrics = metrics if metrics is not None else self._store.metrics
         if len(payload) > self.config.chunk_budget_bytes:
             return
         etag = self._store.etag(bucket, key)
         if etag is None:
             return
         pool_key = (bucket, key, offset, len(payload))
-        if pool_key in self._chunks:
-            self._evict(pool_key, count=False)
-        self._chunks[pool_key] = (etag, payload)
-        self._chunk_bytes += len(payload)
-        while self._chunk_bytes > self.config.chunk_budget_bytes and self._chunks:
-            oldest = next(iter(self._chunks))
-            self._evict(oldest)
+        with self._lock:
+            if pool_key in self._chunks:
+                self._evict(pool_key, count=False)
+            self._chunks[pool_key] = (etag, payload)
+            self._chunk_bytes += len(payload)
+            while self._chunk_bytes > self.config.chunk_budget_bytes and self._chunks:
+                oldest = next(iter(self._chunks))
+                self._evict(oldest, metrics=metrics)
 
-    def _evict(self, pool_key: tuple[str, str, int, int], count: bool = True) -> None:
+    def _evict(
+        self,
+        pool_key: tuple[str, str, int, int],
+        count: bool = True,
+        metrics: StorageMetrics | None = None,
+    ) -> None:
         _, payload = self._chunks.pop(pool_key)
         self._chunk_bytes -= len(payload)
         if count:
+            metrics = metrics if metrics is not None else self._store.metrics
             self.stats.chunk_evictions += 1
-            self._store.metrics.chunk_cache_evictions += 1
+            metrics.chunk_cache_evictions += 1

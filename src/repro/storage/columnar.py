@@ -170,11 +170,13 @@ def _decode_nulls(blob: bytes, num_rows: int) -> np.ndarray | None:
 
 
 def _encode_strings(values: list[str]) -> bytes:
-    payload = b"".join(value.encode("utf-8") for value in values)
-    lengths = np.array(
-        [len(value.encode("utf-8")) for value in values], dtype=np.int32
+    # Encode each value exactly once; the length vector reuses the encoded
+    # bytes instead of re-encoding (this is the hot path of VARCHAR writes).
+    encoded = [value.encode("utf-8") for value in values]
+    lengths = np.fromiter(
+        (len(blob) for blob in encoded), dtype=np.int32, count=len(encoded)
     )
-    return struct.pack("<I", len(values)) + lengths.tobytes() + payload
+    return struct.pack("<I", len(values)) + lengths.tobytes() + b"".join(encoded)
 
 
 def _decode_strings(blob: bytes) -> list[str]:
@@ -182,12 +184,12 @@ def _decode_strings(blob: bytes) -> list[str]:
         raise CorruptFileError("string block too short")
     (count,) = struct.unpack_from("<I", blob, 0)
     lengths = np.frombuffer(blob, dtype=np.int32, count=count, offset=4)
-    offset = 4 + 4 * count
-    values: list[str] = []
-    for length in lengths:
-        values.append(blob[offset : offset + int(length)].decode("utf-8"))
-        offset += int(length)
-    return values
+    # Vectorized offset arithmetic (cumsum) instead of a running counter
+    # with per-item int() casts; slicing stays on byte boundaries so
+    # multi-byte UTF-8 values decode exactly as written.
+    ends = (np.cumsum(lengths, dtype=np.int64) + (4 + 4 * count)).tolist()
+    starts = [4 + 4 * count] + ends[:-1]
+    return [blob[start:end].decode("utf-8") for start, end in zip(starts, ends)]
 
 
 def _encode_plain(vector: ColumnVector) -> bytes:
@@ -233,12 +235,19 @@ def _decode_rle(blob: bytes, dtype: DataType, num_rows: int) -> np.ndarray:
 
 
 def _encode_dict(vector: ColumnVector) -> bytes:
-    values = [str(value) for value in vector.data]
-    dictionary: dict[str, int] = {}
-    codes = np.empty(len(values), dtype=np.int32)
-    for index, value in enumerate(values):
-        codes[index] = dictionary.setdefault(value, len(dictionary))
-    dict_blob = _encode_strings(list(dictionary))
+    # Vectorized dictionary build.  The on-disk dictionary order is
+    # first-appearance (what the old setdefault loop produced), so sorted
+    # np.unique output is remapped through argsort(first_index) — the blob
+    # stays byte-identical to the loop encoding.
+    values = np.array([str(value) for value in vector.data], dtype=object)
+    uniques, first, inverse = np.unique(
+        values, return_index=True, return_inverse=True
+    )
+    order = np.argsort(first, kind="stable")
+    remap = np.empty(len(uniques), dtype=np.int32)
+    remap[order] = np.arange(len(uniques), dtype=np.int32)
+    codes = remap[inverse.reshape(-1)]
+    dict_blob = _encode_strings(uniques[order].tolist())
     return struct.pack("<I", len(dict_blob)) + dict_blob + codes.tobytes()
 
 

@@ -29,7 +29,7 @@ from repro.storage.columnar import (
     decode_chunk,
     encode_chunk,
 )
-from repro.storage.object_store import ObjectStore
+from repro.storage.object_store import ObjectStore, StoreView
 from repro.storage.types import ColumnVector, DataType
 
 MAGIC = b"PIXL"
@@ -226,11 +226,12 @@ class PixelsReader:
 
     def __init__(
         self,
-        store: ObjectStore,
+        store: ObjectStore | StoreView,
         bucket: str,
         key: str,
         cache: "BufferPool | None" = None,
         max_coalesce_gap: int | None = None,
+        footer: FileFooter | None = None,
     ) -> None:
         self._store = store
         self._bucket = bucket
@@ -242,7 +243,10 @@ class PixelsReader:
             self._max_gap = cache.config.max_coalesce_gap_bytes
         else:
             self._max_gap = DEFAULT_COALESCE_GAP_BYTES
-        self._footer = self._read_footer()
+        # An injected footer (the morsel driver prefetches footers once on
+        # the coordinator) skips the footer read *and* its accounting — the
+        # prefetch already accounted it exactly once.
+        self._footer = footer if footer is not None else self._read_footer()
 
     @property
     def footer(self) -> FileFooter:
@@ -264,7 +268,9 @@ class PixelsReader:
 
     def _read_footer(self) -> FileFooter:
         if self._cache is not None:
-            cached = self._cache.footer(self._bucket, self._key)
+            cached = self._cache.footer(
+                self._bucket, self._key, metrics=self._store.metrics
+            )
             if cached is not None:
                 footer, logical_bytes = cached
                 # Billing invariant: a footer served from cache is still
@@ -366,11 +372,51 @@ class PixelsReader:
                 for column in columns
             }
 
+    def read_group(
+        self, index: int, columns: list[str] | None = None
+    ) -> dict[str, ColumnVector]:
+        """Fetch and decode one row group by index (the morsel read path).
+
+        Accounting is identical to the same group being pulled from
+        :meth:`iter_groups`: every projected chunk's length becomes logical
+        scanned bytes, pool lookups count hits/misses, and misses are
+        coalesced into ranged GETs.
+        """
+        names = [name for name, _ in self._footer.schema]
+        if columns is None:
+            columns = names
+        for column in columns:
+            if column not in names:
+                raise NoSuchColumnError(f"no column {column!r} in {self._key}")
+        group = self._footer.row_groups[index]
+        blobs = self._fetch_group_chunks([group.chunks[column] for column in columns])
+        return {
+            column: decode_chunk(
+                blobs[column],
+                self.column_type(column),
+                group.chunks[column].encoding,
+            )
+            for column in columns
+        }
+
     def count_pruned_groups(
         self, ranges: dict[str, tuple[object | None, object | None]]
     ) -> int:
         """Row groups of this file that ``ranges`` rules out entirely."""
         return sum(1 for group in self._footer.row_groups if self._pruned(group, ranges))
+
+    def surviving_group_indexes(
+        self,
+        ranges: dict[str, tuple[object | None, object | None]] | None = None,
+    ) -> list[int]:
+        """Indexes of row groups ``ranges`` cannot rule out, in file order."""
+        if not ranges:
+            return list(range(len(self._footer.row_groups)))
+        return [
+            index
+            for index, group in enumerate(self._footer.row_groups)
+            if not self._pruned(group, ranges)
+        ]
 
     def _fetch_group_chunks(self, chunks: list[ChunkMeta]) -> dict[str, bytes]:
         """Payloads for one row group's projected chunks, by column name.
@@ -387,7 +433,11 @@ class PixelsReader:
             self._store.metrics.logical_bytes_scanned += chunk.length
             if self._cache is not None:
                 payload = self._cache.chunk(
-                    self._bucket, self._key, chunk.offset, chunk.length
+                    self._bucket,
+                    self._key,
+                    chunk.offset,
+                    chunk.length,
+                    metrics=self._store.metrics,
                 )
                 if payload is not None:
                     blobs[chunk.column] = payload
@@ -405,7 +455,11 @@ class PixelsReader:
                 blobs[chunk.column] = blob
                 if self._cache is not None:
                     self._cache.put_chunk(
-                        self._bucket, self._key, chunk.offset, blob
+                        self._bucket,
+                        self._key,
+                        chunk.offset,
+                        blob,
+                        metrics=self._store.metrics,
                     )
         return blobs
 

@@ -161,16 +161,27 @@ class ObjectStore:
         self.metrics.write_time_s += latency
         return latency
 
-    def get(
+    def read_range(
         self, bucket: str, key: str, start: int = 0, length: int | None = None
-    ) -> GetResult:
-        """Fetch ``bucket/key`` (optionally a byte range)."""
+    ) -> bytes:
+        """Raw payload of a (range) read, with *no* request accounting.
+
+        ``get`` layers the accounting on top; :class:`StoreView` layers it
+        into a private metrics object instead, so parallel morsel workers
+        can account in isolation and merge deterministically afterwards.
+        """
         store = self._bucket(bucket)
         if key not in store:
             raise NoSuchObjectError(f"no such object: {bucket}/{key}")
         blob = store[key].data
         end = len(blob) if length is None else min(len(blob), start + length)
-        payload = blob[start:end]
+        return blob[start:end]
+
+    def get(
+        self, bucket: str, key: str, start: int = 0, length: int | None = None
+    ) -> GetResult:
+        """Fetch ``bucket/key`` (optionally a byte range)."""
+        payload = self.read_range(bucket, key, start, length)
         latency = self.profile.get_latency(len(payload))
         self.metrics.get_requests += 1
         self.metrics.bytes_read += len(payload)
@@ -216,3 +227,45 @@ class ObjectStore:
         return sum(
             len(obj.data) for key, obj in store.items() if key.startswith(prefix)
         )
+
+
+class StoreView:
+    """A read-only handle on an :class:`ObjectStore` with private metrics.
+
+    Morsel workers read through one fresh view each: the view shares the
+    store's data and latency model but accounts every request into its own
+    :class:`StorageMetrics`, so concurrent workers never race on the shared
+    counters.  After the barrier, the driver merges each view's metrics into
+    the real store in morsel order — the global counters end up identical to
+    a sequential run, and per-morsel deltas are simply ``view.metrics``.
+
+    Only the read-side surface a :class:`~repro.storage.file_format.PixelsReader`
+    touches is exposed (get/head/etag/exists/profile).
+    """
+
+    def __init__(self, store: ObjectStore) -> None:
+        self._store = store
+        self.metrics = StorageMetrics()
+
+    @property
+    def profile(self) -> StorageProfile:
+        return self._store.profile
+
+    def get(
+        self, bucket: str, key: str, start: int = 0, length: int | None = None
+    ) -> GetResult:
+        payload = self._store.read_range(bucket, key, start, length)
+        latency = self._store.profile.get_latency(len(payload))
+        self.metrics.get_requests += 1
+        self.metrics.bytes_read += len(payload)
+        self.metrics.read_time_s += latency
+        return GetResult(payload, latency)
+
+    def head(self, bucket: str, key: str) -> int:
+        return self._store.head(bucket, key)
+
+    def etag(self, bucket: str, key: str) -> int | None:
+        return self._store.etag(bucket, key)
+
+    def exists(self, bucket: str, key: str) -> bool:
+        return self._store.exists(bucket, key)

@@ -416,10 +416,19 @@ class Coordinator:
         executor = QueryExecutor(
             ObjectStoreSource(self._store, cache=self.vm_buffer_pool),
             batch_size=self._config.batch_size,
+            workers=self._config.workers or None,
         )
         result = executor.execute(plan, analyze=True)
         assert result.profile is not None
-        return render_analyzed_plan(plan, result.profile, result.stats)
+        return render_analyzed_plan(
+            plan,
+            result.profile,
+            result.stats,
+            context={
+                "workers": executor.workers,
+                "batch_size": executor.batch_size,
+            },
+        )
 
     def _estimate_stats(self, plan) -> QueryStats:
         """Pre-execution scan-size estimate from catalog storage sizes,
@@ -511,6 +520,7 @@ class Coordinator:
             executor = QueryExecutor(
                 ObjectStoreSource(self._store, cache=self.vm_buffer_pool),
                 batch_size=self._config.batch_size,
+                workers=self._config.workers or None,
             )
             result = executor.execute(plan, analyze=capture_profile)
         except PixelsError as error:
@@ -521,7 +531,13 @@ class Coordinator:
         execution.profile = result.profile
         if analyze and result.profile is not None:
             execution.explain_text = render_analyzed_plan(
-                plan, result.profile, result.stats
+                plan,
+                result.profile,
+                result.stats,
+                context={
+                    "workers": executor.workers,
+                    "batch_size": executor.batch_size,
+                },
             )
             result = QueryResult(
                 _text_table(execution.explain_text), result.stats, result.profile
@@ -610,6 +626,7 @@ class Coordinator:
             executor = QueryExecutor(
                 ObjectStoreSource(self._store, cache=cf_pool),
                 batch_size=self._config.batch_size,
+                workers=self._config.workers or None,
             )
             # Incremental merge: the sub-plan's result flows into the
             # top-level plan as a batch stream, so the merge step consumes
