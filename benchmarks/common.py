@@ -79,6 +79,14 @@ def write_observability_artifacts(slug: str, result, title: str) -> dict[str, st
         ),
         "slo": (f"{slug}_slo.json", result.obs.slo.export_json() + "\n"),
         "dashboard": (f"{slug}_dashboard.html", render_dashboard_html(data)),
+        "statements": (
+            f"{slug}_statements.json", result.obs.statements.export_json()
+        ),
+        "statements_top": (
+            f"{slug}_statements_top.txt",
+            result.obs.statements.render_top(10, "dollars"),
+        ),
+        "journal": (f"{slug}_journal.jsonl", result.obs.journal.export_jsonl()),
     }
     paths: dict[str, str] = {}
     for kind, (filename, payload) in artifacts.items():
@@ -87,6 +95,43 @@ def write_observability_artifacts(slug: str, result, title: str) -> dict[str, st
             handle.write(payload)
         paths[kind] = path
     return paths
+
+
+def workload_profile(result) -> dict:
+    """Per-operator resource totals over a whole observed replay.
+
+    Folds every finished query's cost/time attribution profile into one
+    ``{"operators": {name: {time_s, nanodollars, bytes_scanned,
+    get_requests}}}`` table — the optional ``"profile"`` section of a
+    bench record, which ``perf_gate.py --explain`` diffs to name the
+    operator and resource behind a failed baseline comparison.  Self
+    values only, so totals sum exactly to the workload's virtual time
+    and billed nanodollars.  Requires ``run_workload(observe=True)``.
+    """
+    operators: dict[str, dict] = {}
+
+    def visit(node) -> None:
+        row = operators.setdefault(
+            node.name,
+            {
+                "time_s": 0.0,
+                "nanodollars": 0,
+                "bytes_scanned": 0,
+                "get_requests": 0,
+            },
+        )
+        row["time_s"] += node.self_time_s
+        row["nanodollars"] += node.self_nanodollars
+        row["bytes_scanned"] += node.bytes_scanned
+        row["get_requests"] += node.get_requests
+        for child in node.children:
+            visit(child)
+
+    for query in result.finished():
+        visit(result.server.query_profile(query.query_id).root)
+    for row in operators.values():
+        row["time_s"] = round(row["time_s"], 9)
+    return {"operators": {name: operators[name] for name in sorted(operators)}}
 
 
 # -- benchmark trajectory (BENCH_<slug>.json + perf gate) -----------------------
@@ -134,7 +179,7 @@ def workload_metrics(result) -> dict:
 
 
 def bench_record(slug: str, run, metrics, *, rounds: int = 2, warmup: int = 0,
-                 meta: dict | None = None):
+                 meta: dict | None = None, profile=None):
     """Run ``run()`` ``warmup + rounds`` times and record the trajectory.
 
     ``metrics(result)`` must return the bench's *deterministic* metric
@@ -142,6 +187,12 @@ def bench_record(slug: str, run, metrics, *, rounds: int = 2, warmup: int = 0,
     (a built-in determinism self-check — a bench whose simulated numbers
     wobble cannot seed a baseline).  Wall time gets robust stats instead:
     median and MAD over the measured rounds.
+
+    ``profile(result)``, when given, computes the optional per-operator
+    resource table (see :func:`workload_profile`) from the last round's
+    result.  It lands in the record's top-level ``"profile"`` key, which
+    the gate's metric comparison ignores — old baselines without one
+    stay valid — and ``perf_gate.py --explain`` diffs for root-causing.
 
     The record is always written to ``benchmarks/results/bench_<slug>.json``
     (gitignored; the perf gate's "fresh" side).  With ``BENCH_UPDATE=1``
@@ -184,6 +235,8 @@ def bench_record(slug: str, run, metrics, *, rounds: int = 2, warmup: int = 0,
     }
     if meta:
         record["meta"] = meta
+    if profile is not None:
+        record["profile"] = profile(result)
     payload = json.dumps(record, indent=2, sort_keys=True) + "\n"
     os.makedirs(_RESULTS_DIR, exist_ok=True)
     with open(fresh_path(slug), "w", encoding="utf-8") as handle:

@@ -18,6 +18,13 @@ Exit status is non-zero on any violation.  After an *intentional* perf
 change, refresh the baselines with ``BENCH_UPDATE=1`` (see
 ``bench_record``) or ``python benchmarks/perf_gate.py --update`` and
 commit the new ``BENCH_*.json``.
+
+``--explain`` adds root-cause lines for every violated slug: when both
+records carry a ``"profile"`` section (per-operator resource totals —
+see ``common.workload_profile``), the profile diff names the operator
+and the resource (bandwidth/requests/compute/pricing) that moved;
+otherwise the changed metric names themselves are classified by the
+resource they implicate.
 """
 
 from __future__ import annotations
@@ -113,6 +120,69 @@ def _load(path: str) -> dict:
         return json.load(handle)
 
 
+# -- root-causing (--explain) ---------------------------------------------------
+
+#: Metric-name needles → the resource a drift in that metric implicates
+#: (the fallback classification when records carry no profile section).
+_METRIC_RESOURCES = (
+    ("bytes", "bandwidth"),
+    ("get", "requests"),
+    ("seconds", "compute"),
+    ("dollar", "pricing"),
+)
+
+
+def _metric_resource(name: str) -> str:
+    lowered = name.lower()
+    for needle, resource in _METRIC_RESOURCES:
+        if needle in lowered:
+            return resource
+    return "unknown"
+
+
+def _import_profdiff():
+    """Import repro.obs.profdiff, falling back to the source tree when
+    the package is not installed (plain checkouts, some CI stages)."""
+    try:
+        from repro.obs import profdiff
+    except ImportError:
+        sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
+        from repro.obs import profdiff
+    return profdiff
+
+
+def explain_records(baseline: dict, fresh: dict, limit: int = 5) -> list[str]:
+    """Root-cause lines for one failed baseline comparison.
+
+    With ``"profile"`` sections on both sides, the per-operator diff
+    says which operator regressed in which resource; without them, the
+    changed metrics are classified by name.  Empty when nothing moved.
+    """
+    slug = baseline.get("slug", "?")
+    base_profile = baseline.get("profile")
+    fresh_profile = fresh.get("profile")
+    if base_profile and fresh_profile:
+        profdiff = _import_profdiff()
+        deltas = profdiff.diff_operator_tables(base_profile, fresh_profile)
+        if deltas:
+            rendered = profdiff.render_diff(
+                deltas, limit=limit, prefix=f"{slug}: "
+            )
+            return rendered.splitlines()
+    lines: list[str] = []
+    base_metrics = baseline.get("metrics", {}) or {}
+    fresh_metrics = fresh.get("metrics", {}) or {}
+    for name in sorted(set(base_metrics) | set(fresh_metrics)):
+        base_value = base_metrics.get(name)
+        fresh_value = fresh_metrics.get(name)
+        if not _values_match(base_value, fresh_value):
+            lines.append(
+                f"{slug}: {name} implicates {_metric_resource(name)}: "
+                f"baseline {base_value!r} -> fresh {fresh_value!r}"
+            )
+    return lines[:limit]
+
+
 def run_gate(
     slugs: list[str] | None = None,
     wall_band: float | None = None,
@@ -160,6 +230,11 @@ def main(argv: list[str] | None = None) -> int:
         "--update", action="store_true",
         help="copy fresh records over the committed baselines instead of gating",
     )
+    parser.add_argument(
+        "--explain", action="store_true",
+        help="on failure, print per-slug root-cause lines from the records'"
+             " profile sections (operator + resource)",
+    )
     args = parser.parse_args(argv)
     checked, violations = run_gate(
         slugs=args.slugs or None, wall_band=args.wall_band, update=args.update
@@ -170,6 +245,13 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     for violation in violations:
         print(f"perf-gate: FAIL {violation}", file=sys.stderr)
+    if violations and args.explain:
+        violated = {v.split(":", 1)[0] for v in violations}
+        for slug in sorted(violated & set(checked)):
+            for line in explain_records(
+                _load(baseline_path(slug)), _load(fresh_path(slug))
+            ):
+                print(f"perf-gate: cause {line}", file=sys.stderr)
     print(
         f"perf-gate: {len(checked)} baseline(s) checked, "
         f"{len(violations)} violation(s)"

@@ -3,17 +3,24 @@
 Loads a week of synthetic web-access logs, answers operations questions
 through the natural-language interface, and runs the canned log-analytics
 query set at the cheap best-of-effort tier (batch reporting is exactly
-the "non-urgent" query class the paper's pricing targets).
+the "non-urgent" query class the paper's pricing targets).  Runs with
+the observability stack on, so the session ends with the fleet view an
+operator would use: the top statements by billed $ and a tail-captured
+slow query with its full cost-attribution profile.
 
 Run:  python examples/log_analysis.py
 """
 
-from repro import PixelsDB, ServiceLevel
+from repro import CapturePolicy, PixelsDB, ServiceLevel
 from repro.workloads import LOGS_QUERIES
 
 
 def main() -> None:
-    db = PixelsDB(seed=11)
+    db = PixelsDB(
+        observe=True,
+        seed=11,
+        capture=CapturePolicy(slowest_n=3),
+    )
     db.load_logs("weblogs", num_rows=30000)
 
     print("Ad-hoc questions through the NL interface:\n")
@@ -47,6 +54,22 @@ def main() -> None:
         )
     print(f"\nWhole report billed: ${total:.9f} "
           f"(would be 10x at the immediate tier)")
+
+    print("\nTop 5 statements by billed $ (pg_stat_statements-style):\n")
+    print(db.statements_top(5, "dollars"))
+
+    captures = [c for c in db.journal_captures() if "profile" in c]
+    if captures:
+        slowest = captures[0]
+        print("Tail-captured slow query (full profile evidence attached):\n")
+        print(f"  query     {slowest['query_id']}  level={slowest['level']}")
+        print(f"  reasons   {', '.join(slowest['reasons'])}")
+        print(f"  billed    {slowest['billed_nanodollars']} nano$")
+        for child in slowest["profile"]["children"]:
+            print(
+                f"    {child['name']:<20} {child['self_time_s']:.3f}s  "
+                f"{child['self_nanodollars']} nano$"
+            )
 
 
 if __name__ == "__main__":

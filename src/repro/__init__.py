@@ -34,7 +34,7 @@ from __future__ import annotations
 from repro.core import QueryServer, QueryStatus, ServerQuery, ServiceLevel
 from repro.errors import PixelsError, TranslationError
 from repro.nl2sql import CodesService
-from repro.obs import Instrumentation
+from repro.obs import CapturePolicy, Instrumentation
 from repro.obs.alerts import AlertEngine, BurnRateRule, ThresholdRule, default_rules
 from repro.obs.dashboard import (
     DashboardData,
@@ -56,6 +56,7 @@ __all__ = [
     "BufferPool",
     "BurnRateRule",
     "CacheConfig",
+    "CapturePolicy",
     "Catalog",
     "CodesService",
     "Coordinator",
@@ -98,12 +99,16 @@ class PixelsDB:
         observe: bool = False,
         scrape_interval_s: float = 30.0,
         alert_rules: list[BurnRateRule | ThresholdRule] | None = None,
+        capture: CapturePolicy | None = None,
     ) -> None:
         """``observe=True`` switches on the full observability stack
-        (:mod:`repro.obs`): tracer, metrics registry, SLO tracker, a
-        scrape loop snapshotting metrics every ``scrape_interval_s``
-        simulated seconds, and the burn-rate alert engine.  The default
-        is the inert no-op pair — query results and billed prices are
+        (:mod:`repro.obs`): tracer, metrics registry, SLO tracker,
+        statement statistics, the query journal, a scrape loop
+        snapshotting metrics every ``scrape_interval_s`` simulated
+        seconds, and the burn-rate alert engine.  ``capture`` tunes the
+        journal's tail-based slow-query capture policy (defaults to
+        :class:`~repro.obs.CapturePolicy`'s defaults).  The default is
+        the inert no-op pair — query results and billed prices are
         identical either way."""
         self.config = config if config is not None else TurboConfig()
         self.seed = seed
@@ -117,7 +122,9 @@ class PixelsDB:
         self.alerts: AlertEngine | None = None
         self.scrape_loop: ScrapeLoop | None = None
         if observe:
-            self.obs = Instrumentation.create(clock=lambda: self.sim.now)
+            self.obs = Instrumentation.create(
+                clock=lambda: self.sim.now, capture=capture
+            )
             self.timeseries = TimeSeriesStore()
             self.alerts = AlertEngine(
                 rules=alert_rules if alert_rules is not None else default_rules(),
@@ -240,6 +247,27 @@ class PixelsDB:
         same-seed runs."""
         return self.query_server(schema).query_profile(query_id)
 
+    # -- statement statistics & query journal ----------------------------------------
+
+    def statements_top(self, k: int = 10, by: str = "dollars") -> str:
+        """The fixed-width top-K statement table (``by`` is one of
+        ``time``/``dollars``/``calls``; empty without ``observe=True``)."""
+        return self.obs.statements.render_top(k, by)
+
+    def statements_json(self) -> str:
+        """Every statement-statistics entry as byte-stable JSON."""
+        return self.obs.statements.export_json()
+
+    def journal_jsonl(self) -> str:
+        """The query journal — every lifecycle event, trace-correlated —
+        as deterministic JSONL (empty without ``observe=True``)."""
+        return self.obs.journal.export_jsonl()
+
+    def journal_captures(self) -> list[dict]:
+        """Journal records that tail-based capture enriched with the full
+        profiler attribution tree and flame graph."""
+        return self.obs.journal.captures()
+
     # -- SLO engine ----------------------------------------------------------------
 
     def slo_report(self) -> dict:
@@ -299,6 +327,7 @@ class PixelsDB:
             audit=self.autoscaler_audit(),
             seed=self.seed,
             registry=self.obs.metrics,
+            statements=self.obs.statements,
         )
 
     def dashboard_html(self, title: str = "PixelsDB operator dashboard") -> str:

@@ -119,6 +119,7 @@ class WorkloadResult:
                 for decision in self.coordinator.vm_cluster.audit_log
             ],
             registry=self.obs.metrics,
+            statements=self.obs.statements,
         )
 
 

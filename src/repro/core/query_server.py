@@ -25,6 +25,7 @@ from typing import Callable
 from repro.errors import NoSuchQueryError, PixelsError, QueryRejectedError
 from repro.core.service_levels import QueryStatus, ServiceLevel
 from repro.obs import ROOT, Span
+from repro.obs.fingerprint import Fingerprint, fingerprint
 from repro.obs.slo import SLACK_BUCKETS
 from repro.sim import Simulator
 from repro.turbo.coordinator import Coordinator, QueryExecution
@@ -127,6 +128,11 @@ class QueryServer:
         self.obs = coordinator.obs
         self._root_spans: dict[str, Span] = {}
         self._queue_spans: dict[str, Span] = {}
+        # Statement fingerprints: one cache keyed by SQL text (normalizing
+        # is per-shape work, not per-call work) plus the per-query mapping
+        # journal/statement records are labelled with.
+        self._fingerprint_cache: dict[str, Fingerprint] = {}
+        self._fingerprints: dict[str, Fingerprint] = {}
         registry = self.obs.metrics
         self._m_submitted = registry.counter(
             "pixels_queries_submitted_total",
@@ -223,6 +229,13 @@ class QueryServer:
         )
         self._queries[query_id] = record
         self._m_submitted.inc(level=level.value)
+        fp: Fingerprint | None = None
+        if self.obs.statements.enabled or self.obs.journal.enabled:
+            fp = self._fingerprint_cache.get(sql)
+            if fp is None:
+                fp = fingerprint(sql)
+                self._fingerprint_cache[sql] = fp
+            self._fingerprints[query_id] = fp
         tracer = self.obs.tracer
         if tracer.enabled:
             # price_fraction + deadline_s let traces join SLO records by
@@ -235,9 +248,20 @@ class QueryServer:
                 sql=sql,
                 price_fraction=level.price_fraction,
                 deadline_s=self.deadline_for(level),
+                fingerprint=fp.id if fp is not None else None,
             )
             tracer.start(query_id, "submit", level=level.value).finish(
                 price_per_tb=self.price_quote(level)
+            )
+        if self.obs.journal.enabled:
+            self.obs.journal.event(
+                "submit",
+                query_id,
+                span_id=self._root_span_id(query_id),
+                fingerprint=fp.id if fp is not None else None,
+                level=level.value,
+                price_per_tb=self.price_quote(level),
+                deadline_s=self.deadline_for(level),
             )
         try:
             if level is ServiceLevel.IMMEDIATE:
@@ -257,8 +281,29 @@ class QueryServer:
             self._m_rejected.inc(level=level.value)
             self._root_spans.pop(query_id, None)
             tracer.end_open(query_id, "error", error=str(exc))
+            self._journal_event(record, "reject", error=str(exc))
+            self._fingerprints.pop(query_id, None)
             raise
         return record
+
+    def _root_span_id(self, query_id: str) -> int | None:
+        span = self._root_spans.get(query_id)
+        return span.span_id if span is not None else None
+
+    def _journal_event(
+        self, record: ServerQuery, event: str, **attrs: object
+    ) -> None:
+        if not self.obs.journal.enabled:
+            return
+        fp = self._fingerprints.get(record.query_id)
+        self.obs.journal.event(
+            event,
+            record.query_id,
+            span_id=self._root_span_id(record.query_id),
+            fingerprint=fp.id if fp is not None else None,
+            level=record.level.value,
+            **attrs,
+        )
 
     def _enqueue(self, queue: list[ServerQuery], record: ServerQuery) -> None:
         if len(queue) >= self._max_queue_length:
@@ -268,16 +313,17 @@ class QueryServer:
                 f"({self._max_queue_length} queries)"
             )
         queue.append(record)
+        watermark = "high" if record.level is ServiceLevel.RELAXED else "low"
         if self.obs.tracer.enabled:
-            watermark = (
-                "high" if record.level is ServiceLevel.RELAXED else "low"
-            )
             self._queue_spans[record.query_id] = self.obs.tracer.start(
                 record.query_id,
                 "queue",
                 level=record.level.value,
                 reason=f"above_{watermark}_watermark",
             )
+        self._journal_event(
+            record, "queue", reason=f"above_{watermark}_watermark"
+        )
 
     def _dispatch(self, record: ServerQuery) -> None:
         self._close_queue_span(record)
@@ -285,6 +331,11 @@ class QueryServer:
             self.obs.tracer.start(
                 record.query_id, "dispatch", level=record.level.value
             ).finish()
+        self._journal_event(
+            record,
+            "dispatch",
+            held_s=round(self._sim.now - record.submitted_at, 9),
+        )
         record.dispatched_at = self._sim.now
         record.execution = self._coordinator.submit(
             sql=record.sql,
@@ -306,6 +357,8 @@ class QueryServer:
         if record.execution is None:
             record.cancelled = True
             self._close_queue_span(record, status="cancelled")
+            self._journal_event(record, "cancel", stage="held")
+            self._fingerprints.pop(query_id, None)
             self._root_spans.pop(query_id, None)
             self.obs.tracer.end_open(
                 query_id, "cancelled", error="cancelled by user"
@@ -374,6 +427,12 @@ class QueryServer:
                     level=record.level.value,
                     batch=True,
                 ).finish()
+            self._journal_event(
+                record,
+                "dispatch",
+                batch=True,
+                held_s=round(self._sim.now - record.submitted_at, 9),
+            )
         executions = self._coordinator.submit_shared_batch(
             [record.sql for record in group],
             [record.query_id for record in group],
@@ -389,18 +448,19 @@ class QueryServer:
                 self._completed(record, execution)
 
     def _completed(self, record: ServerQuery, execution: QueryExecution) -> None:
+        span_id = self._root_span_id(record.query_id)
+        deadline = self.deadline_for(record.level)
+        pending = record.pending_time_s
+        slack = (
+            deadline - pending
+            if deadline is not None and pending is not None
+            else None
+        )
         if execution.result is not None:
             record.price = self._coordinator.cost_model.user_price(
                 execution.result.stats, record.level
             )
             self._m_billed.inc(record.price, level=record.level.value)
-            deadline = self.deadline_for(record.level)
-            pending = record.pending_time_s
-            slack = (
-                deadline - pending
-                if deadline is not None and pending is not None
-                else None
-            )
             if slack is not None:
                 self._m_slack.observe(slack, level=record.level.value)
             if pending is not None:
@@ -435,6 +495,7 @@ class QueryServer:
             self.obs.tracer.end_open(
                 record.query_id, "error", error=execution.error or ""
             )
+        self._observe_statement(record, execution, span_id, slack)
         if record.pending_time_s is not None:
             self._m_pending.observe(
                 record.pending_time_s, level=record.level.value
@@ -444,6 +505,99 @@ class QueryServer:
         # A finished query frees capacity: give held queries a chance now
         # rather than waiting for the next tick.
         self._drain()
+
+    def _observe_statement(
+        self,
+        record: ServerQuery,
+        execution: QueryExecution,
+        span_id: int | None,
+        slack: float | None,
+    ) -> None:
+        """Fold one completion into the statement store and the journal
+        (including the tail-based capture decision)."""
+        obs = self.obs
+        if not (obs.statements.enabled or obs.journal.enabled):
+            return
+        fp = self._fingerprints.pop(record.query_id, None)
+        if fp is None:
+            return
+        error = execution.error is not None
+        time_s = execution.execution_time_s or 0.0
+        pending = record.pending_time_s
+        stats = (
+            execution.result.stats if execution.result is not None else None
+        )
+        venue = (
+            execution.venue.value if execution.venue is not None else "none"
+        )
+        if obs.statements.enabled:
+            attribution = None
+            if stats is not None:
+                attribution = self._coordinator.cost_model.attribution(
+                    stats,
+                    venue,
+                    record.price,
+                    get_price_per_1000=(
+                        self._coordinator.store.profile.get_price_per_1000
+                    ),
+                )
+            obs.statements.record(
+                fp,
+                record.level.value,
+                time_s=time_s,
+                pending_s=pending or 0.0,
+                billed=record.price,
+                attribution=attribution,
+                stats=stats,
+                plan_shape=execution.plan_shape,
+                error=error,
+            )
+        if not obs.journal.enabled:
+            return
+        journal = obs.journal
+        attrs: dict[str, object] = {
+            "venue": venue,
+            "execution_s": round(time_s, 9),
+            "pending_s": round(pending, 9) if pending is not None else None,
+            "slack_s": round(slack, 9) if slack is not None else None,
+            "billed_dollars": round(record.price, 12),
+            "bytes_scanned": stats.bytes_scanned if stats is not None else 0,
+            "rows_produced": (
+                stats.rows_produced if stats is not None else 0
+            ),
+            "plan_shape": execution.plan_shape,
+        }
+        if error:
+            attrs["error"] = execution.error
+        journal.event(
+            "error" if error else "finish",
+            record.query_id,
+            span_id=span_id,
+            fingerprint=fp.id,
+            level=record.level.value,
+            **attrs,
+        )
+        reasons = journal.capture_reasons(
+            time_s=execution.execution_time_s,
+            billed=record.price if not error else None,
+            slack_s=slack,
+            error=error,
+        )
+        if reasons:
+            try:
+                profile = self.query_profile(record.query_id)
+            except PixelsError:
+                profile = None
+            journal.capture(
+                record.query_id,
+                reasons,
+                profile,
+                span_id=span_id,
+                fingerprint=fp.id,
+                level=record.level.value,
+                slack_s=round(slack, 9) if slack is not None else None,
+                billed_dollars=round(record.price, 12),
+            )
 
     # -- profiling ----------------------------------------------------------------------
 

@@ -49,6 +49,8 @@ class QueryStats:
     rows_produced: int = 0
     operators: int = 0
     get_requests: int = 0
+    footer_gets: int = 0  # request-class split of get_requests
+    chunk_gets: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
     cache_evictions: int = 0
@@ -70,6 +72,8 @@ class QueryStats:
         self.rows_produced += other.rows_produced
         self.operators += other.operators
         self.get_requests += other.get_requests
+        self.footer_gets += other.footer_gets
+        self.chunk_gets += other.chunk_gets
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
         self.cache_evictions += other.cache_evictions

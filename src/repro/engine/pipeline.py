@@ -218,6 +218,8 @@ class ScanOperator(PhysicalOperator):
         stats.scan_latency_s += granule.latency_s
         stats.rows_scanned += granule.data.num_rows
         stats.get_requests += granule.get_requests
+        stats.footer_gets += granule.footer_gets
+        stats.chunk_gets += granule.chunk_gets
         stats.cache_hits += granule.cache_hits
         stats.cache_misses += granule.cache_misses
         stats.cache_evictions += granule.cache_evictions
@@ -478,6 +480,8 @@ class _LocalScanStats:
         self.scan_latency_s = 0.0
         self.rows_scanned = 0
         self.get_requests = 0
+        self.footer_gets = 0
+        self.chunk_gets = 0
         self.cache_hits = 0
         self.cache_misses = 0
         self.cache_evictions = 0
@@ -607,6 +611,8 @@ class ExchangeOperator(PhysicalOperator):
         stats.scan_latency_s += local.scan_latency_s
         stats.rows_scanned += local.rows_scanned
         stats.get_requests += local.get_requests
+        stats.footer_gets += local.footer_gets
+        stats.chunk_gets += local.chunk_gets
         stats.cache_hits += local.cache_hits
         stats.cache_misses += local.cache_misses
         stats.cache_evictions += local.cache_evictions

@@ -37,29 +37,40 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NoopMetricsRegistry,
 )
+from repro.obs.fingerprint import Fingerprint, fingerprint, plan_shape_hash
+from repro.obs.journal import CapturePolicy, NoopQueryJournal, QueryJournal
 from repro.obs.slo import NoopSloTracker, SloObjective, SloRecord, SloTracker
+from repro.obs.statements import NoopStatementStore, StatementStore
 from repro.obs.tracer import NOOP_SPAN, NOOP_TRACER, ROOT, NoopTracer, Span, Tracer
 
 __all__ = [
+    "CapturePolicy",
     "Counter",
     "ROOT",
+    "Fingerprint",
     "Gauge",
     "Histogram",
     "Instrumentation",
     "MetricsRegistry",
     "NoopMetricsRegistry",
+    "NoopQueryJournal",
     "NoopSloTracker",
+    "NoopStatementStore",
     "NoopTracer",
     "NOOP_SPAN",
     "NOOP_TRACER",
     "ProfileNode",
+    "QueryJournal",
     "QueryProfile",
     "SloObjective",
     "SloRecord",
     "SloTracker",
     "Span",
+    "StatementStore",
     "Tracer",
     "build_query_profile",
+    "fingerprint",
+    "plan_shape_hash",
     "render_analyzed_plan",
     "render_flamegraph_svg",
     "render_folded",
@@ -68,29 +79,50 @@ __all__ = [
 
 @dataclass
 class Instrumentation:
-    """A tracer + metrics registry + SLO tracker threaded through the
-    system.  All three default to their inert twins."""
+    """A tracer + metrics registry + SLO tracker + statement store +
+    query journal threaded through the system.  All five default to
+    their inert twins."""
 
     tracer: Tracer = field(default_factory=NoopTracer)
     metrics: MetricsRegistry = field(default_factory=NoopMetricsRegistry)
     slo: SloTracker = field(default_factory=NoopSloTracker)
+    statements: StatementStore = field(default_factory=NoopStatementStore)
+    journal: QueryJournal = field(default_factory=NoopQueryJournal)
 
     @property
     def enabled(self) -> bool:
-        return self.tracer.enabled or self.metrics.enabled or self.slo.enabled
+        return (
+            self.tracer.enabled
+            or self.metrics.enabled
+            or self.slo.enabled
+            or self.statements.enabled
+            or self.journal.enabled
+        )
 
     @staticmethod
     def disabled() -> "Instrumentation":
         """The no-op default: nothing recorded, near-zero overhead."""
-        return Instrumentation(NoopTracer(), NoopMetricsRegistry(), NoopSloTracker())
+        return Instrumentation(
+            NoopTracer(),
+            NoopMetricsRegistry(),
+            NoopSloTracker(),
+            NoopStatementStore(),
+            NoopQueryJournal(),
+        )
 
     @staticmethod
     def create(
         clock: Callable[[], float] | None = None,
         objectives: list[SloObjective] | None = None,
+        capture: CapturePolicy | None = None,
     ) -> "Instrumentation":
-        """A live triple; pass the simulator's clock (``lambda: sim.now``)
-        so span timestamps are virtual and reproducible."""
+        """A live bundle; pass the simulator's clock (``lambda: sim.now``)
+        so span/journal timestamps are virtual and reproducible.
+        ``capture`` overrides the journal's slow-query capture policy."""
         return Instrumentation(
-            Tracer(clock), MetricsRegistry(), SloTracker(objectives)
+            Tracer(clock),
+            MetricsRegistry(),
+            SloTracker(objectives),
+            StatementStore(),
+            QueryJournal(clock, capture),
         )

@@ -20,6 +20,7 @@ from html import escape
 from repro.obs.alerts import AlertEngine, AlertEvent
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.slo import SloTracker
+from repro.obs.statements import StatementStore
 from repro.obs.timeseries import TimeSeriesStore
 
 #: Series drawn as sparklines, in display order: (metric, labels, title).
@@ -72,6 +73,9 @@ class DashboardData:
     #: Per-level pending-time percentiles (``level -> {p50, p95, p99}``),
     #: bucket-estimated from the ``pixels_query_pending_seconds`` histogram.
     pending_percentiles: dict = field(default_factory=dict)
+    #: Top statements by billed $ from the statement store, JSON-ready
+    #: rows in rank order (empty when the run had no statement stats).
+    top_statements: list[dict] = field(default_factory=list)
 
     @staticmethod
     def build(
@@ -83,6 +87,7 @@ class DashboardData:
         audit: list[dict] | None = None,
         seed: int | None = None,
         registry: MetricsRegistry | None = None,
+        statements: StatementStore | None = None,
     ) -> "DashboardData":
         return DashboardData(
             title=title,
@@ -94,7 +99,34 @@ class DashboardData:
             firing=alerts.firing() if alerts is not None else [],
             audit=list(audit or []),
             pending_percentiles=_pending_percentiles(registry),
+            top_statements=_top_statement_rows(statements),
         )
+
+
+def _top_statement_rows(
+    statements: StatementStore | None, k: int = 10
+) -> list[dict]:
+    """Rank-ordered top-``k`` statements by billed $ for the panel."""
+    if statements is None or not statements.enabled:
+        return []
+    rows: list[dict] = []
+    for entry in statements.top(k, by="dollars"):
+        ratio = entry.cache_hit_ratio
+        rows.append(
+            {
+                "fingerprint": entry.fingerprint,
+                "level": entry.level,
+                "statement": entry.statement,
+                "calls": entry.calls,
+                "errors": entry.errors,
+                "time_s": entry.time_s,
+                "mean_time_s": entry.mean_time_s,
+                "dollars": entry.dollars,
+                "bytes_scanned": entry.bytes_scanned,
+                "cache_hit_ratio": ratio,
+            }
+        )
+    return rows
 
 
 def _pending_percentiles(registry: MetricsRegistry | None) -> dict:
@@ -313,6 +345,42 @@ def render_dashboard_html(data: DashboardData) -> str:
             )
     out.append("</div>")
 
+    # -- top queries (statement statistics) --
+    if data.top_statements:
+        out.append("<h2>Top queries by billed $</h2>")
+        out.append("<table><tr>")
+        for header in (
+            "fingerprint", "level", "calls", "errors", "time (s)",
+            "mean (s)", "billed $", "GB scanned", "cache hit",
+            "statement",
+        ):
+            css = (
+                ' class="l"'
+                if header in ("fingerprint", "level", "statement")
+                else ""
+            )
+            out.append(f"<th{css}>{header}</th>")
+        out.append("</tr>")
+        for row in data.top_statements:
+            statement = row.get("statement", "")
+            if len(statement) > 80:
+                statement = statement[:77] + "..."
+            out.append(
+                "<tr>"
+                f'<td class="l">{escape(str(row.get("fingerprint", "")))}</td>'
+                f'<td class="l">{escape(str(row.get("level", "")))}</td>'
+                f"<td>{row.get('calls', 0)}</td>"
+                f"<td>{row.get('errors', 0)}</td>"
+                f"<td>{_fmt(row.get('time_s'))}</td>"
+                f"<td>{_fmt(row.get('mean_time_s'))}</td>"
+                f"<td>{_fmt(row.get('dollars'), 9)}</td>"
+                f"<td>{_fmt(row.get('bytes_scanned', 0) / 1e9, 4)}</td>"
+                f"<td>{_pct(row.get('cache_hit_ratio'))}</td>"
+                f'<td class="l">{escape(statement)}</td>'
+                "</tr>"
+            )
+        out.append("</table>")
+
     # -- alert timeline --
     out.append("<h2>Alerts</h2>")
     if data.firing:
@@ -424,6 +492,24 @@ def render_dashboard_text(data: DashboardData, width: int = 40) -> str:
             f"{'chunk-cache hit ratio':<26} {_sparkline_text(ratio, width)}"
             f"  last={_pct(ratio[-1][1])}"
         )
+    if data.top_statements:
+        lines.append("")
+        lines.append("top queries by billed $")
+        lines.append("-" * 23)
+        lines.append(
+            f"{'fingerprint':<14} {'level':<12} {'calls':>6} "
+            f"{'time_s':>12} {'billed_$':>14}  statement"
+        )
+        for row in data.top_statements:
+            statement = str(row.get("statement", ""))
+            if len(statement) > 48:
+                statement = statement[:45] + "..."
+            lines.append(
+                f"{str(row.get('fingerprint', '')):<14} "
+                f"{str(row.get('level', '')):<12} {row.get('calls', 0):>6} "
+                f"{row.get('time_s', 0.0):>12.6f} "
+                f"{row.get('dollars', 0.0):>14.9f}  {statement}"
+            )
     lines.append("")
     lines.append("alerts")
     lines.append("-" * 6)

@@ -57,7 +57,33 @@ def _format_value(value: float) -> str:
     return repr(value)
 
 
-class Counter:
+class _CardinalityGuard:
+    """Per-instrument cap on distinct label sets.
+
+    High-cardinality labels (per-fingerprint, per-query) could otherwise
+    grow a registry without bound; with the guard, updates to *existing*
+    series always land, but a new label set beyond ``max_series`` is
+    dropped and reported through the registry's drop counter instead.
+    Both attributes are stamped by :meth:`MetricsRegistry._get_or_create`;
+    stand-alone instruments stay uncapped.
+    """
+
+    max_series: int | None = None
+    _on_drop: Callable[[str], None] | None = None
+
+    name: str  # provided by the concrete instrument
+
+    def _admit(self, store: dict, key: _LabelKey) -> bool:
+        if key in store:
+            return True
+        if self.max_series is not None and len(store) >= self.max_series:
+            if self._on_drop is not None:
+                self._on_drop(self.name)
+            return False
+        return True
+
+
+class Counter(_CardinalityGuard):
     """Monotonically increasing value (optionally per label set)."""
 
     kind = "counter"
@@ -71,12 +97,17 @@ class Counter:
         if value < 0:
             raise ValueError(f"counter {self.name} cannot decrease")
         key = _label_key(labels)
+        if not self._admit(self._values, key):
+            return
         self._values[key] = self._values.get(key, 0.0) + value
 
     def set_total(self, value: float, **labels: object) -> None:
         """Overwrite the cumulative total — for collector callbacks that
         mirror a counter maintained elsewhere (e.g. ``StorageMetrics``)."""
-        self._values[_label_key(labels)] = value
+        key = _label_key(labels)
+        if not self._admit(self._values, key):
+            return
+        self._values[key] = value
 
     def value(self, **labels: object) -> float:
         return self._values.get(_label_key(labels), 0.0)
@@ -85,7 +116,7 @@ class Counter:
         return [(self.name, key, value) for key, value in sorted(self._values.items())]
 
 
-class Gauge:
+class Gauge(_CardinalityGuard):
     """A value that can go up and down."""
 
     kind = "gauge"
@@ -96,10 +127,15 @@ class Gauge:
         self._values: dict[_LabelKey, float] = {}
 
     def set(self, value: float, **labels: object) -> None:
-        self._values[_label_key(labels)] = value
+        key = _label_key(labels)
+        if not self._admit(self._values, key):
+            return
+        self._values[key] = value
 
     def inc(self, value: float = 1.0, **labels: object) -> None:
         key = _label_key(labels)
+        if not self._admit(self._values, key):
+            return
         self._values[key] = self._values.get(key, 0.0) + value
 
     def dec(self, value: float = 1.0, **labels: object) -> None:
@@ -119,7 +155,7 @@ DEFAULT_BUCKETS = (
 )
 
 
-class Histogram:
+class Histogram(_CardinalityGuard):
     """Cumulative-bucket histogram (Prometheus semantics)."""
 
     kind = "histogram"
@@ -141,6 +177,8 @@ class Histogram:
 
     def observe(self, value: float, **labels: object) -> None:
         key = _label_key(labels)
+        if not self._admit(self._counts, key):
+            return
         counts = self._bucket_counts.setdefault(key, [0] * len(self.buckets))
         for index, upper in enumerate(self.buckets):
             if value <= upper:
@@ -157,12 +195,23 @@ class Histogram:
     def quantile(self, q: float, **labels: object) -> float | None:
         """Bucket-based quantile estimate (``histogram_quantile`` rules).
 
-        Linear interpolation within the bucket the rank falls in; the
-        first bucket interpolates from 0 (when its upper bound is
-        positive), and a rank beyond the last finite bucket clamps to
-        that bucket's upper bound — exactly Prometheus's conventions, so
-        dashboard percentiles match what a scrape would show.  Returns
-        ``None`` when the label set has no observations.
+        Edge-case semantics, each pinned by a regression test:
+
+        * empty series (or a never-observed label set) → ``None``;
+        * ``q=0.0`` → the lower edge of the first occupied bucket (0 when
+          that is the first bucket and its upper bound is positive);
+        * ``q=1.0`` → the upper bound of the last occupied finite bucket;
+        * a rank at or beyond the overflow (``+Inf``) bucket — including
+          the single-finite-bucket case where every observation
+          overflowed — clamps to the largest finite bucket bound instead
+          of interpolating past it;
+        * otherwise, linear interpolation within the bucket the rank
+          falls in (the first bucket interpolates from 0 when its upper
+          bound is positive, from its own bound when not).
+
+        These are exactly Prometheus's conventions, so dashboard
+        percentiles match what a scrape of the rendered buckets would
+        show.
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
@@ -172,19 +221,26 @@ class Histogram:
             return None
         counts = self._bucket_counts[key]
         rank = q * count
+        previous = 0
         for index, upper in enumerate(self.buckets):
             cumulative = counts[index]
-            if cumulative == 0 or cumulative < rank:
-                continue
-            previous = counts[index - 1] if index > 0 else 0
             in_bucket = cumulative - previous
+            # Skip while the rank lies past this bucket, and skip empty
+            # buckets outright: a rank of 0 must land in the first
+            # *occupied* bucket, and interpolating inside an empty bucket
+            # would divide by zero.
+            if cumulative == 0 or cumulative < rank or in_bucket == 0:
+                previous = cumulative
+                continue
             if index > 0:
                 lower = self.buckets[index - 1]
             else:
                 lower = min(0.0, upper)
-            fraction = (rank - previous) / in_bucket if in_bucket else 1.0
-            return lower + (upper - lower) * max(0.0, fraction)
-        return self.buckets[-1]  # beyond the largest finite bucket
+            fraction = max(0.0, (rank - previous) / in_bucket)
+            return lower + (upper - lower) * fraction
+        # The rank falls in the +Inf overflow bucket (q=1.0 with
+        # overflowed observations, or every observation overflowed).
+        return self.buckets[-1]
 
     def samples(self) -> list[tuple[str, _LabelKey, float]]:
         out: list[tuple[str, _LabelKey, float]] = []
@@ -207,14 +263,40 @@ class Histogram:
         return out
 
 
+#: Default per-instrument cap on distinct label sets.  Generous for the
+#: hand-labelled series the system emits (levels × venues × kinds), tight
+#: enough that per-fingerprint or per-query labels cannot grow a registry
+#: without bound.
+DEFAULT_MAX_LABEL_SETS = 256
+
+#: Counter the registry increments (labelled by instrument name) when the
+#: cardinality guard drops a new series.
+DROPPED_SERIES_COUNTER = "pixels_metrics_dropped_series_total"
+
+
 class MetricsRegistry:
     """Instrument factory + Prometheus text exposition."""
 
     enabled: bool = True
 
-    def __init__(self) -> None:
+    def __init__(
+        self, max_label_sets: int | None = DEFAULT_MAX_LABEL_SETS
+    ) -> None:
         self._instruments: dict[str, Counter | Gauge | Histogram] = {}
         self._collectors: list[Callable[[], None]] = []
+        self.max_label_sets = max_label_sets
+
+    def _record_drop(self, name: str) -> None:
+        dropped = self._instruments.get(DROPPED_SERIES_COUNTER)
+        if dropped is None:
+            # Created on first drop so a clean registry's exposition stays
+            # noise-free; itself uncapped (one series per instrument name).
+            dropped = Counter(
+                DROPPED_SERIES_COUNTER,
+                "Series updates dropped by the label-cardinality guard",
+            )
+            self._instruments[DROPPED_SERIES_COUNTER] = dropped
+        dropped.inc(metric=name)
 
     def _get_or_create(self, cls: type, name: str, help: str, **kwargs):
         instrument = self._instruments.get(name)
@@ -225,6 +307,8 @@ class MetricsRegistry:
                 )
             return instrument
         instrument = cls(name, help, **kwargs)
+        instrument.max_series = self.max_label_sets
+        instrument._on_drop = self._record_drop
         self._instruments[name] = instrument
         return instrument
 

@@ -1,0 +1,322 @@
+"""Per-statement workload statistics (``pg_stat_statements`` flavour).
+
+The :class:`StatementStore` aggregates every completed query under its
+:mod:`~repro.obs.fingerprint` × service level: call counts, rows,
+virtual execution time (totals plus a :class:`~repro.obs.metrics.Histogram`
+per entry), bytes scanned, cache traffic, the footer-vs-chunk GET split,
+and the billed price decomposed by resource.  The dollar decomposition
+reuses the profiler's integer-nanodollar largest-remainder split over
+the cost model's attribution, so per-entry resource dollars sum exactly
+to the entry's billed total — the same invariant the flame graphs hold.
+
+Everything is driven by the virtual clock and integer counters, so the
+top-K renderings and the JSON export are byte-deterministic across runs
+and invariant to ``REPRO_WORKERS``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+from repro.obs.metrics import Histogram
+from repro.obs.profiler import NANOS_PER_DOLLAR, _distribute
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.fingerprint import Fingerprint
+    from repro.turbo.cost import CostAttribution
+
+#: Virtual execution-time buckets: sub-second single-table scans up to
+#: multi-minute held/heavy queries.
+STATEMENT_TIME_BUCKETS = (0.01, 0.05, 0.25, 1.0, 5.0, 30.0, 120.0, 600.0)
+
+#: Render/sort dimensions accepted by :meth:`StatementStore.top`.
+TOP_DIMENSIONS = ("time", "dollars", "calls")
+
+
+@dataclass
+class StatementEntry:
+    """Aggregates for one fingerprint at one service level."""
+
+    fingerprint: str
+    level: str
+    statement: str  # normalized text (literals stripped)
+    parsed: bool = True
+    plan_shape: str | None = None
+    calls: int = 0
+    errors: int = 0
+    rows_produced: int = 0
+    rows_scanned: int = 0
+    time_s: float = 0.0
+    pending_s: float = 0.0
+    nanodollars: int = 0
+    bandwidth_nanodollars: int = 0
+    compute_nanodollars: int = 0
+    request_nanodollars: int = 0
+    fixed_nanodollars: int = 0
+    bytes_scanned: int = 0
+    get_requests: int = 0
+    footer_gets: int = 0
+    chunk_gets: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    time_histogram: Histogram = field(
+        default_factory=lambda: Histogram(
+            "statement_time_seconds", buckets=STATEMENT_TIME_BUCKETS
+        ),
+        repr=False,
+    )
+
+    @property
+    def dollars(self) -> float:
+        return self.nanodollars / NANOS_PER_DOLLAR
+
+    @property
+    def mean_time_s(self) -> float:
+        return self.time_s / self.calls if self.calls else 0.0
+
+    @property
+    def cache_hit_ratio(self) -> float | None:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else None
+
+
+def _split_nanodollars(
+    billed: float, attribution: "CostAttribution | None"
+) -> tuple[int, list[int]]:
+    """Billed $ → integer nanodollars split by resource, exactly.
+
+    Mirrors the profiler's pool split: largest-remainder over the cost
+    model's (bandwidth, compute, request, fixed) components; when the
+    components carry no weight the whole bill parks in the fixed pool,
+    so the four shares always sum to the billed total.
+    """
+    billed_nano = round(billed * NANOS_PER_DOLLAR)
+    if attribution is None:
+        return billed_nano, [0, 0, 0, billed_nano]
+    components = [
+        max(0.0, attribution.bandwidth_dollars),
+        max(0.0, attribution.compute_dollars),
+        max(0.0, attribution.request_dollars),
+        max(0.0, attribution.fixed_dollars),
+    ]
+    pools = _distribute(billed_nano, components)
+    if sum(pools) != billed_nano:
+        pools = [0, 0, 0, billed_nano]
+    return billed_nano, pools
+
+
+class StatementStore:
+    """Fingerprint × level aggregation with deterministic exports."""
+
+    enabled: bool = True
+
+    def __init__(
+        self, time_buckets: Iterable[float] = STATEMENT_TIME_BUCKETS
+    ) -> None:
+        self._time_buckets = tuple(time_buckets)
+        self._entries: dict[tuple[str, str], StatementEntry] = {}
+
+    def record(
+        self,
+        fingerprint: "Fingerprint",
+        level: str,
+        *,
+        time_s: float = 0.0,
+        pending_s: float = 0.0,
+        billed: float = 0.0,
+        attribution: "CostAttribution | None" = None,
+        stats=None,
+        plan_shape: str | None = None,
+        error: bool = False,
+    ) -> StatementEntry:
+        """Fold one completed query into its entry.
+
+        ``stats`` is the execution's :class:`~repro.engine.executor.QueryStats`
+        (or None for failures that never produced one); ``attribution``
+        the cost model's resource split of ``billed``.
+        """
+        key = (fingerprint.id, level)
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = StatementEntry(
+                fingerprint=fingerprint.id,
+                level=level,
+                statement=fingerprint.normalized,
+                parsed=fingerprint.parsed,
+                time_histogram=Histogram(
+                    "statement_time_seconds", buckets=self._time_buckets
+                ),
+            )
+            self._entries[key] = entry
+        entry.calls += 1
+        if error:
+            entry.errors += 1
+        if plan_shape is not None:
+            entry.plan_shape = plan_shape
+        entry.time_s += time_s
+        entry.pending_s += pending_s
+        entry.time_histogram.observe(time_s)
+        billed_nano, pools = _split_nanodollars(billed, attribution)
+        entry.nanodollars += billed_nano
+        entry.bandwidth_nanodollars += pools[0]
+        entry.compute_nanodollars += pools[1]
+        entry.request_nanodollars += pools[2]
+        entry.fixed_nanodollars += pools[3]
+        if stats is not None:
+            entry.rows_produced += stats.rows_produced
+            entry.rows_scanned += stats.rows_scanned
+            entry.bytes_scanned += stats.bytes_scanned
+            entry.get_requests += stats.get_requests
+            entry.footer_gets += stats.footer_gets
+            entry.chunk_gets += stats.chunk_gets
+            entry.cache_hits += stats.cache_hits
+            entry.cache_misses += stats.cache_misses
+        return entry
+
+    # -- queries ------------------------------------------------------------
+
+    def entries(self) -> list[StatementEntry]:
+        """All entries in (fingerprint, level) order."""
+        return [self._entries[key] for key in sorted(self._entries)]
+
+    def entry(self, fingerprint_id: str, level: str) -> StatementEntry | None:
+        return self._entries.get((fingerprint_id, level))
+
+    def top(
+        self, k: int = 10, by: str = "dollars", level: str | None = None
+    ) -> list[StatementEntry]:
+        """Top-``k`` entries by ``time``/``dollars``/``calls``, ties broken
+        by (fingerprint, level) so the ranking is total and deterministic."""
+        if by == "time":
+            value = lambda e: e.time_s  # noqa: E731
+        elif by == "dollars":
+            value = lambda e: e.nanodollars  # noqa: E731
+        elif by == "calls":
+            value = lambda e: e.calls  # noqa: E731
+        else:
+            raise ValueError(
+                f"unknown dimension {by!r}; expected one of {TOP_DIMENSIONS}"
+            )
+        pool = [
+            entry
+            for entry in self._entries.values()
+            if level is None or entry.level == level
+        ]
+        pool.sort(key=lambda e: (-value(e), e.fingerprint, e.level))
+        return pool[:k]
+
+    # -- exports ------------------------------------------------------------
+
+    def render_top(self, k: int = 10, by: str = "dollars") -> str:
+        """A fixed-width top-K table (one of the operator CLI surfaces)."""
+        header = {
+            "time": "TOP STATEMENTS BY VIRTUAL TIME",
+            "dollars": "TOP STATEMENTS BY BILLED $",
+            "calls": "TOP STATEMENTS BY CALLS",
+        }[by]
+        lines = [header, ""]
+        lines.append(
+            f"{'fingerprint':<14} {'level':<12} {'calls':>6} {'errs':>5} "
+            f"{'time_s':>12} {'billed_$':>14} {'GB':>9} {'hit%':>6}  statement"
+        )
+        for entry in self.top(k, by):
+            ratio = entry.cache_hit_ratio
+            hit = f"{ratio * 100:5.1f}" if ratio is not None else "    -"
+            statement = entry.statement
+            if len(statement) > 60:
+                statement = statement[:57] + "..."
+            lines.append(
+                f"{entry.fingerprint:<14} {entry.level:<12} "
+                f"{entry.calls:>6} {entry.errors:>5} "
+                f"{entry.time_s:>12.6f} {entry.dollars:>14.9f} "
+                f"{entry.bytes_scanned / 1e9:>9.3f} {hit:>6}  {statement}"
+            )
+        if not self._entries:
+            lines.append("(no statements recorded)")
+        return "\n".join(lines) + "\n"
+
+    def snapshot(self) -> list[dict]:
+        """Entries as JSON-ready dicts, (fingerprint, level)-sorted."""
+        out: list[dict] = []
+        for entry in self.entries():
+            hist = entry.time_histogram
+            quantiles = {
+                f"p{int(q * 100)}_s": hist.quantile(q)
+                for q in (0.5, 0.95, 0.99)
+            }
+            out.append(
+                {
+                    "fingerprint": entry.fingerprint,
+                    "level": entry.level,
+                    "statement": entry.statement,
+                    "parsed": entry.parsed,
+                    "plan_shape": entry.plan_shape,
+                    "calls": entry.calls,
+                    "errors": entry.errors,
+                    "rows": {
+                        "produced": entry.rows_produced,
+                        "scanned": entry.rows_scanned,
+                    },
+                    "time": {
+                        "total_s": round(entry.time_s, 9),
+                        "mean_s": round(entry.mean_time_s, 9),
+                        "pending_total_s": round(entry.pending_s, 9),
+                        **{
+                            name: (
+                                round(value, 9) if value is not None else None
+                            )
+                            for name, value in quantiles.items()
+                        },
+                    },
+                    "nanodollars": {
+                        "billed": entry.nanodollars,
+                        "bandwidth": entry.bandwidth_nanodollars,
+                        "compute": entry.compute_nanodollars,
+                        "requests": entry.request_nanodollars,
+                        "fixed": entry.fixed_nanodollars,
+                    },
+                    "io": {
+                        "bytes_scanned": entry.bytes_scanned,
+                        "get_requests": entry.get_requests,
+                        "footer_gets": entry.footer_gets,
+                        "chunk_gets": entry.chunk_gets,
+                        "cache_hits": entry.cache_hits,
+                        "cache_misses": entry.cache_misses,
+                        "cache_hit_ratio": (
+                            round(entry.cache_hit_ratio, 6)
+                            if entry.cache_hit_ratio is not None
+                            else None
+                        ),
+                    },
+                }
+            )
+        return out
+
+    def export_json(self) -> str:
+        """Byte-stable JSON export of the whole store."""
+        return (
+            json.dumps(
+                {"statements": self.snapshot()}, indent=2, sort_keys=True
+            )
+            + "\n"
+        )
+
+
+class NoopStatementStore(StatementStore):
+    """Inert twin: swallows records, exports nothing."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def record(self, fingerprint, level, **kwargs):  # type: ignore[override]
+        return None
+
+    def render_top(self, k: int = 10, by: str = "dollars") -> str:
+        return ""
+
+    def export_json(self) -> str:
+        return ""

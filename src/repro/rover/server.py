@@ -267,6 +267,23 @@ class RoverServer:
             raise NoSuchQueryError(f"no trace for query {query_id!r}")
         return tracer.export_json(query_id)
 
+    def statements(self, token: str, k: int = 10, by: str = "dollars") -> str:
+        """The top-K statement-statistics table (``by`` is one of
+        ``time``/``dollars``/``calls``; empty without observability)."""
+        self._session(token)  # any authenticated session may inspect
+        return self._query_server.obs.statements.render_top(k, by)
+
+    def statements_json(self, token: str) -> str:
+        """Every statement-statistics entry as byte-stable JSON."""
+        self._session(token)
+        return self._query_server.obs.statements.export_json()
+
+    def journal(self, token: str) -> str:
+        """The trace-correlated query journal as deterministic JSONL
+        (includes tail-based slow-query captures)."""
+        self._session(token)
+        return self._query_server.obs.journal.export_jsonl()
+
     def origin_of(self, token: str, result_id: str) -> TranslatorBlock:
         """Result block → its question block (highlight linkage)."""
         session = self._session(token)

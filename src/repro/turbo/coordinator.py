@@ -73,6 +73,9 @@ class QueryExecution:
     #: Per-operator profile of the final successful attempt, captured when
     #: observability is on (the profiler's input); None otherwise.
     profile: OperatorProfile | None = None
+    #: Shape hash of the optimized plan (statement-store plan identity),
+    #: captured when the statement store or journal is live.
+    plan_shape: str | None = None
     on_complete: Callable[["QueryExecution"], None] | None = field(
         default=None, repr=False
     )
@@ -305,6 +308,10 @@ class Coordinator:
             self._fail(execution, str(error))
             return execution
         plan_span.finish("ok")
+        if self.obs.statements.enabled or self.obs.journal.enabled:
+            from repro.obs.fingerprint import plan_shape_hash
+
+            execution.plan_shape = plan_shape_hash(plan)
         if explain_mode == "plan":
             # Pure EXPLAIN renders without occupying any venue and bills
             # nothing (no bytes are scanned).
@@ -660,6 +667,8 @@ class Coordinator:
             operators=sub_stats.operators + top_result.stats.operators,
             get_requests=sub_stats.get_requests
             + top_result.stats.get_requests,
+            footer_gets=sub_stats.footer_gets + top_result.stats.footer_gets,
+            chunk_gets=sub_stats.chunk_gets + top_result.stats.chunk_gets,
             cache_hits=sub_stats.cache_hits + top_result.stats.cache_hits,
             cache_misses=sub_stats.cache_misses
             + top_result.stats.cache_misses,
@@ -788,6 +797,10 @@ class Coordinator:
                 plans.append(self._plan(sql))
                 members.append(execution)
                 plan_span.finish("ok")
+                if self.obs.statements.enabled or self.obs.journal.enabled:
+                    from repro.obs.fingerprint import plan_shape_hash
+
+                    execution.plan_shape = plan_shape_hash(plans[-1])
             except PixelsError as error:
                 plan_span.finish("error", error=str(error))
                 self._fail(execution, str(error))

@@ -121,6 +121,69 @@ class TestSimulationDeterminism:
         assert run() == run()
 
 
+class TestObservabilityDeterminism:
+    """The fleet-observability exports are simulation outputs: statement
+    statistics and the query journal must be byte-identical across
+    repeated runs and invariant to the morsel driver's worker count."""
+
+    def _run_observed(self):
+        from repro.baselines import run_workload
+        from repro.baselines.runner import Submission
+        from repro.storage.catalog import Catalog
+        from repro.storage.object_store import ObjectStore
+        from repro.turbo import TurboConfig
+        from repro.workloads import TpchGenerator, load_dataset
+
+        store = ObjectStore()
+        catalog = Catalog()
+        load_dataset(store, catalog, "tpch", TpchGenerator(scale=0.02).tables())
+        submissions = [
+            Submission(
+                float(i),
+                "SELECT l_returnflag, count(*) FROM lineitem "
+                "GROUP BY l_returnflag",
+                list(ServiceLevel)[i % 3],
+            )
+            for i in range(9)
+        ]
+        result = run_workload(
+            submissions, store, catalog, "tpch", TurboConfig.fast(), seed=4,
+            observe=True,
+        )
+        return (
+            result.obs.statements.export_json(),
+            result.obs.statements.render_top(10, "dollars"),
+            result.obs.journal.export_jsonl(),
+        )
+
+    def test_exports_byte_identical_across_runs(self):
+        assert self._run_observed() == self._run_observed()
+
+    def test_exports_invariant_to_worker_count(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "1")
+        sequential = self._run_observed()
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        parallel = self._run_observed()
+        assert sequential == parallel
+
+    def test_journal_has_content_and_correlates(self):
+        import json
+
+        statements_json, _, journal = self._run_observed()
+        records = [json.loads(line) for line in journal.splitlines()]
+        assert records  # every lifecycle stage journaled
+        events = {r["event"] for r in records}
+        assert "submit" in events
+        assert "finish" in events
+        finished = [r for r in records if r["event"] == "finish"]
+        fingerprints = {
+            s["fingerprint"]
+            for s in json.loads(statements_json)["statements"]
+        }
+        # Every finish record's fingerprint joins the statement store.
+        assert {r["fingerprint"] for r in finished} <= fingerprints
+
+
 class TestErrorPaths:
     def test_unknown_plan_node_rejected(self, mini_engine):
         from repro.engine.plan import PlanNode

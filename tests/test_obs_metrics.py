@@ -214,3 +214,131 @@ class TestNoopRegistry:
         registry.histogram("h").observe(1.0)
         registry.add_collector(lambda: 1 / 0)  # never runs
         assert registry.render() == ""
+
+
+class TestHistogramQuantileEdgeCases:
+    """Regression pins for the five documented edge semantics."""
+
+    def make(self, values, buckets=(1.0, 5.0, 10.0)):
+        hist = MetricsRegistry().histogram("lat", buckets=buckets)
+        for value in values:
+            hist.observe(value)
+        return hist
+
+    def test_never_observed_label_set_returns_none(self):
+        hist = self.make([1.0])
+        assert hist.quantile(0.5, level="ghost") is None
+
+    def test_q_zero_lands_in_first_occupied_bucket(self):
+        # First occupied bucket is (1, 5]: q=0 returns its lower edge,
+        # never 0 (the first bucket is empty).
+        hist = self.make([2.0, 3.0, 9.0])
+        assert hist.quantile(0.0) == pytest.approx(1.0)
+
+    def test_q_zero_all_mass_in_first_bucket(self):
+        hist = self.make([0.5, 0.7])
+        assert hist.quantile(0.0) == pytest.approx(0.0)
+
+    def test_q_one_returns_last_occupied_finite_bucket_bound(self):
+        hist = self.make([0.5, 2.0])
+        assert hist.quantile(1.0) == pytest.approx(5.0)
+
+    def test_q_one_with_overflow_clamps_to_largest_finite_bound(self):
+        hist = self.make([0.5, 100.0])
+        assert hist.quantile(1.0) == pytest.approx(10.0)
+
+    def test_single_bucket_all_overflow(self):
+        # Every observation beyond the only finite bucket: any q clamps
+        # to that bound instead of interpolating past it.
+        hist = self.make([7.0, 8.0], buckets=(1.0,))
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert hist.quantile(q) == pytest.approx(1.0)
+
+    def test_single_bucket_all_inside(self):
+        hist = self.make([0.2, 0.4], buckets=(1.0,))
+        assert hist.quantile(1.0) == pytest.approx(1.0)
+        assert hist.quantile(0.0) == pytest.approx(0.0)
+
+    def test_empty_middle_bucket_skipped(self):
+        # Mass in (0,1] and (5,10] only; ranks falling past the empty
+        # (1,5] bucket interpolate inside (5,10], never divide by zero.
+        hist = self.make([0.5, 0.6, 7.0, 8.0])
+        assert 5.0 <= hist.quantile(0.9) <= 10.0
+
+    def test_negative_observations_use_bucket_lower_edge(self):
+        # A histogram whose first bucket bound is negative must not
+        # interpolate from 0 (which would lie above the bound).
+        hist = self.make([-3.0, -2.0], buckets=(-1.0, 1.0))
+        q = hist.quantile(0.5)
+        assert q <= -1.0
+
+
+class TestCardinalityGuard:
+    def test_new_series_beyond_cap_dropped(self):
+        registry = MetricsRegistry(max_label_sets=2)
+        counter = registry.counter("pixels_requests_total")
+        counter.inc(level="a")
+        counter.inc(level="b")
+        counter.inc(level="c")  # over the cap: dropped
+        assert counter.value(level="a") == 1
+        assert counter.value(level="c") == 0
+        dropped = registry.get("pixels_metrics_dropped_series_total")
+        assert dropped is not None
+        assert dropped.value(metric="pixels_requests_total") == 1
+
+    def test_existing_series_always_updatable(self):
+        registry = MetricsRegistry(max_label_sets=1)
+        gauge = registry.gauge("pixels_depth")
+        gauge.set(1, level="a")
+        gauge.set(5, level="a")  # update, not a new series
+        gauge.inc(level="a")
+        assert gauge.value(level="a") == 6
+        gauge.set(9, level="b")  # new series over the cap
+        assert gauge.value(level="b") == 0
+
+    def test_histogram_guarded(self):
+        registry = MetricsRegistry(max_label_sets=1)
+        hist = registry.histogram("pixels_lat", buckets=(1.0,))
+        hist.observe(0.5, level="a")
+        hist.observe(0.5, level="b")
+        assert hist.count(level="a") == 1
+        assert hist.count(level="b") == 0
+        dropped = registry.get("pixels_metrics_dropped_series_total")
+        assert dropped.value(metric="pixels_lat") == 1
+
+    def test_drop_counter_absent_until_first_drop(self):
+        registry = MetricsRegistry(max_label_sets=4)
+        registry.counter("ok_total").inc(level="a")
+        assert registry.get("pixels_metrics_dropped_series_total") is None
+        assert "dropped_series" not in registry.render()
+
+    def test_drop_counter_itself_uncapped(self):
+        registry = MetricsRegistry(max_label_sets=1)
+        for index in range(3):
+            instrument = registry.counter(f"m{index}_total")
+            instrument.inc(level="a")
+            instrument.inc(level="b")  # each drops once
+        dropped = registry.get("pixels_metrics_dropped_series_total")
+        assert sum(v for _, _, v in dropped.samples()) == 3
+
+    def test_unlimited_when_cap_disabled(self):
+        registry = MetricsRegistry(max_label_sets=None)
+        counter = registry.counter("wide_total")
+        for index in range(600):
+            counter.inc(fingerprint=f"fp{index}")
+        assert len(counter.samples()) == 600
+
+    def test_default_cap_applied_by_registry(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("default_total")
+        from repro.obs.metrics import DEFAULT_MAX_LABEL_SETS
+
+        assert counter.max_series == DEFAULT_MAX_LABEL_SETS
+
+    def test_standalone_instruments_stay_uncapped(self):
+        from repro.obs.metrics import Histogram
+
+        hist = Histogram("loose", buckets=(1.0,))
+        for index in range(300):
+            hist.observe(0.5, series=str(index))
+        assert hist.count(series="299") == 1

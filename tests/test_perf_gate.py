@@ -146,3 +146,99 @@ class TestRunGate:
         assert perf_gate.main(["c1"]) == 1
         captured = capsys.readouterr()
         assert "get_requests" in captured.err
+
+
+def make_profile(scan_bytes=3528450, scan_nanos=500_000, scan_gets=8,
+                 scan_time=1.5):
+    return {
+        "operators": {
+            "Scan": {
+                "time_s": scan_time,
+                "nanodollars": scan_nanos,
+                "bytes_scanned": scan_bytes,
+                "get_requests": scan_gets,
+            },
+            "Aggregate": {
+                "time_s": 0.3,
+                "nanodollars": 100_000,
+                "bytes_scanned": 0,
+                "get_requests": 0,
+            },
+        }
+    }
+
+
+class TestExplain:
+    """--explain root-causing: a synthetically perturbed baseline must
+    name the regressed operator and resource."""
+
+    def test_profile_diff_names_operator_and_resource(self):
+        base = make_record()
+        base["profile"] = make_profile()
+        fresh = make_record(logical_bytes_scanned=4528450)
+        fresh["profile"] = make_profile(scan_bytes=4528450,
+                                        scan_nanos=700_000)
+        lines = perf_gate.explain_records(base, fresh)
+        assert lines
+        assert "Scan regressed in bandwidth" in lines[0]
+        assert "attributed" in lines[0]
+
+    def test_request_regression_named(self):
+        base = make_record()
+        base["profile"] = make_profile()
+        fresh = make_record(get_requests=800)
+        fresh["profile"] = make_profile(scan_gets=800, scan_nanos=600_000)
+        lines = perf_gate.explain_records(base, fresh)
+        assert "Scan regressed in requests" in lines[0]
+
+    def test_metric_fallback_without_profile_sections(self):
+        lines = perf_gate.explain_records(
+            make_record(), make_record(logical_bytes_scanned=999)
+        )
+        assert lines == [
+            "c1: logical_bytes_scanned implicates bandwidth: "
+            "baseline 3528450 -> fresh 999"
+        ]
+
+    def test_metric_fallback_classification(self):
+        base = make_record()
+        fresh = make_record(
+            billed_dollars=0.9, get_requests=9, sim_seconds=301.0
+        )
+        text = "\n".join(perf_gate.explain_records(base, fresh))
+        assert "billed_dollars implicates pricing" in text
+        assert "get_requests implicates requests" in text
+        assert "sim_seconds implicates compute" in text
+
+    def test_identical_records_explain_empty(self):
+        base = make_record()
+        base["profile"] = make_profile()
+        fresh = make_record()
+        fresh["profile"] = make_profile()
+        assert perf_gate.explain_records(base, fresh) == []
+
+    def test_profile_section_ignored_by_gate_comparison(self):
+        # Old baselines without a profile section stay valid, and a
+        # changed profile alone is not a metrics violation.
+        base = make_record()
+        fresh = make_record()
+        fresh["profile"] = make_profile()
+        assert perf_gate.compare_records(base, fresh) == []
+
+    def test_main_explain_prints_cause(self, monkeypatch, tmp_path, capsys):
+        import json
+
+        results = tmp_path / "results"
+        results.mkdir()
+        monkeypatch.setattr(perf_gate, "_REPO_ROOT", str(tmp_path))
+        monkeypatch.setattr(perf_gate, "_RESULTS_DIR", str(results))
+        base = make_record()
+        base["profile"] = make_profile()
+        (tmp_path / "BENCH_c1.json").write_text(json.dumps(base))
+        fresh = make_record(logical_bytes_scanned=4528450)
+        fresh["profile"] = make_profile(scan_bytes=4528450,
+                                        scan_nanos=700_000)
+        (results / "bench_c1.json").write_text(json.dumps(fresh))
+        assert perf_gate.main(["c1", "--explain"]) == 1
+        captured = capsys.readouterr()
+        assert "perf-gate: cause c1: Scan regressed in bandwidth" in captured.err

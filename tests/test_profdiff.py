@@ -1,0 +1,179 @@
+"""Tests for profile diffs and regression root-causing
+(repro.obs.profdiff).
+
+A diff must name the operator and the dominant resource behind every
+delta, order deltas deterministically, and round-trip attribution trees
+through their journal-capture dict form losslessly.
+"""
+
+import json
+
+from repro.obs.profdiff import (
+    OperatorDelta,
+    diff_operator_tables,
+    diff_profiles,
+    export_diff_json,
+    flatten_profile,
+    profile_from_dict,
+    profile_to_dict,
+    render_diff,
+)
+from repro.obs.profiler import ProfileNode
+
+
+def tree(scan_time=1.0, scan_bytes=1000, scan_gets=4, scan_nanos=500):
+    scan = ProfileNode(
+        name="Scan", kind="operator", self_time_s=scan_time,
+        bytes_scanned=scan_bytes, get_requests=scan_gets,
+        self_nanodollars=scan_nanos,
+    )
+    agg = ProfileNode(
+        name="Aggregate", kind="operator", self_time_s=0.2,
+        self_nanodollars=100, children=[scan],
+    )
+    return ProfileNode(
+        name="query", kind="span", self_time_s=0.0, self_nanodollars=25,
+        children=[agg],
+    )
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        root = tree()
+        restored = profile_from_dict(profile_to_dict(root))
+        assert flatten_profile(restored) == flatten_profile(root)
+
+    def test_flatten_paths_join_frames(self):
+        flat = flatten_profile(tree())
+        assert "query;Aggregate;Scan" in flat
+        assert flat["query;Aggregate;Scan"]["bytes_scanned"] == 1000
+
+
+class TestDiffProfiles:
+    def test_identical_trees_no_deltas(self):
+        assert diff_profiles(tree(), tree()) == []
+
+    def test_bandwidth_regression_named(self):
+        deltas = diff_profiles(
+            tree(), tree(scan_bytes=5000, scan_nanos=2000)
+        )
+        assert deltas
+        top = deltas[0]
+        assert top.path.endswith("Scan")
+        assert top.resource == "bandwidth"
+        assert top.regressed
+        assert top.nanodollar_delta == 1500
+
+    def test_request_regression_named(self):
+        deltas = diff_profiles(tree(), tree(scan_gets=400))
+        assert deltas[0].resource == "requests"
+
+    def test_compute_regression_named(self):
+        deltas = diff_profiles(tree(), tree(scan_time=10.0))
+        assert deltas[0].resource == "compute"
+
+    def test_pricing_only_change(self):
+        deltas = diff_profiles(tree(), tree(scan_nanos=900))
+        assert deltas[0].resource == "pricing"
+
+    def test_ordering_by_dollar_magnitude(self):
+        base = tree()
+        fresh = tree(scan_nanos=600)  # +100 on Scan
+        fresh.children[0].self_nanodollars += 1000  # +1000 on Aggregate
+        deltas = diff_profiles(base, fresh)
+        assert [d.path.rsplit(";", 1)[-1] for d in deltas] == [
+            "Aggregate", "Scan",
+        ]
+
+    def test_operator_only_on_one_side(self):
+        fresh = tree()
+        fresh.children[0].children.append(
+            ProfileNode(name="Filter", kind="operator", self_time_s=0.5,
+                        self_nanodollars=50)
+        )
+        deltas = diff_profiles(tree(), fresh)
+        assert any(d.path.endswith("Filter") for d in deltas)
+
+    def test_accepts_dict_inputs(self):
+        deltas = diff_profiles(
+            profile_to_dict(tree()), profile_to_dict(tree(scan_bytes=2000))
+        )
+        assert deltas and deltas[0].resource == "bandwidth"
+
+
+class TestDiffOperatorTables:
+    def _section(self, scan_bytes=1000, scan_nanos=500):
+        return {
+            "operators": {
+                "Scan": {
+                    "time_s": 1.0,
+                    "nanodollars": scan_nanos,
+                    "bytes_scanned": scan_bytes,
+                    "get_requests": 4,
+                },
+                "Aggregate": {
+                    "time_s": 0.2,
+                    "nanodollars": 100,
+                    "bytes_scanned": 0,
+                    "get_requests": 0,
+                },
+            }
+        }
+
+    def test_bench_record_sections_diff(self):
+        deltas = diff_operator_tables(
+            self._section(), self._section(scan_bytes=9000, scan_nanos=4500)
+        )
+        assert len(deltas) == 1
+        assert deltas[0].path == "Scan"
+        assert deltas[0].resource == "bandwidth"
+
+    def test_empty_sections(self):
+        assert diff_operator_tables({}, {}) == []
+
+
+class TestRendering:
+    def test_render_names_operator_and_resource(self):
+        deltas = diff_profiles(tree(), tree(scan_bytes=5000, scan_nanos=2000))
+        text = render_diff(deltas, prefix="c5: ")
+        assert "c5: Scan regressed in bandwidth" in text
+        assert "attributed +0.000001500 $" in text
+
+    def test_render_improvement(self):
+        deltas = diff_profiles(tree(scan_time=10.0), tree(scan_time=1.0))
+        assert "improved in compute" in render_diff(deltas)
+
+    def test_render_empty(self):
+        assert "(no per-operator deltas)" in render_diff([])
+
+    def test_render_zero_base_axis_reads_new(self):
+        deltas = diff_profiles(
+            tree(scan_gets=0), tree(scan_gets=3, scan_nanos=600)
+        )
+        assert "GETs 0 -> 3 (new)" in render_diff(deltas)
+
+    def test_export_json_byte_stable(self):
+        deltas = diff_profiles(tree(), tree(scan_bytes=5000))
+        first = export_diff_json(deltas)
+        second = export_diff_json(deltas)
+        assert first == second
+        parsed = json.loads(first)
+        assert parsed[0]["resource"] == "bandwidth"
+        assert parsed[0]["bytes_scanned"] == {"base": 1000, "fresh": 5000}
+
+
+class TestOperatorDelta:
+    def test_regressed_flag(self):
+        up = OperatorDelta(
+            path="Scan", resource="bandwidth", time_base_s=1.0,
+            time_fresh_s=1.0, nanodollars_base=100, nanodollars_fresh=200,
+            bytes_base=0, bytes_fresh=0, gets_base=0, gets_fresh=0,
+        )
+        down = OperatorDelta(
+            path="Scan", resource="bandwidth", time_base_s=1.0,
+            time_fresh_s=0.5, nanodollars_base=200, nanodollars_fresh=100,
+            bytes_base=0, bytes_fresh=0, gets_base=0, gets_fresh=0,
+        )
+        assert up.regressed
+        assert not down.regressed
+        assert up.dollar_delta == 1e-7
