@@ -15,6 +15,7 @@ from common import (
     HEAVY_SQL,
     MEDIUM_SQL,
     bench_record,
+    export_ledger_audit,
     format_row,
     report,
     tpch_environment,
@@ -38,9 +39,21 @@ def run_experiment():
     for index in range(30):
         level = list(ServiceLevel)[index % 3]
         sql = HEAVY_SQL if index % 2 == 0 else MEDIUM_SQL
-        submissions.append(Submission(float(index * 10), sql, level))
+        submissions.append(
+            Submission(
+                float(index * 10),
+                sql,
+                level,
+                tenant=f"tenant-{level.value}",
+            )
+        )
     return run_workload(
-        submissions, store, catalog, "tpch", TurboConfig.experiment(100.0)
+        submissions,
+        store,
+        catalog,
+        "tpch",
+        TurboConfig.experiment(100.0),
+        observe=True,
     )
 
 
@@ -69,6 +82,9 @@ def test_c1_price_levels(benchmark):
         f"{len(result.finished())} finished queries"
     )
     report("C1  Service-level prices ($/TB-scan), paper §3.2", lines)
+    # End-to-end billing audit: ledger == profiler == billed price,
+    # exact integer nanodollars for every query in the replay.
+    export_ledger_audit("c1", result)
 
     for level in ServiceLevel:
         assert measured[level] == pytest.approx(PAPER_PRICES[level], rel=1e-6)

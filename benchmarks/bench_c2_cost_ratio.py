@@ -16,6 +16,7 @@ import pytest
 from common import (
     HEAVY_SQL,
     bench_record,
+    export_ledger_audit,
     format_row,
     report,
     tpch_environment,
@@ -40,7 +41,9 @@ def run_experiment():
         submissions.append(
             Submission(100.0 + index * 0.1, HEAVY_SQL, ServiceLevel.RELAXED)
         )
-    return config, run_workload(submissions, store, catalog, "tpch", config)
+    return config, run_workload(
+        submissions, store, catalog, "tpch", config, observe=True
+    )
 
 
 def test_c2_cost_ratio(benchmark):
@@ -75,6 +78,7 @@ def test_c2_cost_ratio(benchmark):
         f"relaxed-on-VM queries : {len(relaxed)} (avg ${vm_cost:.6f}/query)",
     ]
     report("C2  CF vs VM cost asymmetry, paper §2 and §3.2(2)", lines)
+    export_ledger_audit("c2", result)
 
     assert 9 <= unit_ratio <= 24
     assert on_cf, "spike failed to push immediate queries onto CF"

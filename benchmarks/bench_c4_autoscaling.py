@@ -15,6 +15,7 @@ import numpy as np
 import pytest
 
 from common import (
+    export_ledger_audit,
     HEAVY_SQL,
     bench_record,
     format_row,
@@ -90,6 +91,7 @@ def test_c4_autoscaling(benchmark):
             f"workers {decision.workers_before}{decision.delta:+d} "
             f"-> {decision.workers_target}"
         )
+    export_ledger_audit("c4", result)
     paths = write_observability_artifacts(
         "c4", result, "C4 watermark auto-scaling"
     )

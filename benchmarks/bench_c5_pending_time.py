@@ -23,6 +23,7 @@ import numpy as np
 import pytest
 
 from common import (
+    export_ledger_audit,
     HEAVY_SQL,
     bench_record,
     format_row,
@@ -120,6 +121,7 @@ def test_c5_pending_time(benchmark):
             f"violations={level.get('violations', 0):>3} "
             f"compliance={rendered}"
         )
+    export_ledger_audit("c5", result)
     paths = write_observability_artifacts(
         "c5", result, "C5 pending-time semantics"
     )

@@ -19,6 +19,7 @@ import pytest
 from common import (
     HEAVY_SQL,
     bench_record,
+    export_ledger_audit,
     format_row,
     report,
     tpch_environment,
@@ -64,13 +65,14 @@ def run_experiment():
     store, catalog = tpch_environment()
     config = TurboConfig.experiment()
     grid = {}
+    results = {}
     for spiky_fraction in (0.0, 0.5, 1.0):
         rng = np.random.default_rng(8)
         submissions = build_workload(spiky_fraction, rng)
         for engine_name, engine_cls in ENGINES.items():
             result = run_workload(
                 submissions, store, catalog, "tpch", config,
-                coordinator_cls=engine_cls,
+                coordinator_cls=engine_cls, observe=True,
             )
             pending = result.pending_times(ServiceLevel.IMMEDIATE)
             if not pending:  # fully sustained mixes have no spike queries
@@ -80,10 +82,12 @@ def run_experiment():
                 "mean_pending": float(np.mean(pending)),
                 "max_pending": float(np.max(pending)),
             }
-    return grid
+            results[(spiky_fraction, engine_name)] = result
+    return grid, results
 
 
-def grid_metrics(grid):
+def grid_metrics(pair):
+    grid, _ = pair
     return {
         f"{engine}@{fraction:.1f}:{key}": round(value, 9)
         for (fraction, engine), cell in sorted(grid.items())
@@ -92,10 +96,18 @@ def grid_metrics(grid):
 
 
 def test_c8_hybrid_crossover(benchmark):
-    grid = benchmark.pedantic(
+    grid, results = benchmark.pedantic(
         lambda: bench_record("c8", run_experiment, grid_metrics),
         rounds=1, iterations=1,
     )
+    # Billing audit across the whole sweep: every query of every engine
+    # at every mix reconciles exactly (and the ledgers land in
+    # results/ for the CI replay gate).
+    for (fraction, engine), result in sorted(results.items()):
+        export_ledger_audit(
+            f"c8_{engine.replace('-', '').lower()}_{int(fraction * 10):02d}",
+            result,
+        )
 
     lines = [
         format_row(

@@ -97,6 +97,41 @@ def write_observability_artifacts(slug: str, result, title: str) -> dict[str, st
     return paths
 
 
+def export_ledger_audit(slug: str, result) -> dict[str, str]:
+    """Reconcile an observed replay's metering ledger and persist the
+    billing-audit artifacts under ``benchmarks/results/``.
+
+    Asserts the reconciler's end-to-end proof (ledger sum == profiler
+    attribution == billed price == $/TB bytes basis, exact integer
+    nanodollars) for every query in the replay, then writes the ledger
+    JSONL, the spend report, and the reconciliation report — the files
+    ``reconcile_gate.py`` replays in CI.  Requires
+    ``run_workload(observe=True)``.  Returns {kind: path}.
+    """
+    from repro.obs.reconcile import reconcile_server
+
+    if result.obs is None:
+        raise ValueError("run the workload with observe=True first")
+    report = reconcile_server(result.server)
+    assert report.ok, f"billing reconciliation failed:\n{report.render()}"
+    results_dir = os.path.join(os.path.dirname(__file__), "results")
+    os.makedirs(results_dir, exist_ok=True)
+    artifacts = {
+        "ledger": (f"{slug}_ledger.jsonl", result.obs.ledger.export_jsonl()),
+        "spend": (f"{slug}_spend.json", result.obs.spend.export_json()),
+        "reconciliation": (
+            f"{slug}_reconciliation.json", report.export_json()
+        ),
+    }
+    paths: dict[str, str] = {}
+    for kind, (filename, payload) in artifacts.items():
+        path = os.path.join(results_dir, filename)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        paths[kind] = path
+    return paths
+
+
 def workload_profile(result) -> dict:
     """Per-operator resource totals over a whole observed replay.
 

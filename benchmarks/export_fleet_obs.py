@@ -2,12 +2,17 @@
 
 Runs the canned log-analysis query set (the paper's §3.1 "non-urgent"
 batch class) under ``observe=True`` with a tail-based capture policy and
-writes the workload-scope artifacts into ``results/`` (or the directory
-given as argv[1]):
+per-tenant spend accounting, and writes the workload-scope artifacts
+into ``results/`` (or the directory given as argv[1]):
 
 * ``fleet_statements_top.txt`` — pg_stat_statements-style top-K by $,
 * ``fleet_statements.json``    — the full statement-statistics export,
 * ``fleet_journal.jsonl``      — the trace-correlated query journal,
+* ``fleet_ledger.jsonl``       — the metering ledger (every charge and
+  void, integer nanodollars, byte-stable),
+* ``fleet_spend.json``         — the per-tenant spend report with
+  soft-budget status,
+* ``fleet_reconciliation.json``— the billing reconciliation report,
 * ``fleet_capture_flame.svg``  — the flame graph attached to one
   tail-captured query (slowest-N / $-threshold evidence).
 
@@ -15,8 +20,10 @@ Everything is virtual-clock-deterministic, so CI uploads the bundle and
 any drift in fingerprints, plan shapes, or nanodollar attribution shows
 up as a reviewable artifact diff.
 
-**CI gate:** exits with status 1 if the journal captured no query with
-full profile evidence — the tail-based capture path must stay live.
+**CI gate:** exits with status 1 when *any* section fails — no capture
+with full profile evidence, an empty ledger or spend report, or a
+billing-reconciliation invariant violation.  Every failed section is
+reported, not just the first.
 
 Usage: PYTHONPATH=../src python export_fleet_obs.py [results_dir]
 """
@@ -29,6 +36,12 @@ import sys
 from repro import CapturePolicy, PixelsDB, ServiceLevel
 from repro.workloads import LOGS_QUERIES
 
+#: The fleet's billing accounts: the nightly report rotates tenants so
+#: the spend report exercises per-tenant × per-level aggregation, and
+#: one deliberately tiny soft budget shows the over-budget path.
+FLEET_TENANTS = ("reporting", "adhoc", "ops")
+FLEET_BUDGETS = {"reporting": 1e-7, "adhoc": 1.0}
+
 
 def run_fleet_session() -> PixelsDB:
     """The nightly log report, submitted across all three tiers."""
@@ -36,16 +49,22 @@ def run_fleet_session() -> PixelsDB:
         observe=True,
         seed=11,
         capture=CapturePolicy(dollar_threshold=1e-7, slowest_n=4),
+        tenant_budgets=dict(FLEET_BUDGETS),
     )
     db.load_logs("weblogs", num_rows=20000)
     levels = list(ServiceLevel)
     for i, sql in enumerate(LOGS_QUERIES.values()):
-        db.submit("weblogs", sql, levels[i % len(levels)])
+        db.submit(
+            "weblogs",
+            sql,
+            levels[i % len(levels)],
+            tenant=FLEET_TENANTS[i % len(FLEET_TENANTS)],
+        )
         db.run(30.0)
     # A second pass of a few statements at a different tier, so the
     # store shows per-(fingerprint, level) aggregation with calls > 1.
     for sql in list(LOGS_QUERIES.values())[:3]:
-        db.submit("weblogs", sql, ServiceLevel.BEST_EFFORT)
+        db.submit("weblogs", sql, ServiceLevel.BEST_EFFORT, tenant="adhoc")
     db.run_to_completion()
     return db
 
@@ -54,12 +73,18 @@ def export(results_dir: pathlib.Path) -> int:
     db = run_fleet_session()
     results_dir.mkdir(parents=True, exist_ok=True)
 
+    failures: list[str] = []
+
     captures = db.journal_captures()
     evidenced = [c for c in captures if "flamegraph_svg" in c]
+    reconciliation = db.reconcile()
     outputs = {
         "fleet_statements_top.txt": db.statements_top(10, "dollars"),
         "fleet_statements.json": db.statements_json(),
         "fleet_journal.jsonl": db.journal_jsonl(),
+        "fleet_ledger.jsonl": db.ledger_jsonl(),
+        "fleet_spend.json": db.spend_json(),
+        "fleet_reconciliation.json": reconciliation.export_json(),
     }
     if evidenced:
         outputs["fleet_capture_flame.svg"] = evidenced[0]["flamegraph_svg"]
@@ -69,22 +94,49 @@ def export(results_dir: pathlib.Path) -> int:
 
     for entry in db.obs.statements.top(5, by="dollars"):
         print(
-            f"{entry.fingerprint}  {entry.level:<12} calls={entry.calls} "
+            f"{entry.fingerprint}  {entry.level:<12} "
+            f"tenant={entry.tenant:<10} calls={entry.calls} "
             f"billed=${entry.nanodollars / 1e9:.9f}"
         )
     print(
         f"journal: {len(db.obs.journal.records())} events, "
         f"{len(captures)} captures ({len(evidenced)} with profile evidence)"
     )
-
-    if not evidenced:
+    spend = db.spend_report()
+    for row in spend["tenants"]:
+        budget = row["budget_dollars"]
         print(
-            "FAIL: no journal capture carries profile evidence — "
-            "the tail-based capture path is dead",
-            file=sys.stderr,
+            f"spend: {row['tenant']:<10} net={row['nanodollars']} nano$ "
+            f"budget={budget if budget is not None else '-'} "
+            f"{'OVER BUDGET' if row['over_budget'] else ''}".rstrip()
         )
+    print(reconciliation.render())
+
+    # -- section gates: collect every failure, fail on any ----------------
+    if not evidenced:
+        failures.append(
+            "no journal capture carries profile evidence — "
+            "the tail-based capture path is dead"
+        )
+    if not db.ledger_jsonl():
+        failures.append("the metering ledger is empty — billing left no trail")
+    if not spend["tenants"]:
+        failures.append("the spend report has no tenants — tenant threading broke")
+    if "reporting" not in {row["tenant"] for row in spend["tenants"]}:
+        failures.append("tenant 'reporting' missing from the spend report")
+    if not reconciliation.ok:
+        failures.append(
+            "billing reconciliation violated "
+            f"{len(reconciliation.violations)} invariant(s)"
+        )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
         return 1
-    print("OK: tail-based capture attached full profile evidence")
+    print(
+        "OK: capture evidence, metering ledger, tenant spend, and "
+        "billing reconciliation all live"
+    )
     return 0
 
 

@@ -100,6 +100,7 @@ class PixelsDB:
         scrape_interval_s: float = 30.0,
         alert_rules: list[BurnRateRule | ThresholdRule] | None = None,
         capture: CapturePolicy | None = None,
+        tenant_budgets: dict[str, float] | None = None,
     ) -> None:
         """``observe=True`` switches on the full observability stack
         (:mod:`repro.obs`): tracer, metrics registry, SLO tracker,
@@ -107,9 +108,12 @@ class PixelsDB:
         snapshotting metrics every ``scrape_interval_s`` simulated
         seconds, and the burn-rate alert engine.  ``capture`` tunes the
         journal's tail-based slow-query capture policy (defaults to
-        :class:`~repro.obs.CapturePolicy`'s defaults).  The default is
-        the inert no-op pair — query results and billed prices are
-        identical either way."""
+        :class:`~repro.obs.CapturePolicy`'s defaults).  ``tenant_budgets``
+        maps tenant → soft budget dollars: crossing one never blocks a
+        query, it raises a ``TenantBudget:<tenant>`` alert through the
+        alert engine and flags the tenant in the spend report.  The
+        default is the inert no-op pair — query results and billed
+        prices are identical either way."""
         self.config = config if config is not None else TurboConfig()
         self.seed = seed
         self.sim = Simulator(seed=seed)
@@ -123,11 +127,20 @@ class PixelsDB:
         self.scrape_loop: ScrapeLoop | None = None
         if observe:
             self.obs = Instrumentation.create(
-                clock=lambda: self.sim.now, capture=capture
+                clock=lambda: self.sim.now,
+                capture=capture,
+                budgets=tenant_budgets,
             )
             self.timeseries = TimeSeriesStore()
+            rules = list(
+                alert_rules if alert_rules is not None else default_rules()
+            )
+            if tenant_budgets:
+                from repro.obs.spend import budget_rules
+
+                rules.extend(budget_rules(tenant_budgets))
             self.alerts = AlertEngine(
-                rules=alert_rules if alert_rules is not None else default_rules(),
+                rules=rules,
                 registry=self.obs.metrics,
                 slo=self.obs.slo,
                 store=self.timeseries,
@@ -211,9 +224,13 @@ class PixelsDB:
         sql: str,
         level: ServiceLevel = ServiceLevel.IMMEDIATE,
         result_limit: int | None = None,
+        tenant: str | None = None,
     ) -> ServerQuery:
-        """Submit SQL at a service level; advance time to see it finish."""
-        return self.query_server(schema).submit(sql, level, result_limit)
+        """Submit SQL at a service level; advance time to see it finish.
+        ``tenant`` tags the query for per-tenant spend accounting."""
+        return self.query_server(schema).submit(
+            sql, level, result_limit, tenant=tenant
+        )
 
     # -- observability -------------------------------------------------------------------
 
@@ -267,6 +284,42 @@ class PixelsDB:
         """Journal records that tail-based capture enriched with the full
         profiler attribution tree and flame graph."""
         return self.obs.journal.captures()
+
+    # -- metering ledger & spend accounting -------------------------------------------
+
+    def ledger_jsonl(self) -> str:
+        """The metering ledger — every charge and void, integer
+        nanodollars — as byte-stable JSONL (empty without
+        ``observe=True``)."""
+        return self.obs.ledger.export_jsonl()
+
+    def spend_report(self) -> dict:
+        """The per-tenant spend report: net nanodollars, per-level
+        split, soft-budget status, provider-side spend per venue."""
+        return self.obs.spend.report()
+
+    def spend_json(self) -> str:
+        """Byte-stable JSON rendering of :meth:`spend_report`."""
+        return self.obs.spend.export_json()
+
+    def reconcile(self):
+        """Replay every server's metering ledger and prove ledger ==
+        profiler attribution == billed price == $/TB bytes basis, in
+        exact integer arithmetic.  Returns one merged
+        :class:`~repro.obs.reconcile.ReconciliationReport`."""
+        from repro.obs.reconcile import ReconciliationReport, reconcile_server
+
+        report = ReconciliationReport()
+        # The ledger is shared across schemas: replay the events once
+        # (via the first server), then cross-check every server's
+        # queries against it.
+        for index, schema in enumerate(sorted(self._servers)):
+            report.merge(
+                reconcile_server(
+                    self._servers[schema], replay_events=index == 0
+                )
+            )
+        return report
 
     # -- SLO engine ----------------------------------------------------------------
 
@@ -328,6 +381,7 @@ class PixelsDB:
             seed=self.seed,
             registry=self.obs.metrics,
             statements=self.obs.statements,
+            spend=self.obs.spend,
         )
 
     def dashboard_html(self, title: str = "PixelsDB operator dashboard") -> str:

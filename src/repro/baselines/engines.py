@@ -69,3 +69,6 @@ class SingleLevelServer:
 
     def total_billed(self) -> float:
         return self._server.total_billed()
+
+    def total_billed_nanodollars(self) -> int:
+        return self._server.total_billed_nanodollars()

@@ -33,6 +33,8 @@ class Submission:
     sql: str
     level: ServiceLevel
     result_limit: int | None = None
+    #: Billing tenant for spend accounting (None → server default).
+    tenant: str | None = None
 
 
 @dataclass
@@ -120,6 +122,7 @@ class WorkloadResult:
             ],
             registry=self.obs.metrics,
             statements=self.obs.statements,
+            spend=self.obs.spend,
         )
 
 
@@ -199,6 +202,7 @@ def run_workload(
                 submission.sql,
                 submission.level,
                 result_limit=submission.result_limit,
+                tenant=submission.tenant,
             )
             result.queries.append(record)
 

@@ -26,6 +26,7 @@ from repro.errors import NoSuchQueryError, PixelsError, QueryRejectedError
 from repro.core.service_levels import QueryStatus, ServiceLevel
 from repro.obs import ROOT, Span
 from repro.obs.fingerprint import Fingerprint, fingerprint
+from repro.obs.profiler import NANOS_PER_DOLLAR
 from repro.obs.slo import SLACK_BUCKETS
 from repro.sim import Simulator
 from repro.turbo.coordinator import Coordinator, QueryExecution
@@ -46,6 +47,11 @@ class ServerQuery:
     dispatched_at: float | None = None
     execution: QueryExecution | None = field(default=None, repr=False)
     price: float = 0.0
+    #: The exact integer bill (``round(price × 1e9)``); the metering
+    #: ledger's per-axis events sum to this, and the server's aggregate
+    #: billing sums these so no float drift can accumulate.
+    price_nanodollars: int = 0
+    tenant: str = "default"
     cancelled: bool = False
     on_finish: Callable[["ServerQuery"], None] | None = field(
         default=None, repr=False
@@ -146,6 +152,11 @@ class QueryServer:
             "pixels_billed_dollars_total",
             "User-facing charges ($), by service level",
         )
+        self._m_tenant_billed = registry.counter(
+            "pixels_tenant_billed_dollars_total",
+            "User-facing charges ($), by tenant "
+            "(soft-budget alert rules select on this)",
+        )
         self._m_pending = registry.histogram(
             "pixels_query_pending_seconds",
             "Submission-to-execution-start delay",
@@ -210,9 +221,13 @@ class QueryServer:
         result_limit: int | None = None,
         query_id: str | None = None,
         on_finish: Callable[[ServerQuery], None] | None = None,
+        tenant: str | None = None,
     ) -> ServerQuery:
         """Accept a query at ``level``; returns its server record.
 
+        ``tenant`` tags the submission for spend accounting (span
+        attributes, journal, statement store, metering ledger, and the
+        per-tenant billed counter); it defaults to ``"default"``.
         Raises :class:`QueryRejectedError` if the relevant hold queue is
         full (back-pressure rather than unbounded growth).
         """
@@ -226,6 +241,7 @@ class QueryServer:
             submitted_at=self._sim.now,
             result_limit=result_limit,
             on_finish=on_finish,
+            tenant=tenant or "default",
         )
         self._queries[query_id] = record
         self._m_submitted.inc(level=level.value)
@@ -246,6 +262,7 @@ class QueryServer:
                 parent=ROOT,
                 level=level.value,
                 sql=sql,
+                tenant=record.tenant,
                 price_fraction=level.price_fraction,
                 deadline_s=self.deadline_for(level),
                 fingerprint=fp.id if fp is not None else None,
@@ -260,6 +277,7 @@ class QueryServer:
                 span_id=self._root_span_id(query_id),
                 fingerprint=fp.id if fp is not None else None,
                 level=level.value,
+                tenant=record.tenant,
                 price_per_tb=self.price_quote(level),
                 deadline_s=self.deadline_for(level),
             )
@@ -358,6 +376,14 @@ class QueryServer:
             record.cancelled = True
             self._close_queue_span(record, status="cancelled")
             self._journal_event(record, "cancel", stage="held")
+            self.obs.ledger.void(
+                query_id,
+                tenant=record.tenant,
+                level=record.level.value,
+                venue="none",
+                span_id=self._root_span_id(query_id),
+                reason="cancelled_held",
+            )
             self._fingerprints.pop(query_id, None)
             self._root_spans.pop(query_id, None)
             self.obs.tracer.end_open(
@@ -456,11 +482,49 @@ class QueryServer:
             if deadline is not None and pending is not None
             else None
         )
+        reading = None
         if execution.result is not None:
-            record.price = self._coordinator.cost_model.user_price(
-                execution.result.stats, record.level
+            stats = execution.result.stats
+            venue = (
+                execution.venue.value
+                if execution.venue is not None
+                else "none"
             )
+            record.price = self._coordinator.cost_model.user_price(
+                stats, record.level
+            )
+            if self.obs.ledger.enabled or self.obs.statements.enabled:
+                # One meter reading feeds the ledger, the statement
+                # store, and price_nanodollars, so the three surfaces
+                # agree to the nanodollar by construction.
+                reading = self._coordinator.cost_model.meter(
+                    stats,
+                    venue,
+                    record.price,
+                    get_price_per_1000=(
+                        self._coordinator.store.profile.get_price_per_1000
+                    ),
+                )
+                record.price_nanodollars = reading.billed_nanodollars
+            else:
+                record.price_nanodollars = round(
+                    record.price * NANOS_PER_DOLLAR
+                )
+            if self.obs.ledger.enabled and reading is not None:
+                self.obs.ledger.charge_query(
+                    record.query_id,
+                    axes=reading.axes,
+                    billed_nanodollars=reading.billed_nanodollars,
+                    tenant=record.tenant,
+                    level=record.level.value,
+                    venue=venue,
+                    span_id=span_id,
+                    bytes_scanned=stats.bytes_scanned,
+                    data_inflation=self._coordinator.config.data_inflation,
+                    price_per_tb=self.price_quote(record.level),
+                )
             self._m_billed.inc(record.price, level=record.level.value)
+            self._m_tenant_billed.inc(record.price, tenant=record.tenant)
             if slack is not None:
                 self._m_slack.observe(slack, level=record.level.value)
             if pending is not None:
@@ -495,7 +559,26 @@ class QueryServer:
             self.obs.tracer.end_open(
                 record.query_id, "error", error=execution.error or ""
             )
-        self._observe_statement(record, execution, span_id, slack)
+            if record.cancelled or execution.error == "cancelled by user":
+                self.obs.ledger.void(
+                    record.query_id,
+                    tenant=record.tenant,
+                    level=record.level.value,
+                    venue=(
+                        execution.venue.value
+                        if execution.venue is not None
+                        else "none"
+                    ),
+                    span_id=span_id,
+                    reason="cancelled",
+                )
+        self._observe_statement(
+            record,
+            execution,
+            span_id,
+            slack,
+            attribution=reading.attribution if reading is not None else None,
+        )
         if record.pending_time_s is not None:
             self._m_pending.observe(
                 record.pending_time_s, level=record.level.value
@@ -512,6 +595,7 @@ class QueryServer:
         execution: QueryExecution,
         span_id: int | None,
         slack: float | None,
+        attribution=None,
     ) -> None:
         """Fold one completion into the statement store and the journal
         (including the tail-based capture decision)."""
@@ -531,8 +615,7 @@ class QueryServer:
             execution.venue.value if execution.venue is not None else "none"
         )
         if obs.statements.enabled:
-            attribution = None
-            if stats is not None:
+            if attribution is None and stats is not None:
                 attribution = self._coordinator.cost_model.attribution(
                     stats,
                     venue,
@@ -551,6 +634,7 @@ class QueryServer:
                 stats=stats,
                 plan_shape=execution.plan_shape,
                 error=error,
+                tenant=record.tenant,
             )
         if not obs.journal.enabled:
             return
@@ -644,9 +728,17 @@ class QueryServer:
 
     # -- aggregate statistics ----------------------------------------------------------
 
+    def total_billed_nanodollars(self) -> int:
+        """Sum of user-facing charges across finished queries, in exact
+        integer nanodollars — the authoritative aggregate (no float
+        accumulation drift, reconciled against the metering ledger)."""
+        return sum(
+            query.price_nanodollars for query in self._queries.values()
+        )
+
     def total_billed(self) -> float:
-        """Sum of user-facing charges across finished queries."""
-        return sum(query.price for query in self._queries.values())
+        """Dollar view of :meth:`total_billed_nanodollars`."""
+        return self.total_billed_nanodollars() / NANOS_PER_DOLLAR
 
     def status_counts(self) -> dict[QueryStatus, int]:
         counts = {status: 0 for status in QueryStatus}

@@ -39,6 +39,8 @@ from repro.obs.metrics import (
 )
 from repro.obs.fingerprint import Fingerprint, fingerprint, plan_shape_hash
 from repro.obs.journal import CapturePolicy, NoopQueryJournal, QueryJournal
+from repro.obs.ledger import MeterEvent, MeterLedger, NoopMeterLedger
+from repro.obs.spend import NoopSpendAccountant, SpendAccountant
 from repro.obs.slo import NoopSloTracker, SloObjective, SloRecord, SloTracker
 from repro.obs.statements import NoopStatementStore, StatementStore
 from repro.obs.tracer import NOOP_SPAN, NOOP_TRACER, ROOT, NoopTracer, Span, Tracer
@@ -51,10 +53,14 @@ __all__ = [
     "Gauge",
     "Histogram",
     "Instrumentation",
+    "MeterEvent",
+    "MeterLedger",
     "MetricsRegistry",
+    "NoopMeterLedger",
     "NoopMetricsRegistry",
     "NoopQueryJournal",
     "NoopSloTracker",
+    "NoopSpendAccountant",
     "NoopStatementStore",
     "NoopTracer",
     "NOOP_SPAN",
@@ -66,6 +72,7 @@ __all__ = [
     "SloRecord",
     "SloTracker",
     "Span",
+    "SpendAccountant",
     "StatementStore",
     "Tracer",
     "build_query_profile",
@@ -80,14 +87,16 @@ __all__ = [
 @dataclass
 class Instrumentation:
     """A tracer + metrics registry + SLO tracker + statement store +
-    query journal threaded through the system.  All five default to
-    their inert twins."""
+    query journal + metering ledger + spend accountant threaded through
+    the system.  All seven default to their inert twins."""
 
     tracer: Tracer = field(default_factory=NoopTracer)
     metrics: MetricsRegistry = field(default_factory=NoopMetricsRegistry)
     slo: SloTracker = field(default_factory=NoopSloTracker)
     statements: StatementStore = field(default_factory=NoopStatementStore)
     journal: QueryJournal = field(default_factory=NoopQueryJournal)
+    ledger: MeterLedger = field(default_factory=NoopMeterLedger)
+    spend: SpendAccountant = field(default_factory=NoopSpendAccountant)
 
     @property
     def enabled(self) -> bool:
@@ -97,6 +106,7 @@ class Instrumentation:
             or self.slo.enabled
             or self.statements.enabled
             or self.journal.enabled
+            or self.ledger.enabled
         )
 
     @staticmethod
@@ -108,6 +118,8 @@ class Instrumentation:
             NoopSloTracker(),
             NoopStatementStore(),
             NoopQueryJournal(),
+            NoopMeterLedger(),
+            NoopSpendAccountant(),
         )
 
     @staticmethod
@@ -115,14 +127,22 @@ class Instrumentation:
         clock: Callable[[], float] | None = None,
         objectives: list[SloObjective] | None = None,
         capture: CapturePolicy | None = None,
+        budgets: dict[str, float] | None = None,
     ) -> "Instrumentation":
         """A live bundle; pass the simulator's clock (``lambda: sim.now``)
         so span/journal timestamps are virtual and reproducible.
-        ``capture`` overrides the journal's slow-query capture policy."""
+        ``capture`` overrides the journal's slow-query capture policy;
+        ``budgets`` seeds the spend accountant's soft per-tenant budgets
+        (tenant → dollars)."""
+        ledger = MeterLedger(clock)
+        spend = SpendAccountant(budgets)
+        ledger.add_listener(spend.on_event)
         return Instrumentation(
             Tracer(clock),
             MetricsRegistry(),
             SloTracker(objectives),
             StatementStore(),
             QueryJournal(clock, capture),
+            ledger,
+            spend,
         )

@@ -76,6 +76,9 @@ class DashboardData:
     #: Top statements by billed $ from the statement store, JSON-ready
     #: rows in rank order (empty when the run had no statement stats).
     top_statements: list[dict] = field(default_factory=list)
+    #: Per-tenant spend rows from the spend accountant (tenant, net
+    #: dollars, per-level split, soft budget, over-budget flag).
+    tenant_spend: list[dict] = field(default_factory=list)
 
     @staticmethod
     def build(
@@ -88,6 +91,7 @@ class DashboardData:
         seed: int | None = None,
         registry: MetricsRegistry | None = None,
         statements: StatementStore | None = None,
+        spend=None,
     ) -> "DashboardData":
         return DashboardData(
             title=title,
@@ -100,6 +104,7 @@ class DashboardData:
             audit=list(audit or []),
             pending_percentiles=_pending_percentiles(registry),
             top_statements=_top_statement_rows(statements),
+            tenant_spend=_tenant_spend_rows(spend),
         )
 
 
@@ -126,6 +131,17 @@ def _top_statement_rows(
                 "cache_hit_ratio": ratio,
             }
         )
+    return rows
+
+
+def _tenant_spend_rows(spend) -> list[dict]:
+    """Per-tenant net-spend rows (descending by spend) for the panel;
+    ``spend`` is a :class:`~repro.obs.spend.SpendAccountant` or None."""
+    if spend is None or not getattr(spend, "enabled", False):
+        return []
+    report = spend.report()
+    rows = list(report.get("tenants", []))
+    rows.sort(key=lambda r: (-r["nanodollars"], r["tenant"]))
     return rows
 
 
@@ -345,6 +361,38 @@ def render_dashboard_html(data: DashboardData) -> str:
             )
     out.append("</div>")
 
+    # -- per-tenant spend (metering ledger) --
+    if data.tenant_spend:
+        out.append("<h2>Spend by tenant</h2>")
+        out.append("<table><tr>")
+        for header in (
+            "tenant", "net $", "by level", "budget $", "status",
+        ):
+            css = ' class="l"' if header in ("tenant", "by level") else ""
+            out.append(f"<th{css}>{header}</th>")
+        out.append("</tr>")
+        for row in data.tenant_spend:
+            by_level = ", ".join(
+                f"{level}={nanos / 1e9:.9f}"
+                for level, nanos in row.get("by_level", {}).items()
+            )
+            budget = row.get("budget_dollars")
+            status = (
+                "OVER BUDGET"
+                if row.get("over_budget")
+                else ("ok" if budget is not None else "-")
+            )
+            out.append(
+                "<tr>"
+                f'<td class="l">{escape(str(row.get("tenant", "")))}</td>'
+                f"<td>{_fmt(row.get('dollars'), 9)}</td>"
+                f'<td class="l">{escape(by_level)}</td>'
+                f"<td>{_fmt(budget, 4) if budget is not None else '-'}</td>"
+                f"<td>{escape(status)}</td>"
+                "</tr>"
+            )
+        out.append("</table>")
+
     # -- top queries (statement statistics) --
     if data.top_statements:
         out.append("<h2>Top queries by billed $</h2>")
@@ -492,6 +540,26 @@ def render_dashboard_text(data: DashboardData, width: int = 40) -> str:
             f"{'chunk-cache hit ratio':<26} {_sparkline_text(ratio, width)}"
             f"  last={_pct(ratio[-1][1])}"
         )
+    if data.tenant_spend:
+        lines.append("")
+        lines.append("spend by tenant")
+        lines.append("-" * 15)
+        lines.append(
+            f"{'tenant':<16} {'net_$':>14} {'budget_$':>10}  status"
+        )
+        for row in data.tenant_spend:
+            budget = row.get("budget_dollars")
+            status = (
+                "OVER BUDGET"
+                if row.get("over_budget")
+                else ("ok" if budget is not None else "-")
+            )
+            lines.append(
+                f"{str(row.get('tenant', '')):<16} "
+                f"{row.get('dollars', 0.0):>14.9f} "
+                f"{(f'{budget:.4f}' if budget is not None else '-'):>10}"
+                f"  {status}"
+            )
     if data.top_statements:
         lines.append("")
         lines.append("top queries by billed $")

@@ -202,6 +202,36 @@ def _distribute(pool: int, weights: list[float]) -> list[int]:
     return shares
 
 
+def split_attribution_nanodollars(
+    billed: float, attribution: "CostAttribution | None"
+) -> tuple[int, list[int]]:
+    """Billed $ → integer nanodollars split by resource, exactly.
+
+    The one splitter behind the profiler pools, the statement store, the
+    metering ledger, and :meth:`~repro.turbo.cost.CostModel.meter` — a
+    single implementation is what lets the billing reconciler demand
+    *integer equality* between those surfaces rather than a tolerance.
+    Largest-remainder over the cost model's (bandwidth, compute, request,
+    fixed) components; when the components carry no weight the whole bill
+    parks in the fixed pool, so the four shares always sum to the billed
+    total.  Returns ``(billed_nanodollars, [bandwidth, compute, requests,
+    fixed])``.
+    """
+    billed_nano = round(billed * NANOS_PER_DOLLAR)
+    if attribution is None:
+        return billed_nano, [0, 0, 0, billed_nano]
+    components = [  # clamp float residue: a -1e-18 weight must not flip signs
+        max(0.0, attribution.bandwidth_dollars),
+        max(0.0, attribution.compute_dollars),
+        max(0.0, attribution.request_dollars),
+        max(0.0, attribution.fixed_dollars),
+    ]
+    pools = _distribute(billed_nano, components)
+    if sum(pools) != billed_nano:  # all-zero attribution: park in fixed
+        pools = [0, 0, 0, billed_nano]
+    return billed_nano, pools
+
+
 def _attribute_dollars(
     root: ProfileNode, attribution: "CostAttribution"
 ) -> int:
@@ -214,16 +244,9 @@ def _attribute_dollars(
     to the root, so the invariant Σ self_nanodollars == billed_nanodollars
     holds unconditionally.
     """
-    billed_nano = round(attribution.billed * NANOS_PER_DOLLAR)
-    components = [  # clamp float residue: a -1e-18 weight must not flip signs
-        max(0.0, attribution.bandwidth_dollars),
-        max(0.0, attribution.compute_dollars),
-        max(0.0, attribution.request_dollars),
-        max(0.0, attribution.fixed_dollars),
-    ]
-    pools = _distribute(billed_nano, components)
-    if sum(pools) != billed_nano:  # all-zero attribution: park at root
-        pools = [0, 0, 0, billed_nano]
+    billed_nano, pools = split_attribution_nanodollars(
+        attribution.billed, attribution
+    )
     operators = [n for n in root.walk() if n.kind == "operator"]
     by_resource = [
         (pools[0], operators, [float(n.bytes_scanned) for n in operators]),

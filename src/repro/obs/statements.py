@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable
 
 from repro.obs.metrics import Histogram
-from repro.obs.profiler import NANOS_PER_DOLLAR, _distribute
+from repro.obs.profiler import NANOS_PER_DOLLAR, split_attribution_nanodollars
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.fingerprint import Fingerprint
@@ -37,11 +37,12 @@ TOP_DIMENSIONS = ("time", "dollars", "calls")
 
 @dataclass
 class StatementEntry:
-    """Aggregates for one fingerprint at one service level."""
+    """Aggregates for one fingerprint at one service level (per tenant)."""
 
     fingerprint: str
     level: str
     statement: str  # normalized text (literals stripped)
+    tenant: str = "default"
     parsed: bool = True
     plan_shape: str | None = None
     calls: int = 0
@@ -87,28 +88,16 @@ def _split_nanodollars(
 ) -> tuple[int, list[int]]:
     """Billed $ → integer nanodollars split by resource, exactly.
 
-    Mirrors the profiler's pool split: largest-remainder over the cost
-    model's (bandwidth, compute, request, fixed) components; when the
-    components carry no weight the whole bill parks in the fixed pool,
-    so the four shares always sum to the billed total.
+    Delegates to the profiler's shared splitter so the statement store,
+    the flame graphs, and the metering ledger can never disagree by even
+    one nanodollar.
     """
-    billed_nano = round(billed * NANOS_PER_DOLLAR)
-    if attribution is None:
-        return billed_nano, [0, 0, 0, billed_nano]
-    components = [
-        max(0.0, attribution.bandwidth_dollars),
-        max(0.0, attribution.compute_dollars),
-        max(0.0, attribution.request_dollars),
-        max(0.0, attribution.fixed_dollars),
-    ]
-    pools = _distribute(billed_nano, components)
-    if sum(pools) != billed_nano:
-        pools = [0, 0, 0, billed_nano]
-    return billed_nano, pools
+    return split_attribution_nanodollars(billed, attribution)
 
 
 class StatementStore:
-    """Fingerprint × level aggregation with deterministic exports."""
+    """Fingerprint × level × tenant aggregation with deterministic
+    exports."""
 
     enabled: bool = True
 
@@ -116,7 +105,7 @@ class StatementStore:
         self, time_buckets: Iterable[float] = STATEMENT_TIME_BUCKETS
     ) -> None:
         self._time_buckets = tuple(time_buckets)
-        self._entries: dict[tuple[str, str], StatementEntry] = {}
+        self._entries: dict[tuple[str, str, str], StatementEntry] = {}
 
     def record(
         self,
@@ -130,20 +119,23 @@ class StatementStore:
         stats=None,
         plan_shape: str | None = None,
         error: bool = False,
+        tenant: str = "default",
     ) -> StatementEntry:
         """Fold one completed query into its entry.
 
         ``stats`` is the execution's :class:`~repro.engine.executor.QueryStats`
         (or None for failures that never produced one); ``attribution``
-        the cost model's resource split of ``billed``.
+        the cost model's resource split of ``billed``; ``tenant`` the
+        submitting tenant (one entry per fingerprint × level × tenant).
         """
-        key = (fingerprint.id, level)
+        key = (fingerprint.id, level, tenant)
         entry = self._entries.get(key)
         if entry is None:
             entry = StatementEntry(
                 fingerprint=fingerprint.id,
                 level=level,
                 statement=fingerprint.normalized,
+                tenant=tenant,
                 parsed=fingerprint.parsed,
                 time_histogram=Histogram(
                     "statement_time_seconds", buckets=self._time_buckets
@@ -178,17 +170,20 @@ class StatementStore:
     # -- queries ------------------------------------------------------------
 
     def entries(self) -> list[StatementEntry]:
-        """All entries in (fingerprint, level) order."""
+        """All entries in (fingerprint, level, tenant) order."""
         return [self._entries[key] for key in sorted(self._entries)]
 
-    def entry(self, fingerprint_id: str, level: str) -> StatementEntry | None:
-        return self._entries.get((fingerprint_id, level))
+    def entry(
+        self, fingerprint_id: str, level: str, tenant: str = "default"
+    ) -> StatementEntry | None:
+        return self._entries.get((fingerprint_id, level, tenant))
 
     def top(
         self, k: int = 10, by: str = "dollars", level: str | None = None
     ) -> list[StatementEntry]:
         """Top-``k`` entries by ``time``/``dollars``/``calls``, ties broken
-        by (fingerprint, level) so the ranking is total and deterministic."""
+        by (fingerprint, level, tenant) so the ranking is total and
+        deterministic."""
         if by == "time":
             value = lambda e: e.time_s  # noqa: E731
         elif by == "dollars":
@@ -204,7 +199,9 @@ class StatementStore:
             for entry in self._entries.values()
             if level is None or entry.level == level
         ]
-        pool.sort(key=lambda e: (-value(e), e.fingerprint, e.level))
+        pool.sort(
+            key=lambda e: (-value(e), e.fingerprint, e.level, e.tenant)
+        )
         return pool[:k]
 
     # -- exports ------------------------------------------------------------
@@ -238,7 +235,8 @@ class StatementStore:
         return "\n".join(lines) + "\n"
 
     def snapshot(self) -> list[dict]:
-        """Entries as JSON-ready dicts, (fingerprint, level)-sorted."""
+        """Entries as JSON-ready dicts, (fingerprint, level, tenant)-
+        sorted."""
         out: list[dict] = []
         for entry in self.entries():
             hist = entry.time_histogram
@@ -250,6 +248,7 @@ class StatementStore:
                 {
                     "fingerprint": entry.fingerprint,
                     "level": entry.level,
+                    "tenant": entry.tenant,
                     "statement": entry.statement,
                     "parsed": entry.parsed,
                     "plan_shape": entry.plan_shape,

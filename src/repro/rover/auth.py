@@ -15,12 +15,22 @@ def _hash_password(password: str, salt: str) -> str:
 
 @dataclass
 class User:
-    """One registered user and the database schemas they may analyze."""
+    """One registered user and the database schemas they may analyze.
+
+    ``tenant`` is the billing account the user's queries are metered
+    under (spend accounting, soft budgets); it defaults to the username
+    so every user is its own tenant unless grouped explicitly.
+    """
 
     username: str
     password_hash: str
     salt: str
     authorized_databases: set[str] = field(default_factory=set)
+    tenant: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.tenant:
+            self.tenant = self.username
 
 
 class UserStore:
@@ -30,7 +40,11 @@ class UserStore:
         self._users: dict[str, User] = {}
 
     def register(
-        self, username: str, password: str, authorized_databases: set[str]
+        self,
+        username: str,
+        password: str,
+        authorized_databases: set[str],
+        tenant: str | None = None,
     ) -> User:
         if username in self._users:
             raise AuthenticationError(f"user {username!r} already exists")
@@ -42,6 +56,7 @@ class UserStore:
             password_hash=_hash_password(password, salt),
             salt=salt,
             authorized_databases=set(authorized_databases),
+            tenant=tenant or username,
         )
         self._users[username] = user
         return user
@@ -59,6 +74,10 @@ class UserStore:
 
     def revoke(self, username: str, database: str) -> None:
         self._user(username).authorized_databases.discard(database)
+
+    def tenant_of(self, username: str) -> str:
+        """The billing tenant a user's queries are metered under."""
+        return self._user(username).tenant
 
     def check_authorized(self, username: str, database: str) -> None:
         if database not in self._user(username).authorized_databases:

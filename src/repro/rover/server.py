@@ -212,7 +212,10 @@ class RoverServer:
         if isinstance(level, str):
             level = ServiceLevel.from_string(level)
         server_query = self._query_server.submit(
-            block.sql, level, result_limit=result_limit
+            block.sql,
+            level,
+            result_limit=result_limit,
+            tenant=self._users.tenant_of(session.username),
         )
         result = ResultBlock(
             result_id=f"result-{server_query.query_id}",
@@ -283,6 +286,19 @@ class RoverServer:
         (includes tail-based slow-query captures)."""
         self._session(token)
         return self._query_server.obs.journal.export_jsonl()
+
+    def ledger(self, token: str) -> str:
+        """The full metering ledger as byte-stable JSONL — every charge
+        and void the server emitted, in sequence order (empty without
+        observability)."""
+        self._session(token)  # any authenticated session may audit
+        return self._query_server.obs.ledger.export_jsonl()
+
+    def spend(self, token: str) -> str:
+        """The per-tenant spend report (net nanodollars, per-level
+        split, soft-budget status) as byte-stable JSON."""
+        self._session(token)
+        return self._query_server.obs.spend.export_json()
 
     def origin_of(self, token: str, result_id: str) -> TranslatorBlock:
         """Result block → its question block (highlight linkage)."""

@@ -193,6 +193,22 @@ class Coordinator:
         )
         registry.add_collector(self._collect_storage_metrics)
 
+    def _meter_provider(self, query_id: str, cost: float, venue: str) -> None:
+        """Accrue provider-side spend: the metric plus a provider-account
+        meter event in the ledger (the operator's worker-second bill for
+        this query at this venue)."""
+        self._m_provider.inc(cost, venue=venue)
+        if self.obs.ledger.enabled:
+            from repro.obs.profiler import NANOS_PER_DOLLAR
+
+            self.obs.ledger.charge(
+                query_id,
+                axis="compute",
+                nanodollars=round(cost * NANOS_PER_DOLLAR),
+                account="provider",
+                venue=venue,
+            )
+
     def _collect_storage_metrics(self) -> None:
         """Mirror storage/cache counters into the registry at scrape time."""
         registry = self.obs.metrics
@@ -558,7 +574,7 @@ class Coordinator:
             fraction = self.fault_injector.failure_point()
             partial_cost = estimate.provider_cost * fraction
             execution.provider_cost += partial_cost
-            self._m_provider.inc(partial_cost, venue="vm")
+            self._meter_provider(execution.query_id, partial_cost, venue="vm")
 
             def crash() -> None:
                 execute_span.finish("retry", reason="vm worker crashed")
@@ -571,7 +587,9 @@ class Coordinator:
             self._vm_running[execution.query_id] = (event, worker)
             return
         execution.provider_cost += estimate.provider_cost
-        self._m_provider.inc(estimate.provider_cost, venue="vm")
+        self._meter_provider(
+            execution.query_id, estimate.provider_cost, venue="vm"
+        )
 
         def finish() -> None:
             execute_span.finish(
@@ -712,7 +730,7 @@ class Coordinator:
             partial = estimate.duration_s * fraction
             partial_cost = estimate.provider_cost * fraction
             execution.provider_cost += partial_cost
-            self._m_provider.inc(partial_cost, venue="cf")
+            self._meter_provider(execution.query_id, partial_cost, venue="cf")
 
             def retry() -> None:
                 if execution.retries >= self.fault_injector.config.max_retries:
@@ -736,7 +754,9 @@ class Coordinator:
             )
             return
         execution.provider_cost += estimate.provider_cost
-        self._m_provider.inc(estimate.provider_cost, venue="cf")
+        self._meter_provider(
+            execution.query_id, estimate.provider_cost, venue="cf"
+        )
 
         def completed() -> None:
             invoke_span.finish("ok")
@@ -824,7 +844,9 @@ class Coordinator:
                 execution.started_at = self._sim.now
                 execution.venue = ExecutionVenue.VM
                 execution.provider_cost += per_member_cost
-                self._m_provider.inc(per_member_cost, venue="vm")
+                self._meter_provider(
+                    execution.query_id, per_member_cost, venue="vm"
+                )
                 member_spans.append(
                     self.obs.tracer.start(
                         execution.query_id,

@@ -75,6 +75,23 @@ class CostAttribution:
         )
 
 
+@dataclass(frozen=True)
+class MeterReading:
+    """One query's bill as the metering ledger records it: the float
+    attribution plus its exact integer-nanodollar decomposition.
+
+    ``axes`` maps resource axis (bandwidth/compute/requests/fixed) to
+    nanodollars and always sums to ``billed_nanodollars`` — the split
+    comes from the profiler's shared largest-remainder helper, so the
+    ledger, the statement store, and the flame graphs agree to the
+    nanodollar by construction.
+    """
+
+    billed_nanodollars: int
+    attribution: CostAttribution
+    axes: dict[str, int]
+
+
 class CostModel:
     """Turns executor statistics into durations and dollars."""
 
@@ -189,6 +206,26 @@ class CostModel:
         # sum to the bill by construction.
         fixed = billed - bandwidth - compute - requests
         return CostAttribution(billed, venue, bandwidth, compute, requests, fixed)
+
+    def meter(
+        self,
+        stats: QueryStats,
+        venue: str,
+        billed: float,
+        get_price_per_1000: float = 0.0004,
+    ) -> MeterReading:
+        """The billing point the metering ledger consumes: attribution
+        plus the exact integer axis split of ``billed``."""
+        from repro.obs.ledger import AXES
+        from repro.obs.profiler import split_attribution_nanodollars
+
+        attribution = self.attribution(stats, venue, billed, get_price_per_1000)
+        billed_nano, pools = split_attribution_nanodollars(billed, attribution)
+        return MeterReading(
+            billed_nanodollars=billed_nano,
+            attribution=attribution,
+            axes=dict(zip(AXES, pools)),
+        )
 
     # -- user-facing prices ------------------------------------------------------
 

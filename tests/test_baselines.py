@@ -80,8 +80,14 @@ class TestSingleLevel:
         sim.run_until(600)
         assert all(r.level is ServiceLevel.IMMEDIATE for r in records)
         assert all(r.status is QueryStatus.FINISHED for r in records)
+        # Billing now aggregates in integer nanodollars: the total is
+        # exactly the sum of the per-query integer bills, and the dollar
+        # view matches the float prices to billing granularity (1 nano$).
+        assert server.total_billed_nanodollars() == sum(
+            round(r.price * 1e9) for r in records
+        )
         assert server.total_billed() == pytest.approx(
-            sum(r.price for r in records)
+            sum(r.price for r in records), abs=1e-9 * len(records)
         )
 
 

@@ -139,3 +139,91 @@ class TestRoverCancellation:
         expanded = rover.expand_result(token, result.result_id)
         assert expanded["status"] == "failed"
         assert "cancelled" in expanded["error"]
+
+
+class TestCancellationBilling:
+    """Cancelled queries bill exactly $0 and leave a voided audit trail
+    in the metering ledger that the reconciler accepts."""
+
+    def _observed_env(self):
+        from repro.core import QueryServer
+        from repro.obs import Instrumentation
+        from repro.sim import Simulator
+        from repro.turbo import Coordinator, TurboConfig
+        from repro.workloads import TpchGenerator, load_dataset
+        from repro.storage.catalog import Catalog
+        from repro.storage.object_store import ObjectStore
+
+        sim = Simulator(seed=11)
+        store = ObjectStore()
+        catalog = Catalog()
+        load_dataset(store, catalog, "tpch", TpchGenerator(scale=0.05).tables())
+        config = TurboConfig.fast()
+        obs = Instrumentation.create(clock=lambda: sim.now)
+        coordinator = Coordinator(sim, config, catalog, store, "tpch", obs=obs)
+        server = QueryServer(sim, coordinator, config)
+        return sim, server
+
+    def test_cancelled_held_query_bills_zero_with_void_event(self):
+        sim, server = self._observed_env()
+        for _ in range(12):
+            server.submit(HEAVY, ServiceLevel.RELAXED, tenant="acme")
+        held = server.submit(HEAVY, ServiceLevel.RELAXED, tenant="acme")
+        assert server.cancel(held.query_id) is True
+        sim.run_until(900)
+        assert held.status is QueryStatus.FAILED
+        assert held.price == 0.0
+        assert held.price_nanodollars == 0
+        ledger = server.obs.ledger
+        assert held.query_id in ledger.voided_query_ids()
+        voids = [
+            e for e in ledger.events_for(held.query_id) if e.kind == "void"
+        ]
+        assert voids, "cancellation left no void event"
+        assert voids[0].tenant == "acme"
+        assert voids[0].reason == "cancelled_held"
+        assert ledger.net_nanodollars(held.query_id) == 0
+
+    def test_cancelled_dispatched_query_voids_and_reconciles(self):
+        from repro.obs.reconcile import reconcile_server
+
+        sim, server = self._observed_env()
+        records = [
+            server.submit(HEAVY, ServiceLevel.RELAXED, tenant="acme")
+            for _ in range(4)
+        ]
+        victim = records[-1]
+        assert victim.dispatched_at is not None  # in the VM pipeline
+        assert server.cancel(victim.query_id) is True
+        sim.run_until(900)
+        assert victim.status is QueryStatus.FAILED
+        assert victim.error == "cancelled by user"
+        assert victim.price == 0.0
+        assert victim.price_nanodollars == 0
+        ledger = server.obs.ledger
+        assert victim.query_id in ledger.voided_query_ids()
+        assert ledger.net_nanodollars(victim.query_id) == 0
+        # The survivors billed normally and the whole ledger reconciles:
+        # cancelled queries net zero, finished ones match their price.
+        report = reconcile_server(server)
+        assert report.ok, report.render()
+        assert server.total_billed_nanodollars() == sum(
+            r.price_nanodollars for r in records
+        )
+        assert all(
+            r.price_nanodollars > 0 for r in records if r is not victim
+        )
+
+    def test_cancelled_query_excluded_from_tenant_spend(self):
+        sim, server = self._observed_env()
+        kept = server.submit(HEAVY, ServiceLevel.RELAXED, tenant="acme")
+        sim.run_until(900)  # let it finish before the next one is held
+        for _ in range(12):
+            server.submit(HEAVY, ServiceLevel.RELAXED, tenant="other")
+        held = server.submit(HEAVY, ServiceLevel.RELAXED, tenant="acme")
+        server.cancel(held.query_id)
+        sim.run_until(1800)
+        assert kept.status is QueryStatus.FINISHED
+        spend = server.obs.spend
+        assert spend.tenant_nanodollars("acme") == kept.price_nanodollars
+        assert spend.report()["voids"] >= 1

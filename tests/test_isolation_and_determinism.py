@@ -223,3 +223,53 @@ class TestErrorPaths:
         record = server.submit("SELECT ghost FROM orders", ServiceLevel.IMMEDIATE)
         sim.run_until(10)
         assert record.price == 0.0
+
+
+class TestBillingDeterminism:
+    """The metering ledger and spend exports are byte-identical across
+    runs and invariant to morsel-parallel worker count."""
+
+    def _run_billed(self):
+        from repro.baselines import run_workload
+        from repro.baselines.runner import Submission
+        from repro.storage.catalog import Catalog
+        from repro.storage.object_store import ObjectStore
+        from repro.turbo import TurboConfig
+        from repro.workloads import TpchGenerator, load_dataset
+
+        store = ObjectStore()
+        catalog = Catalog()
+        load_dataset(store, catalog, "tpch", TpchGenerator(scale=0.02).tables())
+        submissions = [
+            Submission(
+                float(i),
+                "SELECT l_returnflag, count(*) FROM lineitem "
+                "GROUP BY l_returnflag",
+                list(ServiceLevel)[i % 3],
+                tenant=("acme", "beta")[i % 2],
+            )
+            for i in range(9)
+        ]
+        result = run_workload(
+            submissions, store, catalog, "tpch", TurboConfig.fast(), seed=4,
+            observe=True,
+        )
+        from repro.obs.reconcile import reconcile_server
+
+        report = reconcile_server(result.server)
+        assert report.ok, report.render()
+        return (
+            result.obs.ledger.export_jsonl(),
+            result.obs.spend.export_json(),
+            report.export_json(),
+        )
+
+    def test_billing_exports_byte_identical_across_runs(self):
+        assert self._run_billed() == self._run_billed()
+
+    def test_billing_exports_invariant_to_worker_count(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "1")
+        sequential = self._run_billed()
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        parallel = self._run_billed()
+        assert sequential == parallel
