@@ -1,0 +1,277 @@
+"""Experiment C9 — fleet-scale admission-controlled fair scheduling.
+
+Drives 10⁴+ simulated client sessions (a diurnal best-effort fleet, a
+relaxed spike, and periodic immediate probes) through the sharded
+session layer against one admission-controlled, weighted-fair query
+server.  The cluster saturates by design — capacity is constrained and
+the horizon bounded, so only a small fraction of the backlog executes —
+which is the regime where the scheduler's promises matter:
+
+* **Immediate never starves**: every immediate probe injected while the
+  relaxed/best-effort backlog saturates the cluster starts at its
+  submission instant (pending time 0 → SLO compliance 1.0).
+* **Weighted fairness**: with equal shares, the WFQ core's per-tenant
+  hold-queue dispatches stay near-uniform (Jain index ≥ 0.95).
+* **Admission under pressure**: relaxed submissions past the pressure
+  threshold are downgraded to best-effort; tenants past their live-query
+  quota are rejected outright.  Rejected queries leave no record and
+  bill $0; downgraded queries bill at the best-effort rate — the ledger
+  replay (``reconcile_gate.py``) proves both.
+
+Every recorded metric is an exact simulation output: identical across
+rounds, machines, and ``REPRO_WORKERS`` settings, so the perf gate
+demands exact matches against ``BENCH_c9.json``.
+"""
+
+import json
+import os
+
+import numpy as np
+
+from common import (
+    MEDIUM_SQL,
+    LIGHT_SQL,
+    bench_record,
+    export_ledger_audit,
+    format_row,
+    report,
+    tpch_environment,
+)
+from repro.baselines.runner import WorkloadResult
+from repro.core import QueryStatus, ServiceLevel
+from repro.core.query_server import QueryServer
+from repro.core.scheduler import AdmissionPolicy, SessionFleet, SessionSpec
+from repro.obs import Instrumentation
+from repro.sim import Simulator
+from repro.turbo import TurboConfig
+from repro.turbo.coordinator import Coordinator
+from repro.workloads.arrivals import diurnal_arrivals, spike_arrivals
+
+TENANTS = [f"tenant-{i}" for i in range(8)]
+HORIZON_S = 3600.0
+PROBE_TENANT = "ops-probe"
+
+
+def build_fleet(sim: Simulator, server: QueryServer) -> SessionFleet:
+    """10⁴+ sessions: diurnal best-effort bulk, relaxed spike, probes."""
+    fleet = SessionFleet(sim, server, num_shards=16)
+    rng = np.random.default_rng(9)
+    bulk = diurnal_arrivals(
+        rng,
+        duration_s=HORIZON_S,
+        peak_rate_per_s=5.0,
+        period_s=HORIZON_S,
+        trough_fraction=0.1,
+    )
+    for index, offset in enumerate(bulk):
+        fleet.add(
+            SessionSpec(
+                session_id=f"bulk-{index}",
+                tenant=TENANTS[index % len(TENANTS)],
+                level=ServiceLevel.BEST_EFFORT,
+                arrivals=(offset,),
+                sql=MEDIUM_SQL,
+            )
+        )
+    spike = spike_arrivals(
+        rng,
+        duration_s=HORIZON_S,
+        base_rate_per_s=0.0,
+        spike_at_s=1800.0,
+        spike_queries=1500,
+        spike_spread_s=30.0,
+    )
+    for index, offset in enumerate(spike):
+        fleet.add(
+            SessionSpec(
+                session_id=f"spike-{index}",
+                tenant=TENANTS[index % len(TENANTS)],
+                level=ServiceLevel.RELAXED,
+                arrivals=(offset,),
+                sql=MEDIUM_SQL,
+            )
+        )
+    for index, offset in enumerate(np.arange(300.0, HORIZON_S - 60.0, 60.0)):
+        fleet.add(
+            SessionSpec(
+                session_id=f"probe-{index}",
+                tenant=PROBE_TENANT,
+                level=ServiceLevel.IMMEDIATE,
+                arrivals=(float(offset),),
+                sql=LIGHT_SQL,
+            )
+        )
+    return fleet
+
+
+def run_experiment():
+    store, catalog = tpch_environment(scale=0.02)
+    # Heavy inflation so dispatched queries occupy the cluster for
+    # hundreds of simulated seconds: the backlog saturates and stays
+    # saturated, and only a bounded fraction of the fleet executes
+    # within the horizon.
+    config = TurboConfig.experiment(data_inflation=50_000.0)
+    sim = Simulator(seed=424242)
+    obs = Instrumentation.create(clock=lambda: sim.now)
+    coordinator = Coordinator(sim, config, catalog, store, "tpch", obs=obs)
+    server = QueryServer(
+        sim,
+        coordinator,
+        config,
+        admission=AdmissionPolicy(tenant_quota=1000, downgrade_queue_depth=64),
+    )
+    fleet = build_fleet(sim, server)
+    fleet.start()
+    sim.run_until(HORIZON_S)
+    result = WorkloadResult(
+        sim=sim, coordinator=coordinator, server=server, obs=obs
+    )
+    result.queries = list(server.queries)
+    return result, fleet
+
+
+def experiment_metrics(pair) -> dict:
+    result, fleet = pair
+    server = result.server
+    snapshot = server.scheduler_snapshot()
+    admission = snapshot["admission"]
+    probes = [
+        q for q in server.queries if q.level is ServiceLevel.IMMEDIATE
+    ]
+    on_time = [q for q in probes if q.pending_time_s == 0.0]
+    fairness = snapshot["fairness"]["jain_dispatched"]
+    finished = [
+        q for q in server.queries if q.status is QueryStatus.FINISHED
+    ]
+    return {
+        "num_sessions": fleet.num_sessions,
+        "num_shards": fleet.num_shards,
+        "admitted": admission["admitted"],
+        "rejected": sum(admission["rejected"].values()),
+        "downgraded": sum(admission["downgraded"].values()),
+        "held_relaxed": server.queued_relaxed,
+        "held_best_effort": server.queued_best_effort,
+        "immediate_probes": len(probes),
+        "immediate_slo_compliance": (
+            round(len(on_time) / len(probes), 9) if probes else None
+        ),
+        "jain_fairness": (
+            round(fairness, 6) if fairness is not None else None
+        ),
+        "finished_queries": len(finished),
+        "billed_dollars": round(server.total_billed(), 12),
+        "sim_seconds": round(result.sim.now, 9),
+    }
+
+
+def test_c9_fleet_scheduling(benchmark):
+    result, fleet = benchmark.pedantic(
+        lambda: bench_record(
+            "c9",
+            run_experiment,
+            experiment_metrics,
+            meta={
+                "sessions": "diurnal best-effort + relaxed spike + probes",
+                "horizon_s": HORIZON_S,
+                "tenants": len(TENANTS) + 1,
+            },
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    metrics = experiment_metrics((result, fleet))
+    server = result.server
+    snapshot = server.scheduler_snapshot()
+
+    lines = [
+        format_row("metric", "value", widths=[34, 24]),
+        format_row("sessions", metrics["num_sessions"], widths=[34, 24]),
+        format_row("shards", metrics["num_shards"], widths=[34, 24]),
+        format_row("admitted", metrics["admitted"], widths=[34, 24]),
+        format_row(
+            "rejected (quota)", metrics["rejected"], widths=[34, 24]
+        ),
+        format_row(
+            "downgraded (pressure)", metrics["downgraded"], widths=[34, 24]
+        ),
+        format_row(
+            "held at horizon (rlx/be)",
+            f"{metrics['held_relaxed']}/{metrics['held_best_effort']}",
+            widths=[34, 24],
+        ),
+        format_row(
+            "immediate probes", metrics["immediate_probes"], widths=[34, 24]
+        ),
+        format_row(
+            "immediate SLO compliance",
+            metrics["immediate_slo_compliance"],
+            widths=[34, 24],
+        ),
+        format_row(
+            "Jain fairness (WFQ dispatches)",
+            metrics["jain_fairness"],
+            widths=[34, 24],
+        ),
+        format_row(
+            "finished queries", metrics["finished_queries"], widths=[34, 24]
+        ),
+        format_row(
+            "billed", f"${metrics['billed_dollars']:.6f}", widths=[34, 24]
+        ),
+        "",
+        "per-tenant WFQ dispatches: "
+        + ", ".join(
+            f"{tenant}={count}"
+            for tenant, count in snapshot["dispatched_by_tenant"].items()
+        ),
+    ]
+
+    # Billing audit: every admitted query's charges reconcile; rejected
+    # queries left no record and billed $0 (reconcile_gate replays this
+    # ledger in CI).
+    paths = export_ledger_audit("c9", result)
+    scheduler_path = os.path.join(
+        os.path.dirname(__file__), "results", "c9_scheduler.json"
+    )
+    with open(scheduler_path, "w", encoding="utf-8") as handle:
+        json.dump(
+            {
+                "scheduler": snapshot,
+                "fleet": fleet.snapshot(),
+                "metrics": metrics,
+            },
+            handle,
+            indent=2,
+            sort_keys=True,
+        )
+        handle.write("\n")
+    lines += ["", f"artifacts: {sorted(paths)} + c9_scheduler.json"]
+    report("C9  Fleet-scale admission-controlled fair scheduling", lines)
+
+    # 10⁴+ sessions over a saturating backlog.
+    assert metrics["num_sessions"] >= 10_000
+    assert metrics["held_best_effort"] >= 1_000  # saturated at horizon
+    # Immediate queries meet the 0s pending-time deadline — all of them.
+    assert metrics["immediate_probes"] >= 50
+    assert metrics["immediate_slo_compliance"] == 1.0
+    # Equal shares → near-uniform hold-queue dispatches across tenants.
+    assert metrics["jain_fairness"] >= 0.95
+    # Admission exercised both pressure paths.
+    assert metrics["rejected"] > 0
+    assert metrics["downgraded"] > 0
+    assert snapshot["admission"]["rejected"] == {
+        "tenant_quota": metrics["rejected"]
+    }
+    assert snapshot["admission"]["downgraded"] == {
+        "queue_pressure": metrics["downgraded"]
+    }
+    # Rejected queries leave no record behind (and so bill $0);
+    # admitted + downgraded queries all do.
+    assert len(server.queries) == metrics["admitted"] + metrics["downgraded"]
+    # Downgraded queries run at the best-effort price.
+    downgraded = [q for q in server.queries if q.downgraded]
+    assert downgraded
+    assert all(q.level is ServiceLevel.BEST_EFFORT for q in downgraded)
+    assert all(
+        q.requested_level is ServiceLevel.RELAXED for q in downgraded
+    )

@@ -33,6 +33,12 @@ _RESULTS_DIR = os.path.join(
     os.path.dirname(os.path.abspath(__file__)), "results"
 )
 
+#: Ledgers the gate insists on (beyond replaying whatever is present).
+#: C9 is the fleet-scheduling bench: its ledger proves that rejected
+#: queries billed $0 (they emit no events at all) and that downgraded
+#: queries' best-effort charges reconcile exactly.
+_REQUIRED_LEDGERS = ("c9_ledger.jsonl",)
+
 
 def _replay_all() -> int:
     from repro.obs.ledger import load_events_jsonl
@@ -43,6 +49,15 @@ def _replay_all() -> int:
         print(
             "RECONCILE GATE: no *_ledger.jsonl artifacts under "
             f"{_RESULTS_DIR} — run the observed benches first",
+            file=sys.stderr,
+        )
+        return 2
+    present = {os.path.basename(p) for p in paths}
+    missing = [name for name in _REQUIRED_LEDGERS if name not in present]
+    if missing:
+        print(
+            f"RECONCILE GATE: required ledger export(s) missing: {missing} "
+            "— run the fleet-scheduling bench first",
             file=sys.stderr,
         )
         return 2

@@ -191,10 +191,24 @@ class PixelsDB:
             )
         return self._coordinators[schema]
 
-    def query_server(self, schema: str) -> QueryServer:
+    def query_server(
+        self,
+        schema: str,
+        admission=None,
+        shares: dict[str, float] | None = None,
+        default_share: float = 1.0,
+    ) -> QueryServer:
+        """The (cached) query server for ``schema``.  ``admission``
+        (an :class:`~repro.core.scheduler.AdmissionPolicy`) and the WFQ
+        ``shares`` apply only when the server is first created."""
         if schema not in self._servers:
             self._servers[schema] = QueryServer(
-                self.sim, self.coordinator(schema), self.config
+                self.sim,
+                self.coordinator(schema),
+                self.config,
+                admission=admission,
+                shares=shares,
+                default_share=default_share,
             )
         return self._servers[schema]
 
@@ -382,7 +396,21 @@ class PixelsDB:
             registry=self.obs.metrics,
             statements=self.obs.statements,
             spend=self.obs.spend,
+            scheduler=self._scheduler_snapshot(),
         )
+
+    def _scheduler_snapshot(self) -> dict | None:
+        """The scheduler state of this instance's query servers; with
+        several schemas the snapshots are keyed by schema name."""
+        if not self._servers:
+            return None
+        if len(self._servers) == 1:
+            (server,) = self._servers.values()
+            return server.scheduler_snapshot()
+        return {
+            schema: self._servers[schema].scheduler_snapshot()
+            for schema in sorted(self._servers)
+        }
 
     def dashboard_html(self, title: str = "PixelsDB operator dashboard") -> str:
         """Self-contained static HTML operator report — byte-identical

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.core.query_server import QueryServer, ServerQuery
 from repro.core.service_levels import QueryStatus, ServiceLevel
+from repro.errors import QueryRejectedError
 from repro.obs import Instrumentation
 from repro.obs.alerts import AlertEngine, BurnRateRule, ThresholdRule, default_rules
 from repro.obs.dashboard import DashboardData
@@ -123,6 +124,7 @@ class WorkloadResult:
             registry=self.obs.metrics,
             statements=self.obs.statements,
             spend=self.obs.spend,
+            scheduler=self.server.scheduler_snapshot(),
         )
 
 
@@ -139,6 +141,7 @@ def run_workload(
     observe: bool = False,
     scrape_interval_s: float = 30.0,
     alert_rules: list[BurnRateRule | ThresholdRule] | None = None,
+    server_kwargs: dict | None = None,
 ) -> WorkloadResult:
     """Replay ``submissions`` against a fresh engine instance.
 
@@ -156,6 +159,8 @@ def run_workload(
         scrape_interval_s: Virtual-time cadence of the scrape loop.
         alert_rules: Alert rule set; defaults to
             :func:`repro.obs.alerts.default_rules`.
+        server_kwargs: Extra :class:`QueryServer` keyword arguments —
+            how fleet benches set admission policy and WFQ shares.
     """
     if config is None:
         config = TurboConfig()
@@ -185,7 +190,7 @@ def run_workload(
             listeners=[alerts.evaluate],
         )
     coordinator = coordinator_cls(sim, config, catalog, store, schema, **kwargs)
-    server = QueryServer(sim, coordinator, config)
+    server = QueryServer(sim, coordinator, config, **(server_kwargs or {}))
     result = WorkloadResult(
         sim=sim,
         coordinator=coordinator,
@@ -198,12 +203,18 @@ def run_workload(
 
     def make_submit(submission: Submission):
         def submit() -> None:
-            record = server.submit(
-                submission.sql,
-                submission.level,
-                result_limit=submission.result_limit,
-                tenant=submission.tenant,
-            )
+            try:
+                record = server.submit(
+                    submission.sql,
+                    submission.level,
+                    result_limit=submission.result_limit,
+                    tenant=submission.tenant,
+                )
+            except QueryRejectedError:
+                # Admission/back-pressure refusals are a scheduling
+                # outcome, not a harness error; the server's rejection
+                # counters carry the tally.
+                return
             result.queries.append(record)
 
         return submit

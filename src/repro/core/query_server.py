@@ -12,6 +12,16 @@ API (Pixels-Rover is its client).  Admission per level:
   watermark, i.e. exactly when the cluster would otherwise scale in; no
   deadline.
 
+Since the scheduler refactor this class is a thin façade over the
+layered :mod:`repro.core.scheduler` subsystem: an
+:class:`~repro.core.scheduler.AdmissionController` judges every
+submission (quotas, rate limits, pressure/budget downgrades — inert by
+default), and a :class:`~repro.core.scheduler.LevelScheduler` holds the
+queued work in per-tenant weighted-fair queues instead of the old FIFO
+lists.  The façade keeps what only it can own: billing, observability
+threading, and the watermark/grace *eligibility* rules; the scheduler
+decides *who goes next* among the eligible.
+
 Held queries are re-evaluated on a periodic scheduler tick and whenever a
 query completes.  On completion the server computes the user's bill:
 TB-scanned × the level's rate ($5 / $1 / $0.5 per TB).
@@ -19,13 +29,26 @@ TB-scanned × the level's rate ($5 / $1 / $0.5 per TB).
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.errors import NoSuchQueryError, PixelsError, QueryRejectedError
+from repro.core.scheduler import (
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionPolicy,
+    HELD_LEVELS,
+    LevelScheduler,
+)
 from repro.core.service_levels import QueryStatus, ServiceLevel
 from repro.obs import ROOT, Span
 from repro.obs.fingerprint import Fingerprint, fingerprint
+from repro.obs.metrics import (
+    ADMISSION_DOWNGRADES_METRIC,
+    ADMISSION_REJECTIONS_METRIC,
+    SCHEDULER_QUEUE_DEPTH_METRIC,
+)
 from repro.obs.profiler import NANOS_PER_DOLLAR
 from repro.obs.slo import SLACK_BUCKETS
 from repro.sim import Simulator
@@ -40,6 +63,8 @@ class ServerQuery:
 
     query_id: str
     sql: str
+    #: Effective service level — what the query runs and bills at.  The
+    #: admission layer may have downgraded it from ``requested_level``.
     level: ServiceLevel
     submitted_at: float
     result_limit: int | None = None
@@ -56,6 +81,19 @@ class ServerQuery:
     on_finish: Callable[["ServerQuery"], None] | None = field(
         default=None, repr=False
     )
+    #: The level the client asked for (== ``level`` unless downgraded).
+    requested_level: ServiceLevel | None = None
+    #: The admission layer's verdict on this submission.
+    admission: AdmissionDecision | None = field(default=None, repr=False)
+    #: Virtual finish tag the weighted-fair queue assigned while held.
+    finish_tag: float | None = None
+
+    @property
+    def downgraded(self) -> bool:
+        return (
+            self.requested_level is not None
+            and self.requested_level is not self.level
+        )
 
     @property
     def status(self) -> QueryStatus:
@@ -117,10 +155,20 @@ class QueryServer:
         max_queue_length: int = 10_000,
         batch_best_effort: bool = False,
         batch_size: int = 16,
+        admission: AdmissionPolicy | None = None,
+        shares: dict[str, float] | None = None,
+        default_share: float = 1.0,
     ) -> None:
         """``batch_best_effort`` enables the paper's §5 batch-optimization
         opportunity: held best-of-effort queries are dispatched together
-        as one shared-scan batch instead of one by one."""
+        as one shared-scan batch instead of one by one.
+
+        ``admission`` configures the front-end admission layer (quotas,
+        rate limits, downgrades); the default policy admits everything.
+        ``shares``/``default_share`` set per-tenant weighted-fair shares
+        for the hold queues; with one tenant (or equal shares and equal
+        load) dispatch order is exactly the old FIFO order.
+        """
         self._sim = sim
         self._coordinator = coordinator
         self._config = config
@@ -128,10 +176,18 @@ class QueryServer:
         self._batch_best_effort = batch_best_effort
         self._batch_size = batch_size
         self._queries: dict[str, ServerQuery] = {}
-        self._relaxed_queue: list[ServerQuery] = []
-        self._best_effort_queue: list[ServerQuery] = []
-        self._query_counter = 0
+        self._scheduler = LevelScheduler(shares, default_share)
         self.obs = coordinator.obs
+        self._admission = AdmissionController(
+            admission, clock=lambda: sim.now, spend=self.obs.spend
+        )
+        #: Per-tenant held + executing query count (the quota basis).
+        self._tenant_live: dict[str, int] = {}
+        #: Min-heap of (grace_deadline, seq, record) for held relaxed
+        #: queries; dispatched/cancelled entries are skipped lazily.
+        self._grace_heap: list[tuple[float, int, ServerQuery]] = []
+        self._grace_seq = 0
+        self._query_counter = 0
         self._root_spans: dict[str, Span] = {}
         self._queue_spans: dict[str, Span] = {}
         # Statement fingerprints: one cache keyed by SQL text (normalizing
@@ -147,6 +203,14 @@ class QueryServer:
         self._m_rejected = registry.counter(
             "pixels_queries_rejected_total",
             "Queries refused by hold-queue back-pressure",
+        )
+        self._m_admission_rejected = registry.counter(
+            ADMISSION_REJECTIONS_METRIC,
+            "Submissions refused by the admission layer, by reason",
+        )
+        self._m_admission_downgraded = registry.counter(
+            ADMISSION_DOWNGRADES_METRIC,
+            "Relaxed submissions downgraded to best_effort, by reason",
         )
         self._m_billed = registry.counter(
             "pixels_billed_dollars_total",
@@ -165,17 +229,41 @@ class QueryServer:
             "pixels_server_queue_depth",
             "Queries held in the server's per-level queues",
         )
+        self._m_tenant_queue_depth = registry.gauge(
+            SCHEDULER_QUEUE_DEPTH_METRIC,
+            "Held queries per tenant and service level "
+            "(label sets capped by the cardinality guard)",
+        )
         self._m_slack = registry.histogram(
             "pixels_query_deadline_slack_seconds",
             "Deadline minus pending time; negative buckets are violations",
             buckets=SLACK_BUCKETS,
         )
+        #: (tenant, level) series last reported non-zero — zeroed on the
+        #: next collection once the tenant drains, so the gauge never
+        #: shows a stale depth.
+        self._depth_series: set[tuple[str, str]] = set()
         registry.add_collector(self._collect_queue_depth)
         sim.schedule(config.scheduler_interval_s, self._tick)
 
     def _collect_queue_depth(self) -> None:
-        self._m_queue_depth.set(len(self._relaxed_queue), level="relaxed")
-        self._m_queue_depth.set(len(self._best_effort_queue), level="best_effort")
+        self._m_queue_depth.set(
+            self._scheduler.depth(ServiceLevel.RELAXED), level="relaxed"
+        )
+        self._m_queue_depth.set(
+            self._scheduler.depth(ServiceLevel.BEST_EFFORT),
+            level="best_effort",
+        )
+        live: set[tuple[str, str]] = set()
+        for level in HELD_LEVELS:
+            for tenant, depth in self._scheduler.queue(level).depths().items():
+                self._m_tenant_queue_depth.set(
+                    depth, tenant=tenant, level=level.value
+                )
+                live.add((tenant, level.value))
+        for tenant, level_name in self._depth_series - live:
+            self._m_tenant_queue_depth.set(0, tenant=tenant, level=level_name)
+        self._depth_series = live
 
     # -- lookups ---------------------------------------------------------------
 
@@ -191,11 +279,35 @@ class QueryServer:
 
     @property
     def queued_relaxed(self) -> int:
-        return len(self._relaxed_queue)
+        """Derived view over the scheduler's relaxed hold queue.  The
+        old FIFO list attributes are gone: queue state lives only in the
+        :class:`LevelScheduler`, so no caller can observe (or mutate) a
+        half-drained queue mid-tick."""
+        return self._scheduler.depth(ServiceLevel.RELAXED)
 
     @property
     def queued_best_effort(self) -> int:
-        return len(self._best_effort_queue)
+        """Derived view over the scheduler's best-effort hold queue."""
+        return self._scheduler.depth(ServiceLevel.BEST_EFFORT)
+
+    def held_queries(self, level: ServiceLevel) -> list[ServerQuery]:
+        """Held queries at ``level`` in dispatch order — a snapshot, not
+        the live queue."""
+        return self._scheduler.records(level)
+
+    def scheduler_snapshot(self) -> dict:
+        """JSON-ready scheduler state: per-tenant/per-level queue depths,
+        WFQ shares and fairness, admission verdicts, live counts.  The
+        dashboard "Scheduler" panel and Rover's ``/scheduler`` endpoint
+        render this."""
+        snapshot = self._scheduler.snapshot()
+        snapshot["admission"] = self._admission.snapshot()
+        snapshot["tenant_live"] = {
+            tenant: count
+            for tenant, count in sorted(self._tenant_live.items())
+            if count > 0
+        }
+        return snapshot
 
     def price_quote(self, level: ServiceLevel) -> float:
         """$/TB-scan rate shown on the submission form (Figure 3)."""
@@ -228,20 +340,32 @@ class QueryServer:
         ``tenant`` tags the submission for spend accounting (span
         attributes, journal, statement store, metering ledger, and the
         per-tenant billed counter); it defaults to ``"default"``.
-        Raises :class:`QueryRejectedError` if the relevant hold queue is
-        full (back-pressure rather than unbounded growth).
+        The admission layer may downgrade a relaxed submission to
+        best_effort under pressure (the record's ``requested_level``
+        keeps the original).  Raises :class:`QueryRejectedError` if the
+        admission layer refuses the submission or the relevant hold
+        queue is full (back-pressure rather than unbounded growth).
         """
         if query_id is None:
             self._query_counter += 1
             query_id = f"sq-{self._query_counter}"
+        tenant_name = tenant or "default"
+        decision = self._admission.decide(
+            tenant_name,
+            level,
+            tenant_live=self._tenant_live.get(tenant_name, 0),
+            relaxed_depth=self._scheduler.depth(ServiceLevel.RELAXED),
+        )
         record = ServerQuery(
             query_id=query_id,
             sql=sql,
-            level=level,
+            level=decision.level,
             submitted_at=self._sim.now,
             result_limit=result_limit,
             on_finish=on_finish,
-            tenant=tenant or "default",
+            tenant=tenant_name,
+            requested_level=level,
+            admission=decision,
         )
         self._queries[query_id] = record
         self._m_submitted.inc(level=level.value)
@@ -252,6 +376,9 @@ class QueryServer:
                 fp = fingerprint(sql)
                 self._fingerprint_cache[sql] = fp
             self._fingerprints[query_id] = fp
+        admission_attrs = (
+            decision.to_attrs() if decision.action != "admit" else {}
+        )
         tracer = self.obs.tracer
         if tracer.enabled:
             # price_fraction + deadline_s let traces join SLO records by
@@ -260,15 +387,16 @@ class QueryServer:
                 query_id,
                 "query",
                 parent=ROOT,
-                level=level.value,
+                level=record.level.value,
                 sql=sql,
                 tenant=record.tenant,
-                price_fraction=level.price_fraction,
-                deadline_s=self.deadline_for(level),
+                price_fraction=record.level.price_fraction,
+                deadline_s=self.deadline_for(record.level),
                 fingerprint=fp.id if fp is not None else None,
+                **admission_attrs,
             )
-            tracer.start(query_id, "submit", level=level.value).finish(
-                price_per_tb=self.price_quote(level)
+            tracer.start(query_id, "submit", level=record.level.value).finish(
+                price_per_tb=self.price_quote(record.level)
             )
         if self.obs.journal.enabled:
             self.obs.journal.event(
@@ -276,33 +404,67 @@ class QueryServer:
                 query_id,
                 span_id=self._root_span_id(query_id),
                 fingerprint=fp.id if fp is not None else None,
-                level=level.value,
+                level=record.level.value,
                 tenant=record.tenant,
-                price_per_tb=self.price_quote(level),
-                deadline_s=self.deadline_for(level),
+                price_per_tb=self.price_quote(record.level),
+                deadline_s=self.deadline_for(record.level),
+                **admission_attrs,
             )
+        live_counted = False
         try:
-            if level is ServiceLevel.IMMEDIATE:
+            if not decision.admitted:
+                raise QueryRejectedError(
+                    f"admission refused {level.value} submission "
+                    f"({decision.reason})"
+                )
+            if decision.action == "downgrade":
+                self._m_admission_downgraded.inc(reason=decision.reason)
+                self._journal_event(
+                    record,
+                    "downgrade",
+                    reason=decision.reason,
+                    requested_level=level.value,
+                )
+            self._live_inc(record.tenant)
+            live_counted = True
+            if record.level is ServiceLevel.IMMEDIATE:
                 self._dispatch(record)
-            elif level is ServiceLevel.RELAXED:
-                record.grace_deadline = self._sim.now + self._config.grace_period_s
+            elif record.level is ServiceLevel.RELAXED:
+                record.grace_deadline = (
+                    self._sim.now + self._config.grace_period_s
+                )
                 if self._coordinator.below_high_watermark():
                     self._dispatch(record)
                 else:
-                    self._enqueue(self._relaxed_queue, record)
+                    self._enqueue(record)
             else:  # BEST_EFFORT
                 if self._coordinator.below_low_watermark():
                     self._dispatch(record)
                 else:
-                    self._enqueue(self._best_effort_queue, record)
+                    self._enqueue(record)
         except QueryRejectedError as exc:
+            reason = "queue_full" if decision.admitted else decision.reason
             self._m_rejected.inc(level=level.value)
+            self._m_admission_rejected.inc(reason=reason)
+            if live_counted:
+                self._live_dec(record.tenant)
+            self._queries.pop(query_id, None)
             self._root_spans.pop(query_id, None)
             tracer.end_open(query_id, "error", error=str(exc))
-            self._journal_event(record, "reject", error=str(exc))
+            self._journal_event(record, "reject", error=str(exc), reason=reason)
             self._fingerprints.pop(query_id, None)
             raise
         return record
+
+    def _live_inc(self, tenant: str) -> None:
+        self._tenant_live[tenant] = self._tenant_live.get(tenant, 0) + 1
+
+    def _live_dec(self, tenant: str) -> None:
+        count = self._tenant_live.get(tenant, 0) - 1
+        if count > 0:
+            self._tenant_live[tenant] = count
+        else:
+            self._tenant_live.pop(tenant, None)
 
     def _root_span_id(self, query_id: str) -> int | None:
         span = self._root_spans.get(query_id)
@@ -323,24 +485,37 @@ class QueryServer:
             **attrs,
         )
 
-    def _enqueue(self, queue: list[ServerQuery], record: ServerQuery) -> None:
-        if len(queue) >= self._max_queue_length:
-            del self._queries[record.query_id]
+    def _enqueue(self, record: ServerQuery) -> None:
+        if self._scheduler.depth(record.level) >= self._max_queue_length:
+            self._admission.record_queue_full()
             raise QueryRejectedError(
                 f"{record.level.value} queue is full "
                 f"({self._max_queue_length} queries)"
             )
-        queue.append(record)
+        finish_tag = self._scheduler.push(record)
+        if record.level is ServiceLevel.RELAXED:
+            self._grace_seq += 1
+            heapq.heappush(
+                self._grace_heap,
+                (record.grace_deadline, self._grace_seq, record),
+            )
         watermark = "high" if record.level is ServiceLevel.RELAXED else "low"
+        share = self._scheduler.share_of(record.tenant)
         if self.obs.tracer.enabled:
             self._queue_spans[record.query_id] = self.obs.tracer.start(
                 record.query_id,
                 "queue",
                 level=record.level.value,
                 reason=f"above_{watermark}_watermark",
+                share=share,
+                finish_tag=round(finish_tag, 9),
             )
         self._journal_event(
-            record, "queue", reason=f"above_{watermark}_watermark"
+            record,
+            "queue",
+            reason=f"above_{watermark}_watermark",
+            share=share,
+            finish_tag=round(finish_tag, 9),
         )
 
     def _dispatch(self, record: ServerQuery) -> None:
@@ -389,12 +564,8 @@ class QueryServer:
             self.obs.tracer.end_open(
                 query_id, "cancelled", error="cancelled by user"
             )
-            self._relaxed_queue = [
-                q for q in self._relaxed_queue if q.query_id != query_id
-            ]
-            self._best_effort_queue = [
-                q for q in self._best_effort_queue if q.query_id != query_id
-            ]
+            self._scheduler.remove(query_id)
+            self._live_dec(record.tenant)
             if record.on_finish is not None:
                 record.on_finish(record)
             return True
@@ -415,35 +586,48 @@ class QueryServer:
         self._drain()
 
     def _drain(self) -> None:
-        """Re-evaluate held queries against the current load status."""
-        # Relaxed queries: admit while below the high watermark; force out
-        # those whose grace period expired (they then queue in the VM
-        # cluster — the server guaranteed only the grace-period bound).
-        still_held: list[ServerQuery] = []
-        for record in self._relaxed_queue:
-            expired = (
-                record.grace_deadline is not None
-                and self._sim.now >= record.grace_deadline
-            )
-            if expired or self._coordinator.below_high_watermark():
+        """Re-evaluate held queries against the current load status.
+
+        Grace-expired relaxed queries are forced out first regardless of
+        WFQ order (the server guaranteed only the grace-period bound;
+        they then queue in the VM cluster).  Then the weighted-fair
+        queues drain in finish-tag order while the watermarks allow:
+        relaxed below the high watermark, best-effort below the low one.
+        """
+        now = self._sim.now
+        while self._grace_heap and self._grace_heap[0][0] <= now:
+            _, _, record = heapq.heappop(self._grace_heap)
+            if record.dispatched_at is not None or record.cancelled:
+                continue  # already dispatched or cancelled while held
+            if self._scheduler.claim(record):
                 self._dispatch(record)
-            else:
-                still_held.append(record)
-        self._relaxed_queue = still_held
+        while (
+            self._scheduler.depth(ServiceLevel.RELAXED) > 0
+            and self._coordinator.below_high_watermark()
+        ):
+            self._dispatch(self._scheduler.pop(ServiceLevel.RELAXED))
         if (
             self._batch_best_effort
-            and len(self._best_effort_queue) >= 2
+            and self._scheduler.depth(ServiceLevel.BEST_EFFORT) >= 2
             and self._coordinator.below_low_watermark()
         ):
             self._dispatch_batch()
             return
-        while self._best_effort_queue and self._coordinator.below_low_watermark():
-            self._dispatch(self._best_effort_queue.pop(0))
+        while (
+            self._scheduler.depth(ServiceLevel.BEST_EFFORT) > 0
+            and self._coordinator.below_low_watermark()
+        ):
+            self._dispatch(self._scheduler.pop(ServiceLevel.BEST_EFFORT))
 
     def _dispatch_batch(self) -> None:
-        """Send held best-of-effort queries out as one shared-scan batch."""
-        group = self._best_effort_queue[: self._batch_size]
-        self._best_effort_queue = self._best_effort_queue[self._batch_size :]
+        """Send held best-of-effort queries out as one shared-scan batch
+        (taken in WFQ dispatch order)."""
+        group: list[ServerQuery] = []
+        while len(group) < self._batch_size:
+            record = self._scheduler.pop(ServiceLevel.BEST_EFFORT)
+            if record is None:
+                break
+            group.append(record)
         for record in group:
             self._close_queue_span(record)
             if self.obs.tracer.enabled:
@@ -475,6 +659,7 @@ class QueryServer:
 
     def _completed(self, record: ServerQuery, execution: QueryExecution) -> None:
         span_id = self._root_span_id(record.query_id)
+        self._live_dec(record.tenant)
         deadline = self.deadline_for(record.level)
         pending = record.pending_time_s
         slack = (

@@ -1,0 +1,55 @@
+"""The layered query-scheduling subsystem behind :class:`QueryServer`.
+
+Three layers, each independently testable:
+
+* :mod:`.admission` — per-tenant quotas, token-bucket rate limits, and
+  pressure/budget downgrades applied *before* a query touches a queue;
+* :mod:`.wfq` — virtual-time weighted-fair queueing across tenant flows
+  within each holdable service level, replacing the old FIFO lists;
+* :mod:`.sessions` — deterministic tenant-sharded session fleets that
+  drive 10⁴+ simulated clients against the server.
+
+`QueryServer` itself stays a thin façade over these: it owns billing,
+observability threading, and the watermark/grace eligibility rules, and
+delegates *who waits and who goes next* to this package.
+"""
+
+from repro.core.scheduler.admission import (
+    ADMIT,
+    DOWNGRADE,
+    REJECT,
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionPolicy,
+)
+from repro.core.scheduler.sessions import (
+    SessionFleet,
+    SessionShard,
+    SessionSpec,
+    shard_of,
+)
+from repro.core.scheduler.wfq import (
+    DEFAULT_SHARE,
+    HELD_LEVELS,
+    FairQueue,
+    LevelScheduler,
+    jain_index,
+)
+
+__all__ = [
+    "ADMIT",
+    "DOWNGRADE",
+    "REJECT",
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionPolicy",
+    "DEFAULT_SHARE",
+    "FairQueue",
+    "HELD_LEVELS",
+    "LevelScheduler",
+    "SessionFleet",
+    "SessionShard",
+    "SessionSpec",
+    "jain_index",
+    "shard_of",
+]

@@ -1,0 +1,167 @@
+"""The sharded session layer: fleets of simulated client sessions.
+
+The *Extensible Database Simulator* line of work (PAPERS.md) motivates
+driving 10⁴–10⁶ concurrent sessions against the discrete-event
+simulator: each session is pure data (a tenant, a service level, a list
+of arrival offsets, and the SQL it replays), so a fleet costs one heap
+event per submission, not a thread or coroutine per user.
+
+Sessions are partitioned into **shards** by a deterministic hash of
+their tenant (:func:`shard_of` uses CRC-32, never Python's salted
+``hash``), so the same tenant always lands on the same shard regardless
+of interpreter, worker count, or insertion order.  Shards are an
+accounting and back-pressure boundary: each shard counts its own
+submissions, rejections, and downgrades, which is what lets the fleet
+benchmark report per-shard balance without a central lock — exactly the
+structure a real sharded front end would have, collapsed onto one
+simulator.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.service_levels import ServiceLevel
+from repro.errors import QueryRejectedError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.query_server import QueryServer, ServerQuery
+    from repro.sim import Simulator
+
+
+def shard_of(tenant: str, num_shards: int) -> int:
+    """Deterministic shard index for ``tenant`` (CRC-32, not ``hash``,
+    which is salted per interpreter run and would break determinism)."""
+    if num_shards <= 0:
+        raise ValueError(f"num_shards must be positive, got {num_shards}")
+    return zlib.crc32(tenant.encode("utf-8")) % num_shards
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """One simulated client session — pure data, replayed by its shard."""
+
+    session_id: str
+    tenant: str
+    level: ServiceLevel
+    #: Arrival offsets (seconds) at which this session submits ``sql``.
+    arrivals: tuple[float, ...]
+    sql: str
+    result_limit: int | None = None
+
+
+@dataclass
+class SessionShard:
+    """One shard's sessions and its local submission accounting."""
+
+    index: int
+    sessions: list[SessionSpec] = field(default_factory=list)
+    submitted: int = 0
+    rejected: int = 0
+    downgraded: int = 0
+
+    @property
+    def tenants(self) -> list[str]:
+        return sorted({spec.tenant for spec in self.sessions})
+
+    def snapshot(self) -> dict:
+        return {
+            "sessions": len(self.sessions),
+            "tenants": len(self.tenants),
+            "submitted": self.submitted,
+            "rejected": self.rejected,
+            "downgraded": self.downgraded,
+        }
+
+
+class SessionFleet:
+    """A fleet of sessions sharded by tenant, driven on the simulator.
+
+    ``start()`` schedules every arrival as one simulator event; each
+    firing submits through the shared :class:`QueryServer` façade (whose
+    admission layer may downgrade or reject it) and updates the owning
+    shard's counters.  Everything is deterministic: shard placement is
+    CRC-hashed, arrivals come from the caller's seeded generator, and
+    the simulator orders equal-time events by insertion sequence.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        server: "QueryServer",
+        num_shards: int = 8,
+        on_finish: Callable[["ServerQuery"], None] | None = None,
+    ) -> None:
+        self._sim = sim
+        self._server = server
+        self._on_finish = on_finish
+        self.shards = [SessionShard(index=i) for i in range(num_shards)]
+        self._started = False
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def num_sessions(self) -> int:
+        return sum(len(shard.sessions) for shard in self.shards)
+
+    def add(self, spec: SessionSpec) -> SessionShard:
+        """Place ``spec`` on its tenant's shard (deterministic)."""
+        if self._started:
+            raise RuntimeError("fleet already started")
+        shard = self.shards[shard_of(spec.tenant, self.num_shards)]
+        shard.sessions.append(spec)
+        return shard
+
+    def start(self) -> int:
+        """Schedule every session arrival; returns the event count."""
+        self._started = True
+        scheduled = 0
+        for shard in self.shards:
+            for spec in shard.sessions:
+                for offset in spec.arrivals:
+                    self._sim.schedule_at(offset, self._arrival(shard, spec))
+                    scheduled += 1
+        return scheduled
+
+    def _arrival(
+        self, shard: SessionShard, spec: SessionSpec
+    ) -> Callable[[], None]:
+        return lambda: self._submit(shard, spec)
+
+    def _submit(self, shard: SessionShard, spec: SessionSpec) -> None:
+        try:
+            record = self._server.submit(
+                spec.sql,
+                spec.level,
+                result_limit=spec.result_limit,
+                tenant=spec.tenant,
+                on_finish=self._on_finish,
+            )
+        except QueryRejectedError:
+            shard.rejected += 1
+            return
+        shard.submitted += 1
+        if record.level is not record.requested_level:
+            shard.downgraded += 1
+
+    # -- accounting -----------------------------------------------------------
+
+    def totals(self) -> dict:
+        return {
+            "submitted": sum(s.submitted for s in self.shards),
+            "rejected": sum(s.rejected for s in self.shards),
+            "downgraded": sum(s.downgraded for s in self.shards),
+        }
+
+    def snapshot(self) -> dict:
+        """JSON-ready fleet state (deterministic ordering)."""
+        return {
+            "num_shards": self.num_shards,
+            "num_sessions": self.num_sessions,
+            "totals": self.totals(),
+            "shards": [shard.snapshot() for shard in self.shards],
+        }

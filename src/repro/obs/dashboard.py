@@ -79,6 +79,11 @@ class DashboardData:
     #: Per-tenant spend rows from the spend accountant (tenant, net
     #: dollars, per-level split, soft budget, over-budget flag).
     tenant_spend: list[dict] = field(default_factory=list)
+    #: The query server's scheduler snapshot (per-tenant/per-level queue
+    #: depths, WFQ shares, Jain fairness, admission verdicts) — see
+    #: ``QueryServer.scheduler_snapshot()``.  Empty when the export did
+    #: not come from a live server.
+    scheduler: dict = field(default_factory=dict)
 
     @staticmethod
     def build(
@@ -92,6 +97,7 @@ class DashboardData:
         registry: MetricsRegistry | None = None,
         statements: StatementStore | None = None,
         spend=None,
+        scheduler: dict | None = None,
     ) -> "DashboardData":
         return DashboardData(
             title=title,
@@ -105,6 +111,7 @@ class DashboardData:
             pending_percentiles=_pending_percentiles(registry),
             top_statements=_top_statement_rows(statements),
             tenant_spend=_tenant_spend_rows(spend),
+            scheduler=dict(scheduler or {}),
         )
 
 
@@ -143,6 +150,41 @@ def _tenant_spend_rows(spend) -> list[dict]:
     rows = list(report.get("tenants", []))
     rows.sort(key=lambda r: (-r["nanodollars"], r["tenant"]))
     return rows
+
+
+def _scheduler_rows(scheduler: dict) -> list[dict]:
+    """Per-tenant scheduler rows (held depth per level, live count, WFQ
+    share, dispatch count) from a ``scheduler_snapshot()`` dict."""
+    if not scheduler:
+        return []
+    queues = scheduler.get("queues", {})
+    dispatched = scheduler.get("dispatched_by_tenant", {})
+    shares = scheduler.get("shares", {})
+    live = scheduler.get("tenant_live", {})
+    tenants = sorted(
+        set(dispatched)
+        | set(live)
+        | {t for depths in queues.values() for t in depths}
+    )
+    default_share = shares.get("default", 1.0)
+    return [
+        {
+            "tenant": tenant,
+            "relaxed": queues.get("relaxed", {}).get(tenant, 0),
+            "best_effort": queues.get("best_effort", {}).get(tenant, 0),
+            "live": live.get(tenant, 0),
+            "share": shares.get(tenant, default_share),
+            "dispatched": dispatched.get(tenant, 0),
+        }
+        for tenant in tenants
+    ]
+
+
+def _verdict_summary(counts: dict) -> str:
+    """``reason=count`` listing for admission reject/downgrade tallies."""
+    if not counts:
+        return "-"
+    return ", ".join(f"{reason}={counts[reason]}" for reason in sorted(counts))
 
 
 def _pending_percentiles(registry: MetricsRegistry | None) -> dict:
@@ -361,6 +403,47 @@ def render_dashboard_html(data: DashboardData) -> str:
             )
     out.append("</div>")
 
+    # -- scheduler: queue depths, shares, admission verdicts, fairness --
+    # (rendered only for single-server snapshots; a multi-schema export
+    # keys snapshots by schema and has no top-level "queues")
+    if data.scheduler and "queues" in data.scheduler:
+        sched = data.scheduler
+        admission = sched.get("admission", {})
+        fairness = sched.get("fairness", {}).get("jain_dispatched")
+        out.append("<h2>Scheduler</h2>")
+        out.append(
+            '<div class="meta">'
+            f"admitted {admission.get('admitted', 0)}"
+            f" · rejected: {escape(_verdict_summary(admission.get('rejected', {})))}"
+            f" · downgraded: {escape(_verdict_summary(admission.get('downgraded', {})))}"
+            f" · Jain fairness {_fmt(fairness)}"
+            "</div>"
+        )
+        rows = _scheduler_rows(sched)
+        if rows:
+            out.append("<table><tr>")
+            for header in (
+                "tenant", "held relaxed", "held best-effort", "live",
+                "share", "WFQ dispatches",
+            ):
+                css = ' class="l"' if header == "tenant" else ""
+                out.append(f"<th{css}>{header}</th>")
+            out.append("</tr>")
+            for row in rows:
+                out.append(
+                    "<tr>"
+                    f'<td class="l">{escape(str(row["tenant"]))}</td>'
+                    f"<td>{row['relaxed']}</td>"
+                    f"<td>{row['best_effort']}</td>"
+                    f"<td>{row['live']}</td>"
+                    f"<td>{_fmt(row['share'])}</td>"
+                    f"<td>{row['dispatched']}</td>"
+                    "</tr>"
+                )
+            out.append("</table>")
+        else:
+            out.append('<div class="meta">no held or dispatched queries</div>')
+
     # -- per-tenant spend (metering ledger) --
     if data.tenant_spend:
         out.append("<h2>Spend by tenant</h2>")
@@ -540,6 +623,31 @@ def render_dashboard_text(data: DashboardData, width: int = 40) -> str:
             f"{'chunk-cache hit ratio':<26} {_sparkline_text(ratio, width)}"
             f"  last={_pct(ratio[-1][1])}"
         )
+    if data.scheduler and "queues" in data.scheduler:
+        sched = data.scheduler
+        admission = sched.get("admission", {})
+        fairness = sched.get("fairness", {}).get("jain_dispatched")
+        lines.append("")
+        lines.append("scheduler")
+        lines.append("-" * 9)
+        lines.append(
+            f"admitted {admission.get('admitted', 0)} · "
+            f"rejected: {_verdict_summary(admission.get('rejected', {}))} · "
+            f"downgraded: {_verdict_summary(admission.get('downgraded', {}))} · "
+            f"Jain fairness {_fmt(fairness)}"
+        )
+        rows = _scheduler_rows(sched)
+        if rows:
+            lines.append(
+                f"{'tenant':<16} {'relaxed':>8} {'best_eff':>9} "
+                f"{'live':>6} {'share':>7} {'dispatched':>11}"
+            )
+            for row in rows:
+                lines.append(
+                    f"{str(row['tenant']):<16} {row['relaxed']:>8} "
+                    f"{row['best_effort']:>9} {row['live']:>6} "
+                    f"{_fmt(row['share']):>7} {row['dispatched']:>11}"
+                )
     if data.tenant_spend:
         lines.append("")
         lines.append("spend by tenant")

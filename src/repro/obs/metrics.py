@@ -273,6 +273,15 @@ DEFAULT_MAX_LABEL_SETS = 256
 #: cardinality guard drops a new series.
 DROPPED_SERIES_COUNTER = "pixels_metrics_dropped_series_total"
 
+#: Scheduler-front-end instrument names (created by the query server;
+#: named here so dashboards, alert rules, and tests share one spelling).
+#: The per-tenant depth gauge is labelled ``{tenant, level}`` and leans
+#: on the cardinality guard above — a fleet of unbounded tenants cannot
+#: grow the registry past ``DEFAULT_MAX_LABEL_SETS`` series.
+SCHEDULER_QUEUE_DEPTH_METRIC = "pixels_scheduler_queue_depth"
+ADMISSION_REJECTIONS_METRIC = "pixels_admission_rejections_total"
+ADMISSION_DOWNGRADES_METRIC = "pixels_admission_downgrades_total"
+
 
 class MetricsRegistry:
     """Instrument factory + Prometheus text exposition."""

@@ -14,6 +14,7 @@ Every §4 interaction is a method here:
 
 from __future__ import annotations
 
+import json
 import secrets
 from dataclasses import dataclass, field
 
@@ -299,6 +300,14 @@ class RoverServer:
         split, soft-budget status) as byte-stable JSON."""
         self._session(token)
         return self._query_server.obs.spend.export_json()
+
+    def scheduler(self, token: str) -> str:
+        """The scheduler state — per-tenant/per-level queue depths, WFQ
+        shares, Jain fairness, and admission verdict counts — as
+        byte-stable JSON, consistent with the ledger/spend endpoints."""
+        self._session(token)  # any authenticated session may inspect
+        snapshot = self._query_server.scheduler_snapshot()
+        return json.dumps(snapshot, sort_keys=True, indent=2) + "\n"
 
     def origin_of(self, token: str, result_id: str) -> TranslatorBlock:
         """Result block → its question block (highlight linkage)."""

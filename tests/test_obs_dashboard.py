@@ -105,3 +105,27 @@ class TestTextContent:
         assert _sparkline_svg([]) == '<svg class="spark" viewBox="0 0 220 42"></svg>'
         flat = _sparkline_svg([(0.0, 5.0), (10.0, 5.0)])
         assert "polyline" in flat  # constant series stays in-bounds
+
+
+class TestSchedulerPanel:
+    def test_html_scheduler_section(self):
+        db = _demo_session()
+        html = render_dashboard_html(db.dashboard_data("demo"))
+        assert "Scheduler" in html
+        assert "admitted" in html
+        assert "WFQ dispatches" in html
+
+    def test_text_scheduler_section(self):
+        db = _demo_session()
+        text = render_dashboard_text(db.dashboard_data("demo"))
+        assert "scheduler" in text
+
+    def test_empty_scheduler_omits_panel(self):
+        from repro.obs.timeseries import TimeSeriesStore
+
+        data = DashboardData.build(
+            title="empty", now=0.0, timeseries=TimeSeriesStore(), slo=None
+        )
+        assert data.scheduler == {}
+        html = render_dashboard_html(data)
+        assert "WFQ dispatches" not in html

@@ -221,3 +221,24 @@ class TestResultArea:
         _, server, token = session
         with pytest.raises(NoSuchQueryError):
             server.expand_result(token, "result-nope")
+
+
+class TestSchedulerEndpoint:
+    def test_scheduler_state_exposed(self, session):
+        import json
+
+        sim, server, token = session
+        block = server.ask(token, "How many orders are there?")
+        server.submit_query(token, block.block_id, ServiceLevel.RELAXED)
+        payload = server.scheduler(token)
+        snapshot = json.loads(payload)
+        assert set(snapshot) >= {"queues", "admission", "shares", "fairness"}
+        assert snapshot["admission"]["admitted"] == 1
+        # Byte-stable like the ledger/spend endpoints.
+        assert payload == server.scheduler(token)
+        assert payload.endswith("\n")
+
+    def test_scheduler_requires_session(self, rover):
+        _, server = rover
+        with pytest.raises(AuthenticationError):
+            server.scheduler("bad-token")
