@@ -38,6 +38,13 @@ from repro.baselines.runner import Submission
 from repro.core import ServiceLevel
 from repro.turbo import TurboConfig
 
+#: Committed ceiling on the bill estimator's mean absolute percentage
+#: error over this bench's 47 queries.  The workload repeats one
+#: statement, so priors converge fast and the blend should land almost
+#: exactly — a MAPE above this means the estimator (or its statement-
+#: stats priors) regressed.
+PROJECTION_MAPE_THRESHOLD = 0.05
+
 
 def run_experiment():
     store, catalog = tpch_environment()
@@ -62,10 +69,21 @@ def run_experiment():
     return config, result
 
 
+def c5_metrics(pair):
+    """The standard workload metrics plus the estimator's accuracy —
+    baselining the MAPE makes estimator drift a perf-gate failure."""
+    result = pair[1]
+    metrics = workload_metrics(result)
+    projection = result.obs.activity.projection_report()
+    metrics["projection_queries"] = projection["queries"]
+    metrics["projection_mape"] = projection["mape"]
+    return metrics
+
+
 def test_c5_pending_time(benchmark):
     config, result = benchmark.pedantic(
         lambda: bench_record(
-            "c5", run_experiment, lambda pair: workload_metrics(pair[1]),
+            "c5", run_experiment, c5_metrics,
             profile=lambda pair: workload_profile(pair[1]),
         ),
         rounds=1, iterations=1,
@@ -129,10 +147,15 @@ def test_c5_pending_time(benchmark):
     violating = [
         c for c in captures if "deadline_violation" in c["reasons"]
     ]
+    projection = result.obs.activity.projection_report()
     lines += [
         "",
         f"journal captures: {len(captures)} "
         f"({len(violating)} deadline violations)",
+        f"bill estimator: {projection['queries']} queries, "
+        f"MAPE {projection['mape']:.9f} "
+        f"(gate <= {PROJECTION_MAPE_THRESHOLD}), "
+        f"sources {projection['by_source']}",
         f"observability artifacts: {sorted(paths)}",
     ]
     report("C5  Pending-time semantics of the three levels, paper §3.2", lines)
@@ -156,6 +179,10 @@ def test_c5_pending_time(benchmark):
     # attribution tree and the time flame graph.
     assert slo["relaxed"]["violations"] > 0
     assert len(violating) == slo["relaxed"]["violations"]
+    # Every finished query got an estimated-vs-actual accuracy record,
+    # and the estimator's MAPE holds under the committed ceiling.
+    assert projection["queries"] == len(result.queries)
+    assert projection["mape"] <= PROJECTION_MAPE_THRESHOLD
     for capture in violating:
         assert capture["level"] == "relaxed"
         assert capture["profile"]["children"]  # attribution tree attached

@@ -61,9 +61,11 @@ def write_observability_artifacts(slug: str, result, title: str) -> dict[str, st
     """Persist an observed replay's exports under ``benchmarks/results/``.
 
     Writes the time-series JSONL, alert transition log, autoscaler audit
-    log, SLO record dump, and the rendered dashboard HTML — all
-    deterministic, so re-runs diff cleanly.  Returns {kind: path}.
-    Requires ``run_workload(observe=True)``.
+    log, SLO record dump, the rendered dashboard HTML, the statement
+    stats, the query journal, the activity snapshot, and the estimator's
+    projection-accuracy record — all deterministic, so re-runs diff
+    cleanly.  Returns {kind: path}.  Requires
+    ``run_workload(observe=True)``.
     """
     from repro.obs.dashboard import render_dashboard_html
 
@@ -87,6 +89,13 @@ def write_observability_artifacts(slug: str, result, title: str) -> dict[str, st
             result.obs.statements.render_top(10, "dollars"),
         ),
         "journal": (f"{slug}_journal.jsonl", result.obs.journal.export_jsonl()),
+        "activity": (
+            f"{slug}_activity.json", result.obs.activity.export_json()
+        ),
+        "projections": (
+            f"{slug}_projections.json",
+            result.obs.activity.export_projection_json(),
+        ),
     }
     paths: dict[str, str] = {}
     for kind, (filename, payload) in artifacts.items():

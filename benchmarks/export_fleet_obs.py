@@ -13,6 +13,10 @@ into ``results/`` (or the directory given as argv[1]):
 * ``fleet_spend.json``         — the per-tenant spend report with
   soft-budget status,
 * ``fleet_reconciliation.json``— the billing reconciliation report,
+* ``fleet_activity.json``      — the live-activity snapshot (every
+  query's lifecycle record and terminal projection),
+* ``fleet_projections.json``   — the estimator's projection-accuracy
+  record (estimated vs. actual bill per query, aggregate MAPE),
 * ``fleet_capture_flame.svg``  — the flame graph attached to one
   tail-captured query (slowest-N / $-threshold evidence).
 
@@ -85,6 +89,8 @@ def export(results_dir: pathlib.Path) -> int:
         "fleet_ledger.jsonl": db.ledger_jsonl(),
         "fleet_spend.json": db.spend_json(),
         "fleet_reconciliation.json": reconciliation.export_json(),
+        "fleet_activity.json": db.activity_json(),
+        "fleet_projections.json": db.projection_json(),
     }
     if evidenced:
         outputs["fleet_capture_flame.svg"] = evidenced[0]["flamegraph_svg"]
@@ -129,13 +135,36 @@ def export(results_dir: pathlib.Path) -> int:
             "billing reconciliation violated "
             f"{len(reconciliation.violations)} invariant(s)"
         )
+    activity = db.activity()
+    projections = db.projection_report()
+    print(
+        f"activity: {len(activity.get('queries', []))} queries tracked, "
+        f"states {activity.get('states', {})}"
+    )
+    print(
+        f"projections: {projections['queries']} accuracy records, "
+        f"MAPE {projections['mape']:.9f}"
+    )
+    if not activity.get("queries"):
+        failures.append(
+            "the activity snapshot tracked no queries — lifecycle wiring broke"
+        )
+    elif set(activity.get("states", {})) - {"billed"}:
+        failures.append(
+            "a query ended in a non-billed state after run_to_completion: "
+            f"{activity['states']}"
+        )
+    if projections["queries"] == 0:
+        failures.append(
+            "no projection-accuracy records — the estimator never scored"
+        )
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1
     print(
-        "OK: capture evidence, metering ledger, tenant spend, and "
-        "billing reconciliation all live"
+        "OK: capture evidence, metering ledger, tenant spend, billing "
+        "reconciliation, live activity, and projection accuracy all live"
     )
     return 0
 

@@ -34,7 +34,7 @@ from __future__ import annotations
 from repro.core import QueryServer, QueryStatus, ServerQuery, ServiceLevel
 from repro.errors import PixelsError, TranslationError
 from repro.nl2sql import CodesService
-from repro.obs import CapturePolicy, Instrumentation
+from repro.obs import CapturePolicy, GuardPolicy, Instrumentation
 from repro.obs.alerts import AlertEngine, BurnRateRule, ThresholdRule, default_rules
 from repro.obs.dashboard import (
     DashboardData,
@@ -61,6 +61,7 @@ __all__ = [
     "CodesService",
     "Coordinator",
     "DashboardData",
+    "GuardPolicy",
     "Instrumentation",
     "ObjectStore",
     "PixelsDB",
@@ -101,6 +102,7 @@ class PixelsDB:
         alert_rules: list[BurnRateRule | ThresholdRule] | None = None,
         capture: CapturePolicy | None = None,
         tenant_budgets: dict[str, float] | None = None,
+        guard: GuardPolicy | None = None,
     ) -> None:
         """``observe=True`` switches on the full observability stack
         (:mod:`repro.obs`): tracer, metrics registry, SLO tracker,
@@ -111,9 +113,15 @@ class PixelsDB:
         :class:`~repro.obs.CapturePolicy`'s defaults).  ``tenant_budgets``
         maps tenant → soft budget dollars: crossing one never blocks a
         query, it raises a ``TenantBudget:<tenant>`` alert through the
-        alert engine and flags the tenant in the spend report.  The
-        default is the inert no-op pair — query results and billed
-        prices are identical either way."""
+        alert engine and flags the tenant in the spend report.
+        ``guard`` (a :class:`~repro.obs.GuardPolicy`, requires
+        ``observe=True``) arms the projection guard: each server holds
+        live bill/deadline projections against tenant budgets and
+        service-level deadlines on its scheduler tick, alerting — and,
+        opt-in, downgrading or cancelling — with every decision
+        audit-logged (:meth:`guard_audit`).  The default is the inert
+        no-op pair — query results and billed prices are identical
+        either way."""
         self.config = config if config is not None else TurboConfig()
         self.seed = seed
         self.sim = Simulator(seed=seed)
@@ -125,6 +133,7 @@ class PixelsDB:
         self.timeseries: TimeSeriesStore | None = None
         self.alerts: AlertEngine | None = None
         self.scrape_loop: ScrapeLoop | None = None
+        self._guard_policy = guard
         if observe:
             self.obs = Instrumentation.create(
                 clock=lambda: self.sim.now,
@@ -202,14 +211,18 @@ class PixelsDB:
         (an :class:`~repro.core.scheduler.AdmissionPolicy`) and the WFQ
         ``shares`` apply only when the server is first created."""
         if schema not in self._servers:
-            self._servers[schema] = QueryServer(
+            server = QueryServer(
                 self.sim,
                 self.coordinator(schema),
                 self.config,
                 admission=admission,
                 shares=shares,
                 default_share=default_share,
+                guard=self._guard_policy,
             )
+            if server.guard is not None and self.alerts is not None:
+                server.guard.alert_sink = self.alerts.events.append
+            self._servers[schema] = server
         return self._servers[schema]
 
     def rover(self, users: UserStore, schema: str) -> RoverServer:
@@ -380,6 +393,52 @@ class PixelsDB:
         ]
         return "\n".join(lines) + ("\n" if lines else "")
 
+    # -- live activity & projection guard ---------------------------------------------
+
+    def activity(self) -> dict:
+        """The live query-activity snapshot — every submission's
+        lifecycle state, per-operator progress fractions, and projected
+        nanodollar bill at the current simulated time (the
+        ``pg_stat_activity`` of this system; empty without
+        ``observe=True``)."""
+        return self.obs.activity.snapshot()
+
+    def activity_json(self) -> str:
+        """Byte-stable JSON rendering of :meth:`activity`."""
+        return self.obs.activity.export_json()
+
+    def projection_report(self) -> dict:
+        """Estimator accuracy over every billed query: per-query
+        estimated vs. actual nanodollars plus the aggregate MAPE."""
+        return self.obs.activity.projection_report()
+
+    def projection_json(self) -> str:
+        """Byte-stable JSON rendering of :meth:`projection_report`."""
+        return self.obs.activity.export_projection_json()
+
+    def guard_audit(self) -> list[dict]:
+        """Every projection-guard decision across this instance's query
+        servers, time-ordered with the owning schema attached — the
+        guard's analogue of :meth:`autoscaler_audit`."""
+        entries: list[dict] = []
+        for schema in sorted(self._servers):
+            guard = self._servers[schema].guard
+            if guard is None:
+                continue
+            for payload in guard.audit():
+                entries.append({"schema": schema, **payload})
+        entries.sort(key=lambda entry: (entry["time"], entry["schema"]))
+        return entries
+
+    def guard_audit_jsonl(self) -> str:
+        import json as _json
+
+        lines = [
+            _json.dumps(entry, sort_keys=True)
+            for entry in self.guard_audit()
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
     def dashboard_data(self, title: str = "PixelsDB operator dashboard") -> DashboardData:
         """The bundle both dashboard renderers consume (final scrape
         included)."""
@@ -397,6 +456,7 @@ class PixelsDB:
             statements=self.obs.statements,
             spend=self.obs.spend,
             scheduler=self._scheduler_snapshot(),
+            activity=self.obs.activity,
         )
 
     def _scheduler_snapshot(self) -> dict | None:

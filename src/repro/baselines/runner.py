@@ -125,6 +125,7 @@ class WorkloadResult:
             statements=self.obs.statements,
             spend=self.obs.spend,
             scheduler=self.server.scheduler_snapshot(),
+            activity=self.obs.activity,
         )
 
 
@@ -191,6 +192,10 @@ def run_workload(
         )
     coordinator = coordinator_cls(sim, config, catalog, store, schema, **kwargs)
     server = QueryServer(sim, coordinator, config, **(server_kwargs or {}))
+    if server.guard is not None and alerts is not None:
+        # Projection-guard trips land in the same alert timeline as the
+        # burn-rate/threshold rules.
+        server.guard.alert_sink = alerts.events.append
     result = WorkloadResult(
         sim=sim,
         coordinator=coordinator,

@@ -43,10 +43,12 @@ from repro.core.scheduler import (
 )
 from repro.core.service_levels import QueryStatus, ServiceLevel
 from repro.obs import ROOT, Span
+from repro.obs.activity import GuardDecision, GuardPolicy, ProjectionGuard
 from repro.obs.fingerprint import Fingerprint, fingerprint
 from repro.obs.metrics import (
     ADMISSION_DOWNGRADES_METRIC,
     ADMISSION_REJECTIONS_METRIC,
+    GUARD_DECISIONS_METRIC,
     SCHEDULER_QUEUE_DEPTH_METRIC,
 )
 from repro.obs.profiler import NANOS_PER_DOLLAR
@@ -158,6 +160,7 @@ class QueryServer:
         admission: AdmissionPolicy | None = None,
         shares: dict[str, float] | None = None,
         default_share: float = 1.0,
+        guard: GuardPolicy | None = None,
     ) -> None:
         """``batch_best_effort`` enables the paper's §5 batch-optimization
         opportunity: held best-of-effort queries are dispatched together
@@ -168,6 +171,11 @@ class QueryServer:
         ``shares``/``default_share`` set per-tenant weighted-fair shares
         for the hold queues; with one tenant (or equal shares and equal
         load) dispatch order is exactly the old FIFO order.
+        ``guard`` arms the projection guard: on every scheduler tick the
+        live activity registry's bill/deadline projections are held
+        against tenant budgets and service-level deadlines, with the
+        policy's (opt-in) alert/downgrade/cancel actions audit-logged on
+        :attr:`guard` (requires observability; inert otherwise).
         """
         self._sim = sim
         self._coordinator = coordinator
@@ -239,12 +247,64 @@ class QueryServer:
             "Deadline minus pending time; negative buckets are violations",
             buckets=SLACK_BUCKETS,
         )
+        self._m_guard = registry.counter(
+            GUARD_DECISIONS_METRIC,
+            "Projection-guard decisions, by rule and action",
+        )
+        # The activity registry projects bills with the same pricing the
+        # server itself uses at completion, so a projection's terminal
+        # value equals the billed price exactly.
+        self.obs.activity.bind(pricer=self._projection_price)
+        #: The armed :class:`ProjectionGuard` (None unless a policy was
+        #: passed and observability is on); its ``audit_log`` is the
+        #: guard's decision record, and ``alert_sink`` may be attached
+        #: post-construction to route alerts into an alert engine.
+        self.guard: ProjectionGuard | None = None
+        if guard is not None and self.obs.activity.enabled:
+            self.guard = ProjectionGuard(
+                guard,
+                self.obs.activity,
+                self.obs.spend,
+                canceller=self.cancel,
+                downgrader=self.downgrade_query,
+                on_decision=self._on_guard_decision,
+            )
         #: (tenant, level) series last reported non-zero — zeroed on the
         #: next collection once the tenant drains, so the gauge never
         #: shows a stale depth.
         self._depth_series: set[tuple[str, str]] = set()
         registry.add_collector(self._collect_queue_depth)
         sim.schedule(config.scheduler_interval_s, self._tick)
+
+    def _projection_price(self, stats, level_value: str, venue: str):
+        """Price a (possibly hypothetical) execution for the activity
+        registry's projections: the same ``user_price`` + ``meter`` pair
+        :meth:`_completed` bills with, so projection and bill can never
+        disagree at the terminal state."""
+        level = ServiceLevel.from_string(level_value)
+        price = self._coordinator.cost_model.user_price(stats, level)
+        reading = self._coordinator.cost_model.meter(
+            stats,
+            venue,
+            price,
+            get_price_per_1000=(
+                self._coordinator.store.profile.get_price_per_1000
+            ),
+        )
+        return reading.billed_nanodollars, reading.axes
+
+    def _on_guard_decision(self, decision: GuardDecision) -> None:
+        self._m_guard.inc(rule=decision.rule, action=decision.action)
+        record = self._queries.get(decision.query_id)
+        if record is not None:
+            self._journal_event(
+                record,
+                "guard",
+                rule=decision.rule,
+                action=decision.action,
+                applied=decision.applied,
+                reason=decision.reason,
+            )
 
     def _collect_queue_depth(self) -> None:
         self._m_queue_depth.set(
@@ -376,6 +436,16 @@ class QueryServer:
                 fp = fingerprint(sql)
                 self._fingerprint_cache[sql] = fp
             self._fingerprints[query_id] = fp
+        if self.obs.activity.enabled:
+            self.obs.activity.begin(
+                query_id,
+                tenant=record.tenant,
+                level=record.level.value,
+                requested_level=level.value,
+                fingerprint=fp.id if fp is not None else None,
+                deadline_s=self.deadline_for(record.level),
+                admission=decision.action,
+            )
         admission_attrs = (
             decision.to_attrs() if decision.action != "admit" else {}
         )
@@ -453,7 +523,14 @@ class QueryServer:
             tracer.end_open(query_id, "error", error=str(exc))
             self._journal_event(record, "reject", error=str(exc), reason=reason)
             self._fingerprints.pop(query_id, None)
+            self.obs.activity.finish_rejected(query_id, reason)
             raise
+        if self.guard is not None:
+            # An idle cluster dispatches (and opens the execution window)
+            # synchronously inside the submit above — faster than the
+            # next scheduler tick.  One guard pass here means a doomed
+            # projection trips before the query can outrun the ticker.
+            self.guard.evaluate(self._sim.now)
         return record
 
     def _live_inc(self, tenant: str) -> None:
@@ -517,6 +594,7 @@ class QueryServer:
             share=share,
             finish_tag=round(finish_tag, 9),
         )
+        self.obs.activity.mark_queued(record.query_id)
 
     def _dispatch(self, record: ServerQuery) -> None:
         self._close_queue_span(record)
@@ -530,12 +608,33 @@ class QueryServer:
             held_s=round(self._sim.now - record.submitted_at, 9),
         )
         record.dispatched_at = self._sim.now
+        self.obs.activity.mark_dispatched(record.query_id)
         record.execution = self._coordinator.submit(
             sql=record.sql,
             cf_enabled=record.level.cf_enabled,
             query_id=record.query_id,
             on_complete=lambda execution: self._completed(record, execution),
+            submit_context=self._pending_context(record),
         )
+
+    def _pending_context(self, record: ServerQuery) -> dict[str, object]:
+        """The scheduling story EXPLAIN ANALYZE prints in its ``pending:``
+        header — how long the server held the query and what the
+        admission layer ruled."""
+        context: dict[str, object] = {
+            "queue_wait_s": round(self._sim.now - record.submitted_at, 9),
+            "admission": (
+                record.admission.action
+                if record.admission is not None
+                else "admit"
+            ),
+        }
+        if (
+            record.admission is not None
+            and record.admission.action != "admit"
+        ):
+            context["admission_reason"] = record.admission.reason
+        return context
 
     def cancel(self, query_id: str) -> bool:
         """Cancel a query at any pre-terminal stage.
@@ -566,11 +665,58 @@ class QueryServer:
             )
             self._scheduler.remove(query_id)
             self._live_dec(record.tenant)
+            self.obs.activity.finish_cancelled(query_id, "cancelled_held")
             if record.on_finish is not None:
                 record.on_finish(record)
             return True
         record.cancelled = True
         return self._coordinator.cancel(query_id)
+
+    def downgrade_query(self, query_id: str, reason: str) -> bool:
+        """Demote a held relaxed query to best-effort (the projection
+        guard's gentler remedy).  Only a query still waiting in the
+        server's relaxed queue is eligible — a dispatched query already
+        runs and bills at its admitted rate.  Returns False if the query
+        was ineligible."""
+        record = self._queries.get(query_id)
+        if (
+            record is None
+            or record.level is not ServiceLevel.RELAXED
+            or record.cancelled
+            or record.dispatched_at is not None
+            or record.execution is not None
+        ):
+            return False
+        self._scheduler.remove(query_id)
+        self._close_queue_span(record, status="downgraded")
+        record.level = ServiceLevel.BEST_EFFORT
+        record.grace_deadline = None
+        self._m_admission_downgraded.inc(reason=reason)
+        self._journal_event(
+            record,
+            "downgrade",
+            reason=reason,
+            requested_level=(
+                record.requested_level.value
+                if record.requested_level is not None
+                else None
+            ),
+        )
+        self.obs.activity.downgrade(
+            query_id, ServiceLevel.BEST_EFFORT.value, reason
+        )
+        if (
+            self._coordinator.below_low_watermark()
+            or self._scheduler.depth(ServiceLevel.BEST_EFFORT)
+            >= self._max_queue_length
+        ):
+            # Dispatch now — immediately when capacity allows, and as the
+            # back-pressure escape hatch when the best-effort queue is
+            # full (a downgrade must never morph into a rejection).
+            self._dispatch(record)
+        else:
+            self._enqueue(record)
+        return True
 
     def _close_queue_span(
         self, record: ServerQuery, status: str = "ok"
@@ -584,6 +730,8 @@ class QueryServer:
     def _tick(self) -> None:
         self._sim.schedule(self._config.scheduler_interval_s, self._tick)
         self._drain()
+        if self.guard is not None:
+            self.guard.evaluate(self._sim.now)
 
     def _drain(self) -> None:
         """Re-evaluate held queries against the current load status.
@@ -597,8 +745,14 @@ class QueryServer:
         now = self._sim.now
         while self._grace_heap and self._grace_heap[0][0] <= now:
             _, _, record = heapq.heappop(self._grace_heap)
-            if record.dispatched_at is not None or record.cancelled:
-                continue  # already dispatched or cancelled while held
+            if (
+                record.dispatched_at is not None
+                or record.cancelled
+                or record.level is not ServiceLevel.RELAXED
+            ):
+                # Already dispatched, cancelled, or guard-downgraded out
+                # of the relaxed class (its grace promise lapsed with it).
+                continue
             if self._scheduler.claim(record):
                 self._dispatch(record)
         while (
@@ -643,6 +797,7 @@ class QueryServer:
                 batch=True,
                 held_s=round(self._sim.now - record.submitted_at, 9),
             )
+            self.obs.activity.mark_dispatched(record.query_id)
         executions = self._coordinator.submit_shared_batch(
             [record.sql for record in group],
             [record.query_id for record in group],
@@ -737,6 +892,25 @@ class QueryServer:
                     slack_s=slack,
                 ).finish()
             self.obs.tracer.end_open(record.query_id, "ok")
+            if self.obs.activity.enabled:
+                projection = self.obs.activity.finish_billed(
+                    record.query_id,
+                    record.price_nanodollars,
+                    axes=reading.axes if reading is not None else None,
+                )
+                if projection is not None:
+                    # Estimated-vs-actual goes to the journal before
+                    # _observe_statement pops the fingerprint mapping.
+                    self._journal_event(
+                        record,
+                        "projection",
+                        estimated_nanodollars=(
+                            projection.estimated_nanodollars
+                        ),
+                        actual_nanodollars=projection.actual_nanodollars,
+                        ape=round(projection.ape, 9),
+                        source=projection.source,
+                    )
         else:
             # The coordinator's failure path already closed the trace with
             # an error/cancelled status; this is only the safety net.
@@ -756,6 +930,11 @@ class QueryServer:
                     ),
                     span_id=span_id,
                     reason="cancelled",
+                )
+                self.obs.activity.finish_cancelled(record.query_id)
+            else:
+                self.obs.activity.finish_failed(
+                    record.query_id, execution.error
                 )
         self._observe_statement(
             record,
@@ -851,6 +1030,7 @@ class QueryServer:
             billed=record.price if not error else None,
             slack_s=slack,
             error=error,
+            downgraded=record.downgraded,
         )
         if reasons:
             try:

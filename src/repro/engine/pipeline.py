@@ -372,6 +372,15 @@ class LimitOperator(PhysicalOperator):
             return self._emit(RecordBatch(data))
 
 
+#: Plan-node names whose physical operators are pipeline breakers (the
+#: :class:`BlockingOperator` subclasses below).  Profile nodes carry the
+#: plan-node class name, so live progress reporting keys on this set to
+#: decide which operators report a phase instead of a smooth fraction.
+BLOCKING_PLAN_NODES = frozenset(
+    {"Sort", "TopN", "Aggregate", "Distinct", "HashJoin", "UnionAllPlan"}
+)
+
+
 class BlockingOperator(PhysicalOperator):
     """Base for pipeline breakers: drain inputs, run a sink kernel once,
     re-stream the result."""

@@ -22,6 +22,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.obs.activity import (
+    ActivityRegistry,
+    GuardDecision,
+    GuardPolicy,
+    NoopActivityRegistry,
+    ProjectionGuard,
+    ProjectionRecord,
+)
 from repro.obs.explain import render_analyzed_plan
 from repro.obs.flamegraph import render_flamegraph_svg
 from repro.obs.profiler import (
@@ -46,16 +54,20 @@ from repro.obs.statements import NoopStatementStore, StatementStore
 from repro.obs.tracer import NOOP_SPAN, NOOP_TRACER, ROOT, NoopTracer, Span, Tracer
 
 __all__ = [
+    "ActivityRegistry",
     "CapturePolicy",
     "Counter",
     "ROOT",
     "Fingerprint",
     "Gauge",
+    "GuardDecision",
+    "GuardPolicy",
     "Histogram",
     "Instrumentation",
     "MeterEvent",
     "MeterLedger",
     "MetricsRegistry",
+    "NoopActivityRegistry",
     "NoopMeterLedger",
     "NoopMetricsRegistry",
     "NoopQueryJournal",
@@ -66,6 +78,8 @@ __all__ = [
     "NOOP_SPAN",
     "NOOP_TRACER",
     "ProfileNode",
+    "ProjectionGuard",
+    "ProjectionRecord",
     "QueryJournal",
     "QueryProfile",
     "SloObjective",
@@ -87,8 +101,9 @@ __all__ = [
 @dataclass
 class Instrumentation:
     """A tracer + metrics registry + SLO tracker + statement store +
-    query journal + metering ledger + spend accountant threaded through
-    the system.  All seven default to their inert twins."""
+    query journal + metering ledger + spend accountant + live activity
+    registry threaded through the system.  All eight default to their
+    inert twins."""
 
     tracer: Tracer = field(default_factory=NoopTracer)
     metrics: MetricsRegistry = field(default_factory=NoopMetricsRegistry)
@@ -97,6 +112,7 @@ class Instrumentation:
     journal: QueryJournal = field(default_factory=NoopQueryJournal)
     ledger: MeterLedger = field(default_factory=NoopMeterLedger)
     spend: SpendAccountant = field(default_factory=NoopSpendAccountant)
+    activity: ActivityRegistry = field(default_factory=NoopActivityRegistry)
 
     @property
     def enabled(self) -> bool:
@@ -120,6 +136,7 @@ class Instrumentation:
             NoopQueryJournal(),
             NoopMeterLedger(),
             NoopSpendAccountant(),
+            NoopActivityRegistry(),
         )
 
     @staticmethod
@@ -137,12 +154,18 @@ class Instrumentation:
         ledger = MeterLedger(clock)
         spend = SpendAccountant(budgets)
         ledger.add_listener(spend.on_event)
+        statements = StatementStore()
+        activity = ActivityRegistry(clock)
+        activity.bind(statements=statements)
+        metrics = MetricsRegistry()
+        activity.bind_metrics(metrics)
         return Instrumentation(
             Tracer(clock),
-            MetricsRegistry(),
+            metrics,
             SloTracker(objectives),
-            StatementStore(),
+            statements,
             QueryJournal(clock, capture),
             ledger,
             spend,
+            activity,
         )

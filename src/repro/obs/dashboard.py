@@ -84,6 +84,10 @@ class DashboardData:
     #: ``QueryServer.scheduler_snapshot()``.  Empty when the export did
     #: not come from a live server.
     scheduler: dict = field(default_factory=dict)
+    #: The activity registry's live snapshot (lifecycle states, per-query
+    #: progress, projected vs. actual $) — see
+    #: ``ActivityRegistry.snapshot()``.  Empty without observability.
+    activity: dict = field(default_factory=dict)
 
     @staticmethod
     def build(
@@ -98,6 +102,7 @@ class DashboardData:
         statements: StatementStore | None = None,
         spend=None,
         scheduler: dict | None = None,
+        activity=None,
     ) -> "DashboardData":
         return DashboardData(
             title=title,
@@ -112,6 +117,11 @@ class DashboardData:
             top_statements=_top_statement_rows(statements),
             tenant_spend=_tenant_spend_rows(spend),
             scheduler=dict(scheduler or {}),
+            activity=(
+                activity.snapshot()
+                if activity is not None and getattr(activity, "enabled", False)
+                else {}
+            ),
         )
 
 
@@ -178,6 +188,47 @@ def _scheduler_rows(scheduler: dict) -> list[dict]:
         }
         for tenant in tenants
     ]
+
+
+def _activity_rows(activity: dict) -> list[dict]:
+    """Per-query rows for the "Active queries" panel, straight from an
+    ``ActivityRegistry.snapshot()`` dict (already in submission order)."""
+    rows: list[dict] = []
+    for query in activity.get("queries", []):
+        projection = query.get("projection", {})
+        rows.append(
+            {
+                "query_id": query.get("query_id", ""),
+                "state": query.get("state", ""),
+                "tenant": query.get("tenant", ""),
+                "level": query.get("level") or "-",
+                "venue": query.get("venue") or "-",
+                "progress": float(query.get("progress", 0.0)),
+                "projected_nanos": projection.get("nanodollars"),
+                "remaining_s": projection.get("remaining_s"),
+                "actual_nanos": query.get("actual_nanodollars"),
+                "detail": query.get("detail", ""),
+            }
+        )
+    return rows
+
+
+def _state_summary(activity: dict) -> str:
+    states = activity.get("states", {})
+    if not states:
+        return "-"
+    return ", ".join(f"{state}={states[state]}" for state in sorted(states))
+
+
+def _progress_bar_text(fraction: float, width: int = 12) -> str:
+    """``[#####-------]``-style bar for the console renderer."""
+    fraction = min(1.0, max(0.0, fraction))
+    filled = int(round(fraction * width))
+    return "[" + "#" * filled + "-" * (width - filled) + "]"
+
+
+def _nanos_dollars(nanos) -> str:
+    return "-" if nanos is None else f"{nanos / 1e9:.9f}"
 
 
 def _verdict_summary(counts: dict) -> str:
@@ -314,6 +365,9 @@ td.l, th.l { text-align: left; }
 .spark { display: block; margin-top: 4px; }
 .ok { color: #1a7f37; } .bad { color: #b42318; font-weight: 600; }
 .firing { background: #fdecea; }
+.pbar { display: inline-block; width: 90px; height: 9px; background: #e4eaf0;
+        border: 1px solid #d5dde5; border-radius: 3px; vertical-align: middle; }
+.pfill { height: 100%; background: #2563ab; border-radius: 3px; }
 """
 
 
@@ -443,6 +497,51 @@ def render_dashboard_html(data: DashboardData) -> str:
             out.append("</table>")
         else:
             out.append('<div class="meta">no held or dispatched queries</div>')
+
+    # -- live query activity: progress bars + projected-vs-actual $ --
+    if data.activity:
+        rows = _activity_rows(data.activity)
+        out.append("<h2>Active queries</h2>")
+        out.append(
+            '<div class="meta">states: '
+            f"{escape(_state_summary(data.activity))}</div>"
+        )
+        if rows:
+            out.append("<table><tr>")
+            for header in (
+                "query", "state", "tenant", "level", "venue", "progress",
+                "projected $", "actual $", "ETA (s)",
+            ):
+                css = (
+                    ' class="l"'
+                    if header in ("query", "state", "tenant", "level",
+                                  "venue", "progress")
+                    else ""
+                )
+                out.append(f"<th{css}>{header}</th>")
+            out.append("</tr>")
+            for row in rows:
+                pct = min(1.0, max(0.0, row["progress"])) * 100.0
+                bar = (
+                    '<div class="pbar"><div class="pfill" '
+                    f'style="width:{pct:.1f}%"></div></div> {pct:.1f}%'
+                )
+                out.append(
+                    "<tr>"
+                    f'<td class="l">{escape(str(row["query_id"]))}</td>'
+                    f'<td class="l">{escape(str(row["state"]))}</td>'
+                    f'<td class="l">{escape(str(row["tenant"]))}</td>'
+                    f'<td class="l">{escape(str(row["level"]))}</td>'
+                    f'<td class="l">{escape(str(row["venue"]))}</td>'
+                    f'<td class="l">{bar}</td>'
+                    f"<td>{_nanos_dollars(row['projected_nanos'])}</td>"
+                    f"<td>{_nanos_dollars(row['actual_nanos'])}</td>"
+                    f"<td>{_fmt(row['remaining_s'])}</td>"
+                    "</tr>"
+                )
+            out.append("</table>")
+        else:
+            out.append('<div class="meta">no queries tracked</div>')
 
     # -- per-tenant spend (metering ledger) --
     if data.tenant_spend:
@@ -648,6 +747,29 @@ def render_dashboard_text(data: DashboardData, width: int = 40) -> str:
                     f"{row['best_effort']:>9} {row['live']:>6} "
                     f"{_fmt(row['share']):>7} {row['dispatched']:>11}"
                 )
+    if data.activity:
+        lines.append("")
+        lines.append("active queries")
+        lines.append("-" * 14)
+        lines.append(f"states: {_state_summary(data.activity)}")
+        rows = _activity_rows(data.activity)
+        if rows:
+            lines.append(
+                f"{'query':<12} {'state':<10} {'tenant':<12} {'level':<12} "
+                f"{'progress':<22} {'projected_$':>14} {'actual_$':>14}"
+            )
+            for row in rows:
+                bar = _progress_bar_text(row["progress"])
+                pct = min(1.0, max(0.0, row["progress"])) * 100.0
+                lines.append(
+                    f"{str(row['query_id']):<12} {str(row['state']):<10} "
+                    f"{str(row['tenant']):<12} {str(row['level']):<12} "
+                    f"{bar + f' {pct:5.1f}%':<22} "
+                    f"{_nanos_dollars(row['projected_nanos']):>14} "
+                    f"{_nanos_dollars(row['actual_nanos']):>14}"
+                )
+        else:
+            lines.append("(no queries tracked)")
     if data.tenant_spend:
         lines.append("")
         lines.append("spend by tenant")

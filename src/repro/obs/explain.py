@@ -70,6 +70,7 @@ def render_analyzed_plan(
     profile: OperatorProfile,
     stats: QueryStats | None = None,
     context: dict | None = None,
+    pending: dict | None = None,
 ) -> str:
     """The plan tree with per-operator actuals, plus a totals footer.
 
@@ -77,11 +78,17 @@ def render_analyzed_plan(
     ``workers`` and ``batch_size``).  It is a separate opt-in precisely
     because the plan body below is worker-count invariant: rendering the
     same run at 1 or 8 workers differs only in this header line.
+    ``pending`` optionally adds a scheduling header (server queue wait,
+    admission verdict/reason, VM queue wait) so pending time and
+    execution time are attributable side by side.
     """
     lines: list[str] = []
     if context:
         parts = " ".join(f"{key}={value}" for key, value in context.items())
         lines.append(f"execution: {parts}")
+    if pending:
+        parts = " ".join(f"{key}={value}" for key, value in pending.items())
+        lines.append(f"pending: {parts}")
 
     def walk(node: PlanNode, prof: OperatorProfile, indent: int) -> None:
         pad = "  " * indent

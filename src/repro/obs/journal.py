@@ -41,6 +41,10 @@ class CapturePolicy:
     dollar_threshold: float | None = None
     #: Capture queries among the N slowest completed so far (0: off).
     slowest_n: int = 8
+    #: Capture queries that ran at a lower level than requested —
+    #: admission-pressure and projection-guard downgrades otherwise leave
+    #: only span attributes, no profile evidence (off by default).
+    capture_downgrades: bool = False
     #: Hard cap on stored captures (each holds a tree + an SVG); beyond
     #: it the journal records the drop instead of the evidence.
     max_captures: int = 64
@@ -111,6 +115,7 @@ class QueryJournal:
         billed: float | None,
         slack_s: float | None,
         error: bool,
+        downgraded: bool = False,
     ) -> list[str]:
         """The policy clauses this completion triggers (empty: no capture).
 
@@ -120,6 +125,8 @@ class QueryJournal:
         reasons: list[str] = []
         if error and policy.capture_errors:
             reasons.append("error")
+        if downgraded and policy.capture_downgrades:
+            reasons.append("downgrade")
         if (
             slack_s is not None
             and slack_s < 0

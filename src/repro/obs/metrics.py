@@ -282,6 +282,14 @@ SCHEDULER_QUEUE_DEPTH_METRIC = "pixels_scheduler_queue_depth"
 ADMISSION_REJECTIONS_METRIC = "pixels_admission_rejections_total"
 ADMISSION_DOWNGRADES_METRIC = "pixels_admission_downgrades_total"
 
+#: Live-activity instrument names (created by the activity registry's
+#: metrics binding and the query server's guard wiring).  The per-state
+#: gauge has a fixed label set; the per-tenant projected-spend gauge and
+#: the guard decision counter ride behind the cardinality guard.
+ACTIVITY_QUERIES_METRIC = "pixels_activity_queries"
+ACTIVITY_PROJECTED_METRIC = "pixels_activity_projected_dollars"
+GUARD_DECISIONS_METRIC = "pixels_guard_decisions_total"
+
 
 class MetricsRegistry:
     """Instrument factory + Prometheus text exposition."""

@@ -202,10 +202,15 @@ def _diff_tables(
                 gets_fresh=int(row_fresh.get("get_requests", 0)),
             )
         )
+    # Rank by |Δ$| then |Δt|; exact ties break deterministically on the
+    # operator name (the path's leaf), then the dominant resource, then
+    # the full path — never on dict insertion order.
     deltas.sort(
         key=lambda d: (
             -abs(d.nanodollar_delta),
             -abs(d.time_delta_s),
+            d.path.rsplit(";", 1)[-1],
+            d.resource,
             d.path,
         )
     )

@@ -301,6 +301,21 @@ class RoverServer:
         self._session(token)
         return self._query_server.obs.spend.export_json()
 
+    def activity(self, token: str) -> str:
+        """The live query-activity view — every submission's lifecycle
+        state, per-operator progress, and projected bill — as byte-stable
+        JSON (the ``pg_stat_activity`` of this system; empty without
+        observability)."""
+        self._session(token)  # any authenticated session may inspect
+        return self._query_server.obs.activity.export_json()
+
+    def projections(self, token: str) -> str:
+        """The estimator's accuracy record — estimated vs. actual bill
+        per completed query plus the aggregate MAPE — as byte-stable
+        JSON."""
+        self._session(token)
+        return self._query_server.obs.activity.export_projection_json()
+
     def scheduler(self, token: str) -> str:
         """The scheduler state — per-tenant/per-level queue depths, WFQ
         shares, Jain fairness, and admission verdict counts — as

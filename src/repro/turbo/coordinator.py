@@ -76,6 +76,10 @@ class QueryExecution:
     #: Shape hash of the optimized plan (statement-store plan identity),
     #: captured when the statement store or journal is live.
     plan_shape: str | None = None
+    #: Scheduling context the submitter (the query server) attached —
+    #: queue wait + admission verdict; EXPLAIN ANALYZE's ``pending:``
+    #: header renders it next to the execution header.
+    submit_context: dict | None = field(default=None, repr=False)
     on_complete: Callable[["QueryExecution"], None] | None = field(
         default=None, repr=False
     )
@@ -120,6 +124,15 @@ def _graft_cf_profile(
         stack.extend(node.children)
     (anchor if anchor is not None else top).children.append(sub)
     return top
+
+
+def _self_time_total(profile: OperatorProfile) -> float:
+    """Sum of per-operator self times over a profile tree — the additive
+    work measure (cumulative times predate a CF graft; selfs survive)."""
+    total = profile.self_time_s
+    for child in profile.children:
+        total += _self_time_total(child)
+    return total
 
 
 def _text_table(text: str):
@@ -295,13 +308,16 @@ class Coordinator:
         cf_enabled: bool,
         query_id: str | None = None,
         on_complete: Callable[[QueryExecution], None] | None = None,
+        submit_context: dict | None = None,
     ) -> QueryExecution:
         """Accept a query for execution at the current simulated time.
 
         ``cf_enabled`` is the per-query switch this paper adds to
         Pixels-Turbo (§3.1): enabled → the query may be accelerated with
         CFs when the VM cluster is overloaded (immediate execution);
-        disabled → the query waits for VM capacity.
+        disabled → the query waits for VM capacity.  ``submit_context``
+        carries the submitter's scheduling story (queue wait, admission
+        verdict) into EXPLAIN ANALYZE's ``pending:`` header.
         """
         if query_id is None:
             self._query_counter += 1
@@ -313,6 +329,7 @@ class Coordinator:
             sql=sql,
             submitted_at=self._sim.now,
             cf_enabled=cf_enabled,
+            submit_context=submit_context,
             on_complete=on_complete,
         )
         self._executions[query_id] = execution
@@ -553,6 +570,15 @@ class Coordinator:
             return
         execution.profile = result.profile
         if analyze and result.profile is not None:
+            pending = None
+            if execution.submit_context is not None:
+                # Server-submitted ANALYZE: print the scheduling story
+                # (server queue wait, admission verdict, VM queue) so a
+                # slow query is attributable without opening the trace.
+                pending = dict(execution.submit_context)
+                pending["vm_queue_s"] = round(
+                    self._sim.now - execution.submitted_at, 9
+                )
             execution.explain_text = render_analyzed_plan(
                 plan,
                 result.profile,
@@ -561,12 +587,23 @@ class Coordinator:
                     "workers": executor.workers,
                     "batch_size": executor.batch_size,
                 },
+                pending=pending,
             )
             result = QueryResult(
                 _text_table(execution.explain_text), result.stats, result.profile
             )
         self._record_scan_span(execution.query_id, execute_span, result.stats)
         estimate = self.cost_model.vm_execution(result.stats)
+        # Register the execution window with the live activity registry:
+        # progress and bill projections are derived from this window (a
+        # no-op for queries never submitted through a query server).
+        self.obs.activity.begin_execution(
+            execution.query_id,
+            venue="vm",
+            duration_s=estimate.duration_s,
+            profile=result.profile,
+            stats=result.stats,
+        )
         if self.fault_injector is not None and self.fault_injector.vm_task_fails():
             # The worker crashes partway through; the partial work is still
             # paid for, the worker is retired, and the query retries on the
@@ -666,9 +703,18 @@ class Coordinator:
             execute_span.finish("error", error=str(error))
             self._fail(execution, str(error))
             return
+        merge_at = None
         if capture_profile and top_result.profile is not None:
+            sub_profile = sub_exec.profile()
+            # The fraction of the execution window spent in the fanned-out
+            # sub-plan; past it the query is in its VM-side merge phase
+            # (the activity registry's "merging" lifecycle state).
+            sub_work = _self_time_total(sub_profile)
+            top_work = _self_time_total(top_result.profile)
+            if sub_work + top_work > 0:
+                merge_at = round(sub_work / (sub_work + top_work), 9)
             execution.profile = _graft_cf_profile(
-                top_result.profile, sub_exec.profile()
+                top_result.profile, sub_profile
             )
         # ``sub_exec.stats`` is read after the top plan drained (or
         # abandoned) the stream, so it reflects exactly the sub-plan work
@@ -708,10 +754,15 @@ class Coordinator:
                 batches=sub_exec.batches_emitted,
             ).finish("ok")
         execute_span.set(cf_workers=estimate.num_workers)
-        self._launch_cf(execution, result, estimate, execute_span)
+        self._launch_cf(execution, result, estimate, execute_span, merge_at)
 
     def _launch_cf(
-        self, execution: QueryExecution, result, estimate, execute_span=None
+        self,
+        execution: QueryExecution,
+        result,
+        estimate,
+        execute_span=None,
+        merge_at: float | None = None,
     ) -> None:
         tracer = self.obs.tracer
         invoke_span = tracer.start(
@@ -731,6 +782,15 @@ class Coordinator:
             partial_cost = estimate.provider_cost * fraction
             execution.provider_cost += partial_cost
             self._meter_provider(execution.query_id, partial_cost, venue="cf")
+            # The partial attempt's window (it dies before the merge; the
+            # retry re-registers a fresh full window).
+            self.obs.activity.begin_execution(
+                execution.query_id,
+                venue="cf",
+                duration_s=partial,
+                profile=execution.profile,
+                stats=result.stats,
+            )
 
             def retry() -> None:
                 if execution.retries >= self.fault_injector.config.max_retries:
@@ -746,7 +806,9 @@ class Coordinator:
                 invoke_span.finish("retry", reason="cf invocation failed")
                 execution.retries += 1
                 self._m_retries.inc(venue="cf")
-                self._launch_cf(execution, result, estimate, execute_span)
+                self._launch_cf(
+                    execution, result, estimate, execute_span, merge_at
+                )
 
             self.cf_service.invoke(
                 execution.query_id, estimate.num_workers, partial,
@@ -756,6 +818,14 @@ class Coordinator:
         execution.provider_cost += estimate.provider_cost
         self._meter_provider(
             execution.query_id, estimate.provider_cost, venue="cf"
+        )
+        self.obs.activity.begin_execution(
+            execution.query_id,
+            venue="cf",
+            duration_s=estimate.duration_s,
+            profile=execution.profile,
+            stats=result.stats,
+            merge_at=merge_at,
         )
 
         def completed() -> None:
@@ -840,12 +910,18 @@ class Coordinator:
 
         def started(worker: VmWorker) -> None:
             member_spans = []
-            for execution in members:
+            for execution, result in zip(members, batch.results):
                 execution.started_at = self._sim.now
                 execution.venue = ExecutionVenue.VM
                 execution.provider_cost += per_member_cost
                 self._meter_provider(
                     execution.query_id, per_member_cost, venue="vm"
+                )
+                self.obs.activity.begin_execution(
+                    execution.query_id,
+                    venue="vm",
+                    duration_s=estimate.duration_s,
+                    stats=result.stats,
                 )
                 member_spans.append(
                     self.obs.tracer.start(

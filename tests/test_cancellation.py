@@ -227,3 +227,95 @@ class TestCancellationBilling:
         spend = server.obs.spend
         assert spend.tenant_nanodollars("acme") == kept.price_nanodollars
         assert spend.report()["voids"] >= 1
+
+
+class TestCancellationActivity:
+    """The live-activity registry's view of a cancellation: the entry
+    lands in the terminal ``cancelled`` state, its progress freezes at
+    the fraction it died at, and the books still balance."""
+
+    def _observed_env(self):
+        from repro.core import QueryServer
+        from repro.obs import Instrumentation
+        from repro.sim import Simulator
+        from repro.turbo import Coordinator, TurboConfig
+        from repro.workloads import TpchGenerator, load_dataset
+        from repro.storage.catalog import Catalog
+        from repro.storage.object_store import ObjectStore
+
+        sim = Simulator(seed=11)
+        store = ObjectStore()
+        catalog = Catalog()
+        # Small row groups: the lineitem scan spans many morsels, so a
+        # mid-pipeline cancel lands at a partial progress fraction.
+        load_dataset(
+            store,
+            catalog,
+            "tpch",
+            TpchGenerator(scale=0.05).tables(),
+            rows_per_group=256,
+        )
+        config = TurboConfig.fast()
+        obs = Instrumentation.create(clock=lambda: sim.now)
+        coordinator = Coordinator(sim, config, catalog, store, "tpch", obs=obs)
+        server = QueryServer(sim, coordinator, config)
+        return sim, server
+
+    def test_cancel_mid_pipeline_freezes_partial_progress(self):
+        from repro.obs.reconcile import reconcile_server
+
+        sim, server = self._observed_env()
+        record = server.submit(HEAVY, ServiceLevel.RELAXED, tenant="acme")
+        entry = server.obs.activity.entry(record.query_id)
+        assert entry.exec_started_at is not None  # idle cluster: runs now
+        sim.run_until(entry.exec_started_at + entry.exec_duration_s * 0.5)
+        assert record.status is QueryStatus.RUNNING
+        snapshot = server.obs.activity.snapshot()
+        row = next(
+            r for r in snapshot["queries"] if r["query_id"] == record.query_id
+        )
+        assert 0.0 < row["progress"] < 1.0
+        midflight = row["progress"]
+        assert server.cancel(record.query_id) is True
+        sim.run_until(900)
+        assert record.status is QueryStatus.FAILED
+        assert entry.state == "cancelled"
+        row = next(
+            r
+            for r in server.obs.activity.snapshot()["queries"]
+            if r["query_id"] == record.query_id
+        )
+        assert row["state"] == "cancelled"
+        # Progress froze at the cancel instant — never reaches 1.0.
+        assert row["progress"] == pytest.approx(midflight)
+        assert row["progress"] <= 1.0
+        # The ledger voided the in-flight charges and still reconciles.
+        ledger = server.obs.ledger
+        assert record.query_id in ledger.voided_query_ids()
+        assert ledger.net_nanodollars(record.query_id) == 0
+        report = reconcile_server(server)
+        assert report.ok, report.render()
+
+    def test_cancel_held_query_reports_cancelled_held(self):
+        sim, server = self._observed_env()
+        for _ in range(12):
+            server.submit(HEAVY, ServiceLevel.RELAXED)
+        held = server.submit(HEAVY, ServiceLevel.RELAXED, tenant="acme")
+        entry = server.obs.activity.entry(held.query_id)
+        assert entry.state == "queued"
+        assert server.cancel(held.query_id) is True
+        assert entry.state == "cancelled"
+        assert entry.detail == "cancelled_held"
+        sim.run_until(900)
+        row = next(
+            r
+            for r in server.obs.activity.snapshot()["queries"]
+            if r["query_id"] == held.query_id
+        )
+        assert row["state"] == "cancelled"
+        assert row["progress"] == 0.0  # never ran
+        assert row["detail"] == "cancelled_held"
+        # Terminal states are stable: no later transition revives it.
+        states = [state for state, _ in entry.history]
+        assert states[-1] == "cancelled"
+        assert states.count("cancelled") == 1

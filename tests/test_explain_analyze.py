@@ -119,6 +119,32 @@ class TestCoordinatorFrontEnd:
         assert record.price > 0
         assert record.execution.venue is not None
 
+    def test_submitted_explain_analyze_reports_pending_header(self, turbo_env):
+        sim, store, catalog, config, coordinator, server = turbo_env
+        record = server.submit(
+            "EXPLAIN ANALYZE SELECT COUNT(*) FROM region",
+            ServiceLevel.IMMEDIATE,
+        )
+        sim.run_until(600)
+        assert record.status is QueryStatus.FINISHED
+        lines = [row[0] for row in record.result_rows()]
+        pending = [line for line in lines if line.startswith("pending: ")]
+        assert len(pending) == 1
+        # Pending time sits beside execution time, attributably split:
+        # server queue wait, admission verdict, then VM queue wait.
+        assert "queue_wait_s=" in pending[0]
+        assert "admission=admit" in pending[0]
+        assert "vm_queue_s=" in pending[0]
+        assert any(line.startswith("execution: ") for line in lines)
+
+    def test_inline_explain_analyze_has_no_pending_header(self, turbo_env):
+        sim, store, catalog, config, coordinator, server = turbo_env
+        # Inline runs never pass through the query server: there is no
+        # scheduling story to tell, so the header is absent (and the
+        # output stays byte-stable with pre-header captures).
+        text = coordinator.explain_analyze("SELECT COUNT(*) FROM region")
+        assert "pending:" not in text
+
     def test_inline_explain_analyze(self, turbo_env):
         sim, store, catalog, config, coordinator, server = turbo_env
         text = coordinator.explain_analyze("SELECT COUNT(*) FROM region")

@@ -162,6 +162,70 @@ class TestRendering:
         assert parsed[0]["bytes_scanned"] == {"base": 1000, "fresh": 5000}
 
 
+class TestDeterministicTieBreak:
+    """Equal-magnitude deltas order by leaf operator name, not by the
+    full attribution path — so the rendered diff reads operator-first
+    and is independent of tree insertion order."""
+
+    def _forked(self, nanos, swap=False):
+        zscan = ProfileNode(
+            name="ZScan", kind="operator", self_time_s=1.0,
+            self_nanodollars=nanos,
+        )
+        ascan = ProfileNode(
+            name="AScan", kind="operator", self_time_s=1.0,
+            self_nanodollars=nanos,
+        )
+        agg = ProfileNode(
+            name="Agg", kind="operator", self_time_s=0.1,
+            self_nanodollars=10, children=[zscan],
+        )
+        sort = ProfileNode(
+            name="Sort", kind="operator", self_time_s=0.1,
+            self_nanodollars=10, children=[ascan],
+        )
+        children = [sort, agg] if swap else [agg, sort]
+        return ProfileNode(
+            name="query", kind="span", self_time_s=0.0,
+            self_nanodollars=0, children=children,
+        )
+
+    def test_equal_deltas_order_by_leaf_operator_name(self):
+        # Both scans regress by exactly +500 nanodollars with zero time
+        # delta.  Full-path order would put "query;Agg;ZScan" before
+        # "query;Sort;AScan"; the leaf-name tie-break puts AScan first.
+        deltas = diff_profiles(self._forked(500), self._forked(1000))
+        leaves = [d.path.rsplit(";", 1)[-1] for d in deltas]
+        assert leaves == sorted(leaves)
+        assert leaves[0] == "AScan"
+        assert leaves.index("AScan") < leaves.index("ZScan")
+
+    def test_order_independent_of_tree_insertion_order(self):
+        straight = diff_profiles(self._forked(500), self._forked(1000))
+        swapped = diff_profiles(
+            self._forked(500, swap=True), self._forked(1000, swap=True)
+        )
+        assert straight == swapped
+        assert export_diff_json(straight) == export_diff_json(swapped)
+
+    def test_table_ties_order_by_name(self):
+        def section(nanos):
+            return {
+                "operators": {
+                    name: {
+                        "time_s": 1.0,
+                        "nanodollars": nanos,
+                        "bytes_scanned": 0,
+                        "get_requests": 0,
+                    }
+                    for name in ("Zeta", "Alpha")
+                }
+            }
+
+        deltas = diff_operator_tables(section(100), section(300))
+        assert [d.path for d in deltas] == ["Alpha", "Zeta"]
+
+
 class TestOperatorDelta:
     def test_regressed_flag(self):
         up = OperatorDelta(
